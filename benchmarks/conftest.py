@@ -1,0 +1,55 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* prints the rows/series the figure reports (visible with ``-s``),
+* writes the same text to ``benchmarks/results/<name>.txt``,
+* asserts the *shape* claims of the paper (who wins, by roughly what
+  factor, where the crossovers fall) — absolute 1994 numbers are not
+  asserted, as the substrate is a calibrated simulator.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Write a figure's textual twin and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture
+def record_svg():
+    """Render a figure's curves as an SVG file next to its text twin."""
+    from repro.viz import svg_plot
+
+    def _record(name: str, series, **kw) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        svg_plot(series, RESULTS_DIR / f"{name}.svg", **kw)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run a figure generator exactly once under pytest-benchmark.
+
+    The interesting output of these benchmarks is the figure data, not
+    the wall time of generating it; one round keeps the harness fast
+    while still appearing in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

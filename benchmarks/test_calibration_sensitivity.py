@@ -1,0 +1,89 @@
+"""Ablation: are the paper's conclusions robust to the fitted constants?
+
+The cluster simulator carries three constants the paper does not pin
+down exactly — the per-message overhead, the CSMA/CD collision factor,
+and the split of per-step compute across the method's phases.  This
+benchmark perturbs each by generous factors and re-measures the two
+headline conclusions:
+
+1. 2D at 20 processors stays serviceable while 3D collapses (fig. 9);
+2. FD loses to LB at small subregions (fig. 5 vs 7).
+
+Both orderings must survive every perturbation — i.e. the reproduction's
+claims are properties of the physics and the §6/§7 calibration, not of
+the fitted fudge factors.
+"""
+
+from repro.cluster import ClusterSimulation, NetworkParams
+import repro.cluster.simulator as sim_mod
+from repro.harness import format_table
+
+from conftest import run_once
+
+
+def _headline(network, fractions=None):
+    """(f2d@20, f3d@20, fd_small, lb_small) under one parameter set."""
+    saved = dict(sim_mod._PHASE_FRACTIONS)
+    if fractions:
+        sim_mod._PHASE_FRACTIONS.update(fractions)
+    try:
+        f2 = ClusterSimulation("lb", 2, (20, 1), 120,
+                               network=network).run(20).efficiency
+        f3 = ClusterSimulation("lb", 3, (20, 1, 1), 25,
+                               network=network).run(20).efficiency
+        fd = ClusterSimulation("fd", 2, (4, 4), 40,
+                               network=network).run(20).efficiency
+        lb = ClusterSimulation("lb", 2, (4, 4), 40,
+                               network=network).run(20).efficiency
+    finally:
+        sim_mod._PHASE_FRACTIONS.clear()
+        sim_mod._PHASE_FRACTIONS.update(saved)
+    return f2, f3, fd, lb
+
+
+VARIANTS = {
+    "calibrated": (NetworkParams(), None),
+    "overhead / 4": (NetworkParams(overhead=0.25e-3), None),
+    "overhead x 4": (NetworkParams(overhead=4.0e-3), None),
+    "no collisions": (NetworkParams(collision_factor=0.0), None),
+    "collisions x 4": (NetworkParams(collision_factor=0.08), None),
+    "flat fractions": (
+        NetworkParams(),
+        {"fd": (0.4, 0.4), "lb": (0.5,)},
+    ),
+}
+
+
+def test_calibration_sensitivity(benchmark, record_figure):
+    def build():
+        return {
+            name: _headline(net, fr)
+            for name, (net, fr) in VARIANTS.items()
+        }
+
+    results = run_once(benchmark, build)
+    rows = [
+        [name, f"{f2:.3f}", f"{f3:.3f}", f"{fd:.3f}", f"{lb:.3f}"]
+        for name, (f2, f3, fd, lb) in results.items()
+    ]
+    record_figure(
+        "calibration_sensitivity",
+        format_table(
+            ["variant", "f 2D @20", "f 3D @20", "f FD 40^2",
+             "f LB 40^2"],
+            rows,
+            title="Sensitivity of the headline conclusions to the "
+                  "fitted constants",
+        ),
+    )
+
+    for name, (f2, f3, fd, lb) in results.items():
+        # conclusion 1: 3D collapses well below 2D, always
+        assert f3 < f2 - 0.1, name
+        # conclusion 2: FD below LB at small subregions, always
+        assert fd < lb, name
+
+    # and the calibrated point itself sits in the paper's bands
+    f2, f3, fd, lb = results["calibrated"]
+    assert 0.6 < f2 < 0.9
+    assert 0.3 < f3 < 0.6

@@ -1,0 +1,77 @@
+"""§7's normalization experiment: replacing 715s with slower 710s.
+
+"We have tested that the speedup achieved by sixteen workstations,
+which are all 715 models, does not change if one or two workstations
+are replaced with 710 models."
+
+Under the BSP regime a synchronized computation is gated by its slowest
+member, so replacing two 715s (relative speed 1.0) with 710s (0.84)
+should cost at most the 710 deficit (~16 %) and, with communication
+slack absorbing part of it, typically less.  The paper's "does not
+change" sits inside its own ±4-10 % error bars; this benchmark measures
+the replacement effect in both sync regimes and bounds it by the
+deficit — recording honestly where the reproduction's model is more
+pessimistic than the paper's measurement.
+"""
+
+from repro.cluster import ClusterSimulation, SimHost
+from repro.harness import format_table
+
+from conftest import run_once
+
+
+def _hosts(n_710: int):
+    hosts = [SimHost(f"h{i:02d}", "715/50") for i in range(16)]
+    for i in range(n_710):
+        hosts[15 - i] = SimHost(f"h{15 - i:02d}", "710")
+    return hosts
+
+
+def _speedup(n_710: int, sync_mode: str) -> float:
+    sim = ClusterSimulation(
+        "lb", 2, (16, 1), 150, hosts=_hosts(n_710), sync_mode=sync_mode
+    )
+    return sim.run(steps=25).speedup
+
+
+def test_heterogeneity(benchmark, record_figure):
+    def build():
+        return {
+            (mode, n): _speedup(n, mode)
+            for mode in ("bsp", "loose")
+            for n in (0, 1, 2)
+        }
+
+    res = run_once(benchmark, build)
+    rows = [
+        [mode, n, f"{res[(mode, n)]:.2f}",
+         f"{res[(mode, n)] / res[(mode, 0)]:.3f}"]
+        for mode in ("bsp", "loose")
+        for n in (0, 1, 2)
+    ]
+    record_figure(
+        "heterogeneity",
+        format_table(
+            ["sync", "710s in pool", "speedup", "vs all-715"],
+            rows,
+            title="§7 — replacing 715/50 workstations with 710 models "
+                  "(16 workstations, 150^2 per processor)",
+        ),
+    )
+
+    for mode in ("bsp", "loose"):
+        base = res[(mode, 0)]
+        one = res[(mode, 1)]
+        two = res[(mode, 2)]
+        # slower members never help (up to scheduling wiggle: once one
+        # slow host gates the barrier, a second changes almost nothing)
+        assert one <= base + 1e-9
+        assert two <= one + 0.02 * base
+        # and cost at most the 710 deficit; the paper measured "no
+        # change" within its error bars, i.e. inside this envelope
+        assert two >= base * 0.84 * 0.98, mode
+        assert one >= base * 0.84 * 0.98, mode
+    # the shared bus absorbs part of the deficit (communication time is
+    # host-independent), so BSP is less sensitive than pure pipelining
+    assert (res[("bsp", 2)] / res[("bsp", 0)]
+            >= res[("loose", 2)] / res[("loose", 0)])

@@ -1,0 +1,69 @@
+"""Kernel throughput on this machine (proper pytest-benchmark timing).
+
+The §7 speed table's modern counterpart: fluid nodes integrated per
+second for each (method x dimensionality), measured over repeated
+rounds by pytest-benchmark, plus the ghost-exchange overhead.  These
+are the numbers a user sizing a run on today's hardware needs, in the
+same units the paper reports (nodes/s, padded areas excluded).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, LocalExchanger, Simulation
+from repro.fluids import FDMethod, FluidParams, LBMethod
+
+
+def _sim(method_cls, ndim, side, blocks=None):
+    shape = (side,) * ndim
+    blocks = blocks or (1,) * ndim
+    params = FluidParams.lattice(ndim, nu=0.05)
+    fields = {"rho": np.ones(shape)}
+    for n in ("u", "v", "w")[:ndim]:
+        fields[n] = np.zeros(shape)
+    d = Decomposition(shape, blocks, periodic=(True,) * ndim)
+    return Simulation(method_cls(params, ndim), d, fields)
+
+
+@pytest.mark.parametrize(
+    "method_cls,ndim,side",
+    [
+        (LBMethod, 2, 128),
+        (FDMethod, 2, 128),
+        (LBMethod, 3, 24),
+        (FDMethod, 3, 24),
+    ],
+    ids=["lb2d", "fd2d", "lb3d", "fd3d"],
+)
+def test_step_throughput(benchmark, method_cls, ndim, side):
+    sim = _sim(method_cls, ndim, side)
+    sim.step(2)  # warm caches and lazy allocations
+    benchmark(sim.step, 1)
+    nodes = side**ndim
+    rate = nodes / benchmark.stats.stats.mean
+    benchmark.extra_info["nodes_per_second"] = rate
+    # the slowest kernel on any current machine still beats the 1994
+    # HP 715/50 (39 132 nodes/s LB 2D)
+    assert rate > 39_132
+
+
+def test_exchange_overhead_2d(benchmark):
+    """Cost of one full ghost exchange relative to a compute step."""
+    sim = _sim(LBMethod, 2, 128, blocks=(2, 2))
+    sim.step(2)
+    ex = sim.exchanger
+    benchmark(ex.exchange, ("f",))
+    # the in-process exchange must be a small fraction of a step
+    # (communication cost lives in the transports, not the copies)
+    assert benchmark.stats.stats.mean < 0.05
+
+
+def test_filter_cost_share(benchmark):
+    """The fourth-order filter is a bounded fraction of an FD step."""
+    sim = _sim(FDMethod, 2, 128)
+    sim.step(2)
+    sub = sim.subs[0]
+    method = sim.method
+    g1 = sub.grown_interior(1)
+    benchmark(method.filter.apply, sub, method.field_names, g1)
+    assert benchmark.stats.stats.mean < 0.1

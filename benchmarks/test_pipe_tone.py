@@ -1,0 +1,86 @@
+"""§2: the flue pipe speaks — "it produces audible musical tones".
+
+The paper's production runs (70,000 steps, 12 ms of simulated time)
+resolve a 1 kHz jet oscillation.  At benchmark scale (200x125 grid,
+3,000 steps) the reproduction's pipe already locks into a periodic
+acoustic oscillation at its mouth: this benchmark records the pressure
+signal, extracts the spectrum, and checks the tone against the
+quarter-wave estimate f = c_s / 4L of a stopped pipe.
+
+Absolute pitch at this resolution carries large end-corrections and a
+coarse spectral grid, so the assertions are deliberately structural: a
+tone clearly above the noise floor, in the physically right band, with
+harmonic content — the fingerprint of the flue-pipe feedback loop.
+"""
+
+import numpy as np
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import (
+    FluidParams,
+    LBMethod,
+    Probe,
+    flue_pipe,
+    spectrum,
+)
+from repro.harness import format_table
+
+from conftest import run_once
+
+SHAPE = (200, 125)
+SETTLE = 600
+RECORD = 2400
+EVERY = 2
+
+
+def _run_pipe():
+    setup = flue_pipe(SHAPE, jet_speed=0.1, ramp_steps=80)
+    params = FluidParams.lattice(2, nu=0.01, filter_eps=0.02)
+    method = LBMethod(params, 2, inlets=[setup.inlet],
+                      outlets=[setup.outlet])
+    decomp = Decomposition(SHAPE, (5, 4), solid=setup.solid)
+    fields = {
+        "rho": np.ones(SHAPE), "u": np.zeros(SHAPE),
+        "v": np.zeros(SHAPE),
+    }
+    sim = Simulation(method, decomp, fields, setup.solid)
+    sim.step(SETTLE)
+    probe = Probe(setup.mouth_probe)
+    probe.run(sim, steps=RECORD, every=EVERY)
+    th = max(2, SHAPE[0] // 64)
+    pipe_length = (1.0 - 2 * th / SHAPE[0] - 0.30) * SHAPE[0]
+    return probe.signal, params.cs, pipe_length
+
+
+def test_pipe_tone(benchmark, record_figure):
+    signal, cs, length = run_once(benchmark, _run_pipe)
+    freqs, amp = spectrum(signal, dt=EVERY)
+    order = np.argsort(amp[1:])[::-1] + 1
+    fundamental = freqs[order[0]]
+    quarter_wave = cs / (4.0 * length)
+    noise_floor = float(np.median(amp[1:]))
+
+    rows = [
+        ["mouth-pressure swing", f"{signal.max() - signal.min():.3e}"],
+        ["dominant tone (cycles/step)", f"{fundamental:.5f}"],
+        ["quarter-wave estimate c_s/4L", f"{quarter_wave:.5f}"],
+        ["tone / noise floor", f"{amp[order[0]] / noise_floor:.0f}x"],
+        ["next lines",
+         "  ".join(f"{freqs[k]:.5f}" for k in order[1:4])],
+    ]
+    record_figure(
+        "pipe_tone",
+        format_table(["quantity", "value"], rows,
+                     title="§2 — the flue pipe's acoustic response "
+                           "(mouth probe spectrum)"),
+    )
+
+    # a real tone: far above the spectral noise floor
+    assert amp[order[0]] > 20 * noise_floor
+    # in the physically right band around the quarter-wave pitch
+    # (end corrections and the mouth cavity shift it; factor-3 window)
+    assert quarter_wave / 3 < fundamental < quarter_wave * 3
+    # periodic, not a drift: the oscillation swings repeatedly
+    sig = signal - signal.mean()
+    crossings = int(np.sum(np.diff(np.sign(sig)) != 0))
+    assert crossings >= 3

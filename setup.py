@@ -1,0 +1,4 @@
+"""Legacy-editable-install shim (offline environment lacks the wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of Skordos (HPDC 1995).
+
+Parallel simulation of subsonic fluid dynamics on a cluster of
+workstations: domain-decomposed explicit finite differences and lattice
+Boltzmann solvers, a TCP/IP-distributed runtime with automatic process
+migration, a discrete-event cluster simulator reproducing the paper's
+efficiency measurements, and the theoretical efficiency model.
+"""
+
+from . import cluster, core, distrib, fluids, harness, net, viz
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "fluids",
+    "net",
+    "distrib",
+    "cluster",
+    "harness",
+    "viz",
+    "__version__",
+]

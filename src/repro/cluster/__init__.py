@@ -1,0 +1,63 @@
+"""Simulated cluster of non-dedicated workstations (substitution layer).
+
+A discrete-event model of the paper's experimental platform — 25
+HP9000/700 workstations on shared-bus 10 Mbps Ethernet — calibrated with
+the paper's own measured constants, used to regenerate the parallel
+efficiency and speedup figures (5-11).
+"""
+
+from .calibration import (
+    COLLISION_FACTOR,
+    ETHERNET_BANDWIDTH,
+    MESSAGE_OVERHEAD,
+    MESSAGES_PER_STEP,
+    RELATIVE_SPEED,
+    U_REF_NODES_PER_S,
+    VALUES_PER_NODE,
+    bytes_per_boundary_node,
+    node_speed,
+    paper_ucalc_vcom_ratio,
+)
+from .ethernet import BusStats, SharedBus
+from .events import EventQueue
+from .loadgen import expected_busy_events, poisson_user_traces
+from .machines import LoadTrace, SimHost, paper_sim_cluster
+from .networks import NETWORK_PRESETS, SwitchedNetwork, make_network
+from .saving import SavePlan, simultaneous_save, staggered_save
+from .simulator import (
+    ClusterSimulation,
+    MigrationEvent,
+    NetworkParams,
+    SimResult,
+)
+
+__all__ = [
+    "ClusterSimulation",
+    "NetworkParams",
+    "SimResult",
+    "MigrationEvent",
+    "SharedBus",
+    "BusStats",
+    "SwitchedNetwork",
+    "make_network",
+    "NETWORK_PRESETS",
+    "SavePlan",
+    "simultaneous_save",
+    "staggered_save",
+    "poisson_user_traces",
+    "expected_busy_events",
+    "EventQueue",
+    "SimHost",
+    "LoadTrace",
+    "paper_sim_cluster",
+    "U_REF_NODES_PER_S",
+    "RELATIVE_SPEED",
+    "VALUES_PER_NODE",
+    "MESSAGES_PER_STEP",
+    "ETHERNET_BANDWIDTH",
+    "MESSAGE_OVERHEAD",
+    "COLLISION_FACTOR",
+    "node_speed",
+    "bytes_per_boundary_node",
+    "paper_ucalc_vcom_ratio",
+]

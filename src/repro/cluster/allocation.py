@@ -1,0 +1,80 @@
+"""Dynamic workload allocation — the §1.1 alternative to migration.
+
+"An alternative approach that has been used elsewhere is the dynamic
+allocation of processor workload [: ] to enlarge and to shrink the
+subregions which are assigned to each workstation depending on the CPU
+load of the workstation (Cap & Strumpen).  Although this approach is
+important in various applications, it seems unnecessary for simulating
+fluid flow problems with static geometry.  For such problems, it may be
+simpler and more effective to use fixed size subregions per processor,
+and to use automatic migration of processes from busy hosts to free
+hosts."
+
+This module implements that baseline so the claim can be tested: nodes
+are (re)divided in proportion to each host's current effective speed,
+and a repartition charges the network for the node state that moves.
+The benchmark compares the two policies with and without spare hosts —
+migration wins when a free workstation exists (the paper's situation,
+20 of 25 used); rebalancing is what is left when every host is busy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["proportional_shares", "repartition_cost"]
+
+
+def proportional_shares(total: int, speeds: list[float]) -> list[int]:
+    """Split ``total`` nodes in proportion to processor speeds.
+
+    Largest-remainder rounding: deterministic, sums exactly to
+    ``total``, and every processor keeps at least one node.
+    """
+    if total < len(speeds):
+        raise ValueError(
+            f"cannot give {len(speeds)} processors at least one node "
+            f"out of {total}"
+        )
+    if any(s <= 0 for s in speeds):
+        raise ValueError("speeds must be positive")
+    weight = sum(speeds)
+    raw = [total * s / weight for s in speeds]
+    shares = [max(int(r), 1) for r in raw]
+    remainders = [r - int(r) for r in raw]
+    # hand out the remaining nodes to the largest remainders
+    leftover = total - sum(shares)
+    order = sorted(
+        range(len(speeds)), key=lambda i: remainders[i], reverse=True
+    )
+    i = 0
+    while leftover > 0:
+        shares[order[i % len(order)]] += 1
+        leftover -= 1
+        i += 1
+    while leftover < 0:
+        # rounding pushed us over; take back from the largest shares
+        j = max(range(len(shares)), key=lambda k: shares[k])
+        if shares[j] > 1:
+            shares[j] -= 1
+            leftover += 1
+    return shares
+
+
+def repartition_cost(
+    old: list[int],
+    new: list[int],
+    state_bytes_per_node: float,
+    bandwidth: float,
+    fixed_overhead: float = 1.0,
+) -> float:
+    """Seconds of global pause to redistribute subregion state.
+
+    Moving a slab boundary transfers the full state of every reassigned
+    node across the network; the computation is synchronized while the
+    repartition is in flight (the same global-sync structure migration
+    uses, but with data volume proportional to the imbalance rather
+    than one subregion dump).
+    """
+    if len(old) != len(new) or sum(old) != sum(new):
+        raise ValueError("old and new shares must match in length and sum")
+    moved = sum(abs(a - b) for a, b in zip(old, new)) // 2
+    return fixed_overhead + moved * state_bytes_per_node / bandwidth

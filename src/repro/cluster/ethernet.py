@@ -1,0 +1,122 @@
+"""Shared-bus Ethernet model (paper §7-§9).
+
+All workstations hang off one 10 Mbps shared bus: only one frame is on
+the wire at a time, so concurrent messages serialize and "the total
+traffic through the shared-bus network increases in proportion to the
+number of processors" — the mechanism behind eq. 19's ``T_com ∝ (P-1)``
+and behind the collapse of 3D efficiency in figs. 9-11.
+
+Each message occupies the bus for ``overhead + bytes / bandwidth``
+seconds; the overhead term is what penalizes FD's two small messages per
+step against LB's single message (§7).  Ethernet is CSMA/CD: stations
+sensing a busy medium back off and collide, so effective throughput
+*degrades* as the backlog grows — modelled by inflating a message's wire
+time by ``(1 + collision_factor * backlog)`` where the backlog counts
+messages already queued ahead.  When the backlog a message experiences
+exceeds ``error_wait_threshold`` seconds the model counts a network
+error: the paper observes that under 3D traffic "the TCP/IP protocol
+fails to deliver messages after excessive retransmissions".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .calibration import (
+    COLLISION_FACTOR,
+    ETHERNET_BANDWIDTH,
+    MESSAGE_OVERHEAD,
+)
+from .events import EventQueue
+
+__all__ = ["SharedBus", "BusStats"]
+
+
+@dataclass
+class BusStats:
+    """Aggregate traffic statistics of one simulated run."""
+
+    messages: int = 0
+    bytes: int = 0
+    busy_time: float = 0.0
+    total_queue_delay: float = 0.0
+    max_queue_delay: float = 0.0
+    network_errors: int = 0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of wall time the wire was busy."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class SharedBus:
+    """One shared medium serializing every transmission."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        bandwidth: float = ETHERNET_BANDWIDTH,
+        overhead: float = MESSAGE_OVERHEAD,
+        collision_factor: float = COLLISION_FACTOR,
+        error_wait_threshold: float = 2.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if overhead < 0:
+            raise ValueError(f"overhead must be >= 0, got {overhead}")
+        if collision_factor < 0:
+            raise ValueError(
+                f"collision_factor must be >= 0, got {collision_factor}"
+            )
+        self.queue = queue
+        self.bandwidth = bandwidth
+        self.overhead = overhead
+        self.collision_factor = collision_factor
+        self.error_wait_threshold = error_wait_threshold
+        self.busy_until = 0.0
+        self.stats = BusStats()
+        self._finish_times: deque[float] = deque()
+
+    def transmit_time(self, nbytes: int, backlog: int = 0) -> float:
+        """Wire occupancy of one message given the current backlog."""
+        wire = nbytes / self.bandwidth
+        return self.overhead + wire * (
+            1.0 + self.collision_factor * backlog
+        )
+
+    def backlog(self) -> int:
+        """Messages queued or on the wire right now."""
+        now = self.queue.now
+        while self._finish_times and self._finish_times[0] <= now:
+            self._finish_times.popleft()
+        return len(self._finish_times)
+
+    def send(
+        self, nbytes: int, deliver, src: str = "?", dst: str = "?"
+    ) -> float:
+        """Enqueue a message now; ``deliver(t)`` fires on arrival.
+
+        Returns the delivery time.  FIFO by submission order: TCP on a
+        shared segment gives no priorities.  ``src``/``dst`` are
+        accepted for interface compatibility with the switched model —
+        a shared bus doesn't care who is talking.
+        """
+        now = self.queue.now
+        backlog = self.backlog()
+        start = max(now, self.busy_until)
+        delay = start - now
+        finish = start + self.transmit_time(nbytes, backlog)
+        self.busy_until = finish
+        self._finish_times.append(finish)
+
+        s = self.stats
+        s.messages += 1
+        s.bytes += nbytes
+        s.busy_time += finish - start
+        s.total_queue_delay += delay
+        s.max_queue_delay = max(s.max_queue_delay, delay)
+        if delay > self.error_wait_threshold:
+            s.network_errors += 1
+
+        self.queue.schedule(finish, deliver)
+        return finish

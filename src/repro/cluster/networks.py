@@ -1,0 +1,147 @@
+"""Future network technologies (paper §9).
+
+"It is expected that new technologies in the near future such as
+Ethernet switches, FDDI and ATM networks will make practical three-
+dimensional simulations of fluid dynamics on a cluster of workstations."
+
+This module quantifies that prediction.  A :class:`SwitchedNetwork`
+replaces the single shared medium with per-host full-duplex links
+through a non-blocking switch: a message occupies only its sender's
+transmit link and its receiver's receive link, so disjoint host pairs
+communicate concurrently and the ``(P-1)`` bus-contention law of eq. 19
+disappears.  Named presets cover the technologies the paper lists:
+
+====================  =========================  ====================
+preset                topology                   payload bandwidth
+====================  =========================  ====================
+``ethernet10``        shared bus (the baseline)  1.25 MB/s
+``switched10``        switch, 10 Mbps links      1.25 MB/s per link
+``fddi100``           shared ring, 100 Mbps      12.5 MB/s
+``atm155``            switch, 155 Mbps links     19.4 MB/s per link
+====================  =========================  ====================
+
+FDDI is a token ring — still a shared medium, just 10x faster — while
+switched Ethernet and ATM scale with the number of hosts.
+"""
+
+from __future__ import annotations
+
+from .calibration import MESSAGE_OVERHEAD
+from .ethernet import BusStats, SharedBus
+from .events import EventQueue
+
+__all__ = ["SwitchedNetwork", "make_network", "NETWORK_PRESETS"]
+
+
+class SwitchedNetwork:
+    """Non-blocking switch with full-duplex per-host links.
+
+    Call-compatible with :class:`~repro.cluster.ethernet.SharedBus`
+    except that ``send`` requires the ``src``/``dst`` host names to know
+    which links the message occupies.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        bandwidth: float = 1.25e6,
+        overhead: float = MESSAGE_OVERHEAD,
+        error_wait_threshold: float = 2.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if overhead < 0:
+            raise ValueError(f"overhead must be >= 0, got {overhead}")
+        self.queue = queue
+        self.bandwidth = bandwidth
+        self.overhead = overhead
+        self.error_wait_threshold = error_wait_threshold
+        self._tx_busy: dict[str, float] = {}
+        self._rx_busy: dict[str, float] = {}
+        self.stats = BusStats()
+
+    def transmit_time(self, nbytes: int, backlog: int = 0) -> float:
+        """Wire occupancy of one message (no collision term: the switch
+        serializes per link, it does not collide)."""
+        return self.overhead + nbytes / self.bandwidth
+
+    def send(
+        self,
+        nbytes: int,
+        deliver,
+        src: str = "?",
+        dst: str = "?",
+    ) -> float:
+        """Transmit ``src -> dst``; returns the delivery time."""
+        now = self.queue.now
+        start = max(
+            now,
+            self._tx_busy.get(src, 0.0),
+            self._rx_busy.get(dst, 0.0),
+        )
+        delay = start - now
+        finish = start + self.transmit_time(nbytes)
+        self._tx_busy[src] = finish
+        self._rx_busy[dst] = finish
+
+        s = self.stats
+        s.messages += 1
+        s.bytes += nbytes
+        s.busy_time += finish - start  # per-link busy time, summed
+        s.total_queue_delay += delay
+        s.max_queue_delay = max(s.max_queue_delay, delay)
+        if delay > self.error_wait_threshold:
+            s.network_errors += 1
+
+        self.queue.schedule(finish, deliver)
+        return finish
+
+
+#: Named presets for §9's technology comparison: (topology, payload
+#: bandwidth in bytes/s, per-message overhead in seconds).  The newer
+#: technologies also cut per-message latency.
+NETWORK_PRESETS: dict[str, tuple[str, float, float]] = {
+    "ethernet10": ("bus", 1.25e6, MESSAGE_OVERHEAD),
+    "switched10": ("switch", 1.25e6, MESSAGE_OVERHEAD),
+    "fddi100": ("bus", 12.5e6, 0.5e-3),
+    "atm155": ("switch", 19.4e6, 0.25e-3),
+}
+
+
+def make_network(
+    queue: EventQueue,
+    preset: str | None = None,
+    topology: str = "bus",
+    bandwidth: float = 1.25e6,
+    overhead: float = MESSAGE_OVERHEAD,
+    collision_factor: float = 0.0,
+    error_wait_threshold: float = 2.0,
+):
+    """Build a network model from a preset name or explicit parameters."""
+    if preset is not None:
+        if preset not in NETWORK_PRESETS:
+            raise ValueError(
+                f"unknown preset {preset!r}; choose from "
+                f"{sorted(NETWORK_PRESETS)}"
+            )
+        topology, bandwidth, overhead = NETWORK_PRESETS[preset]
+        if preset != "ethernet10":
+            # only CSMA/CD Ethernet collides; FDDI passes a token and
+            # switches serialize per link
+            collision_factor = 0.0
+    if topology == "bus":
+        return SharedBus(
+            queue,
+            bandwidth=bandwidth,
+            overhead=overhead,
+            collision_factor=collision_factor,
+            error_wait_threshold=error_wait_threshold,
+        )
+    if topology == "switch":
+        return SwitchedNetwork(
+            queue,
+            bandwidth=bandwidth,
+            overhead=overhead,
+            error_wait_threshold=error_wait_threshold,
+        )
+    raise ValueError(f"unknown topology {topology!r}")

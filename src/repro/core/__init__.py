@@ -1,0 +1,57 @@
+"""The paper's contribution: a local-interaction parallel runtime.
+
+Decomposition geometry (§§2-3), padded subregions and ghost exchange
+(§4.2), the compute/communicate cycle (§3) and the theoretical model of
+parallel efficiency (§8).
+"""
+
+from .decomposition import Block, Decomposition, paper_m_table
+from .efficiency import (
+    EfficiencyModel,
+    OverheadEfficiencyModel,
+    efficiency_eq17,
+    efficiency_eq18,
+    efficiency_eq20,
+    efficiency_eq21,
+    surface_nodes,
+    t_calc,
+    t_com_point_to_point,
+    t_com_shared_bus,
+    utilization,
+)
+from .exchange import EdgeOp, ExchangePlan, LocalExchanger, build_plan
+from .runner import ExplicitMethod, Simulation
+from .stencil import Stencil, full_stencil, max_unsync_steps, star_stencil
+from .threaded import ThreadedSimulation
+from .subregion import SubregionState, assemble_global, make_subregions
+
+__all__ = [
+    "Block",
+    "Decomposition",
+    "paper_m_table",
+    "EfficiencyModel",
+    "OverheadEfficiencyModel",
+    "efficiency_eq17",
+    "efficiency_eq18",
+    "efficiency_eq20",
+    "efficiency_eq21",
+    "surface_nodes",
+    "t_calc",
+    "t_com_point_to_point",
+    "t_com_shared_bus",
+    "utilization",
+    "EdgeOp",
+    "ExchangePlan",
+    "LocalExchanger",
+    "build_plan",
+    "ExplicitMethod",
+    "Simulation",
+    "ThreadedSimulation",
+    "Stencil",
+    "full_stencil",
+    "star_stencil",
+    "max_unsync_steps",
+    "SubregionState",
+    "assemble_global",
+    "make_subregions",
+]

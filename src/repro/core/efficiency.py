@@ -1,0 +1,239 @@
+"""Theoretical model of parallel efficiency (paper §8, eqs. 5-21).
+
+The model predicts the efficiency ``f = S / P = T_1 / (P T_p)`` of a
+local interaction computation from the parallel grain size ``N`` (nodes
+per subregion), the processor speed ``U_calc`` (nodes integrated per
+second), and the network speed, under two assumptions the paper states
+and validates: the computation is completely parallelizable, and
+communication does not overlap computation.  Then efficiency equals
+processor utilization (eq. 12)::
+
+    f = g = 1 / (1 + T_com / T_calc)
+
+with ``T_calc = N / U_calc`` (eq. 13) and ``T_com`` given either by the
+point-to-point model (eq. 14) or by the shared-bus refinement in which
+``T_com`` grows linearly with the number of processors sharing the
+Ethernet (eq. 19).  The communicating surface is ``N_c = m N^{1/2}`` in
+2D (eq. 15) and ``m N^{2/3}`` in 3D (eq. 16).
+
+Figures 12 and 13 of the paper are direct plots of these formulas with
+``U_calc / V_com = 2/3``; this module regenerates them and the cluster
+simulator (:mod:`repro.cluster`) provides the matching "measurements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "surface_nodes",
+    "t_calc",
+    "t_com_point_to_point",
+    "t_com_shared_bus",
+    "utilization",
+    "efficiency_eq17",
+    "efficiency_eq18",
+    "efficiency_eq20",
+    "efficiency_eq21",
+    "EfficiencyModel",
+    "OverheadEfficiencyModel",
+]
+
+
+def surface_nodes(n: float, m: float, ndim: int) -> float:
+    """Communicating nodes ``N_c`` of a subregion of ``n`` nodes.
+
+    Eq. 15 in 2D (``m sqrt(N)``), eq. 16 in 3D (``m N^(2/3)``).
+    """
+    if ndim == 2:
+        return m * n ** 0.5
+    if ndim == 3:
+        return m * n ** (2.0 / 3.0)
+    raise ValueError(f"ndim must be 2 or 3, got {ndim}")
+
+
+def t_calc(n: float, u_calc: float) -> float:
+    """Computation time per step, eq. 13: ``T_calc = N / U_calc``."""
+    return n / u_calc
+
+
+def t_com_point_to_point(
+    n: float, m: float, ndim: int, u_com: float
+) -> float:
+    """Communication time per step, eq. 14: ``T_com = N_c / U_com``."""
+    return surface_nodes(n, m, ndim) / u_com
+
+
+def t_com_shared_bus(
+    n: float, m: float, ndim: int, v_com: float, p: int
+) -> float:
+    """Shared-bus communication time, eq. 19: ``T_com ∝ (P - 1)``.
+
+    ``v_com`` is the communication speed when only two processors share
+    the network; with ``P`` processors all accessing the shared bus, the
+    wait grows linearly with ``P - 1``.
+    """
+    return surface_nodes(n, m, ndim) * max(p - 1, 0) / v_com
+
+
+def utilization(t_calc_: float, t_com_: float) -> float:
+    """Processor utilization = efficiency, eqs. 8 and 12."""
+    return 1.0 / (1.0 + t_com_ / t_calc_)
+
+
+def efficiency_eq17(n, m: float, ratio: float):
+    """2D point-to-point efficiency, eq. 17.
+
+    ``f = (1 + N^{-1/2} m U_calc/U_com)^{-1}``; ``ratio`` is
+    ``U_calc / U_com``.  Accepts scalar or array ``n``.
+    """
+    n = np.asarray(n, dtype=float)
+    return 1.0 / (1.0 + n ** -0.5 * m * ratio)
+
+
+def efficiency_eq18(n, m: float, ratio: float):
+    """3D point-to-point efficiency, eq. 18 (``N^{-1/3}`` scaling)."""
+    n = np.asarray(n, dtype=float)
+    return 1.0 / (1.0 + n ** (-1.0 / 3.0) * m * ratio)
+
+
+def efficiency_eq20(n, m: float, ratio: float, p):
+    """2D shared-bus efficiency, eq. 20.
+
+    ``f = (1 + N^{-1/2} (P-1) m U_calc/V_com)^{-1}`` with
+    ``ratio = U_calc / V_com`` (the paper fits 2/3 for its cluster).
+    """
+    n = np.asarray(n, dtype=float)
+    p = np.asarray(p, dtype=float)
+    return 1.0 / (1.0 + n ** -0.5 * (p - 1.0) * m * ratio)
+
+
+def efficiency_eq21(n, m: float, ratio: float, p):
+    """3D shared-bus efficiency, eq. 21.
+
+    Uses the 2D calibration of ``ratio``: the 3D computational speed is
+    half the 2D speed and each 3D fluid node communicates 5/3 as much
+    data (5 LB populations vs 3 values), so the prefactor is
+    ``(5/3) / 2 = 5/6`` relative to the 2D constants.
+    """
+    n = np.asarray(n, dtype=float)
+    p = np.asarray(p, dtype=float)
+    return 1.0 / (
+        1.0 + (5.0 / 6.0) * n ** (-1.0 / 3.0) * (p - 1.0) * m * ratio
+    )
+
+
+@dataclass(frozen=True)
+class EfficiencyModel:
+    """The paper's fitted efficiency model, bundled with its constants.
+
+    Parameters
+    ----------
+    ratio:
+        ``U_calc / V_com`` — 2/3 for the paper's HP cluster (§8).
+    shared_bus:
+        Use the eq. 19/20/21 shared-bus contention refinement (default);
+        ``False`` selects the eq. 14/17/18 point-to-point model.
+    """
+
+    ratio: float = 2.0 / 3.0
+    shared_bus: bool = True
+
+    def efficiency(self, n, m: float, p, ndim: int = 2):
+        """Predicted efficiency for grain ``n``, geometry ``m``, ``P`` procs."""
+        if self.shared_bus:
+            if ndim == 2:
+                return efficiency_eq20(n, m, self.ratio, p)
+            if ndim == 3:
+                return efficiency_eq21(n, m, self.ratio, p)
+        else:
+            if ndim == 2:
+                return efficiency_eq17(n, m, self.ratio)
+            if ndim == 3:
+                return efficiency_eq18(n, m, self.ratio)
+        raise ValueError(f"ndim must be 2 or 3, got {ndim}")
+
+    def speedup(self, n, m: float, p, ndim: int = 2):
+        """Predicted speedup ``S = f P`` (eq. 5 rearranged)."""
+        p_arr = np.asarray(p, dtype=float)
+        return self.efficiency(n, m, p, ndim) * p_arr
+
+    def grain_for_efficiency(
+        self, target: float, m: float, p: int, ndim: int = 2
+    ) -> float:
+        """Smallest grain ``N`` achieving a target efficiency.
+
+        Inverts eq. 20/21 (or 17/18); useful for answering the paper's
+        practical question of how big a subregion must be (2D: high
+        efficiency needs N > 100^2 on their cluster; 3D: the 40^3 memory
+        ceiling is *below* the needed grain, which is why 3D efficiency
+        is poor on shared Ethernet).
+        """
+        if not 0.0 < target < 1.0:
+            raise ValueError("target efficiency must be in (0, 1)")
+        k = m * self.ratio
+        if self.shared_bus:
+            k *= max(p - 1, 1)
+            if ndim == 3:
+                k *= 5.0 / 6.0
+        # f = 1/(1 + N^{-1/d'} k)  =>  N = (k f / (1 - f))^{d'}
+        x = k * target / (1.0 - target)
+        power = 2.0 if ndim == 2 else 3.0
+        return float(x**power)
+
+
+@dataclass(frozen=True)
+class OverheadEfficiencyModel:
+    """Eq. 20/21 extended with the per-message overhead term.
+
+    §8 observes that below ``N = 100^2`` the predicted efficiency "is
+    too high compared to the experimental efficiency [because] messages
+    in a local area network have a large overhead which becomes
+    important when the messages are small.  We have not attempted to
+    model the overhead of small messages here."  The paper closes by
+    noting the model "can be improved further, if desired, by employing
+    more sophisticated expressions for the communication time".
+
+    This is that improvement: a per-step overhead of ``messages``
+    fixed-latency messages, each queuing behind the other processors'
+    like the payload does::
+
+        T_com = (P - 1) * [ messages * t_msg  +  N_c / V_com ]
+
+    so ``f = (1 + (P-1) (messages t_msg U_calc / N + m N^{-1/d'}
+    ratio))^{-1}``.  With the payload term alone it reduces to
+    eq. 20/21; the overhead term bends the small-grain end of the curve
+    down onto the measurements (see the fig. 12 benchmark).
+
+    Parameters
+    ----------
+    ratio:
+        ``U_calc / V_com``, as in :class:`EfficiencyModel`.
+    u_calc:
+        Nodes integrated per second (to convert the message latency
+        into node-equivalents); defaults to the §7 reference speed.
+    t_msg:
+        Per-message fixed latency in seconds.
+    messages:
+        Messages per step per neighbour pair (1 for LB, 2 for FD — §6).
+    """
+
+    ratio: float = 2.0 / 3.0
+    u_calc: float = 39132.0
+    t_msg: float = 1.0e-3
+    messages: int = 1
+
+    def efficiency(self, n, m: float, p, ndim: int = 2):
+        """Predicted efficiency with the per-message overhead included."""
+        n = np.asarray(n, dtype=float)
+        p_arr = np.asarray(p, dtype=float)
+        if ndim == 2:
+            payload = n**-0.5 * m * self.ratio
+        elif ndim == 3:
+            payload = (5.0 / 6.0) * n ** (-1.0 / 3.0) * m * self.ratio
+        else:
+            raise ValueError(f"ndim must be 2 or 3, got {ndim}")
+        overhead = self.messages * self.t_msg * self.u_calc / n
+        return 1.0 / (1.0 + (p_arr - 1.0) * (payload + overhead))

@@ -1,0 +1,282 @@
+"""Ghost-cell exchange schedules (paper §4.2).
+
+Neighbouring subregions exchange the outer surface of their interiors:
+width-``pad`` strips copied onto the receiver's padded area.  Exchanges
+proceed axis by axis (x, then y, then z), and every strip spans the full
+padded extent of the *other* axes; this two-phase scheme propagates
+corner and edge ghost data through consecutive axis exchanges, so the
+full stencil of fig. 4 (diagonal dependencies, needed by the lattice
+Boltzmann populations) is served without any explicit diagonal message —
+each process only ever talks to its axis-aligned neighbours, exactly as
+the paper's system does.
+
+Three exchange transports implement the same plan:
+
+* :class:`LocalExchanger` (here) — direct array copies between
+  subregions living in one process; used by the serial reference runner
+  and the in-process parallel runner.
+* :class:`repro.net.transport.SocketExchanger` — real TCP/IP sockets
+  between worker processes (the paper's actual mechanism).
+* the cluster simulator, which never moves bytes but charges the plan's
+  message sizes to the simulated Ethernet bus.
+
+At a physical (non-periodic) domain boundary the ghost strips are filled
+by replicating the edge values, in the same axis order, which keeps a
+decomposed run bit-for-bit identical to the serial one.  Ghost strips
+facing an *inactive* (all-solid, fig. 2) block are left untouched: their
+values were set from the global initial state at decomposition time and
+solid-node values are maintained locally by the boundary-condition
+enforcement of the numerical methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from .decomposition import Decomposition
+from .subregion import SubregionState
+
+__all__ = [
+    "EdgeOp",
+    "ExchangePlan",
+    "build_plan",
+    "sweep_axes",
+    "LocalExchanger",
+]
+
+
+def sweep_axes(ndim: int, extended: bool) -> tuple[int, ...]:
+    """The per-axis exchange order.
+
+    A single ascending sweep propagates corner data when every block is
+    active: the corner travels owner -> axis-0 neighbour -> axis-1
+    neighbour, and each hop's strip spans the previous hops' ghosts.
+    When a decomposition has *inactive* blocks (fig. 2), the canonical
+    through-block of a diagonal pair may not exist and the corner must
+    route around it, which can require the axis hops in any order; the
+    extended sweep is a shortest supersequence containing every
+    permutation of the axes ([0,1,0] in 2D, [0,1,2,0,1,2,0] in 3D), so
+    some monotone path of exchanges covers every reachable corner.
+    """
+    base = tuple(range(ndim))
+    if not extended or ndim == 1:
+        return base
+    if ndim == 2:
+        return (0, 1, 0)
+    return (0, 1, 2, 0, 1, 2, 0)
+
+FillKind = Literal["recv", "replicate", "hold"]
+
+
+@dataclass(frozen=True)
+class EdgeOp:
+    """One side of one axis of a subregion's exchange plan.
+
+    Attributes
+    ----------
+    axis, side:
+        Which face of the block (``side`` is -1 for the low face,
+        +1 for the high face).
+    kind:
+        ``"recv"`` — ghost strip is received from an active neighbour;
+        ``"replicate"`` — physical domain boundary, ghost strip filled by
+        edge replication; ``"hold"`` — face towards an inactive (solid)
+        block, ghost strip left as decomposed.
+    recv_slices:
+        Slices of *my* padded arrays covering the ghost strip.
+    send_slices:
+        Slices of *my* padded arrays covering the interior strip that the
+        neighbour on this face needs from me (only for ``kind="recv"``).
+    neighbor_rank:
+        Dense rank of the active neighbour (only for ``kind="recv"``).
+    """
+
+    axis: int
+    side: int
+    kind: FillKind
+    recv_slices: tuple[slice, ...]
+    send_slices: tuple[slice, ...] | None = None
+    neighbor_rank: int = -1
+
+    def strip_nodes(self, padded_shape: Sequence[int]) -> int:
+        """Number of nodes in the exchanged strip (for traffic accounting)."""
+        n = 1
+        for d, sl in enumerate(self.recv_slices):
+            start, stop, _ = sl.indices(padded_shape[d])
+            n *= stop - start
+        return n
+
+
+@dataclass(frozen=True)
+class ExchangePlan:
+    """All edge operations for one subregion, in execution order."""
+
+    rank: int
+    ops: tuple[EdgeOp, ...]
+
+    def ops_for_axis(self, axis: int) -> list[EdgeOp]:
+        """Edge operations of one axis, in plan order."""
+        return [op for op in self.ops if op.axis == axis]
+
+    def recv_ops(self) -> list[EdgeOp]:
+        """Only the operations that exchange with a neighbour."""
+        return [op for op in self.ops if op.kind == "recv"]
+
+    @property
+    def n_neighbors(self) -> int:
+        return len({op.neighbor_rank for op in self.recv_ops()})
+
+
+def build_plan(
+    decomp: Decomposition, rank: int, pad: int
+) -> ExchangePlan:
+    """Build the exchange plan for the active block with the given rank."""
+    blk = decomp.by_rank(rank)
+    shape = blk.shape
+    ndim = decomp.ndim
+    if any(n < pad for n in shape):
+        raise ValueError(
+            f"block {blk.index} shape {shape} smaller than pad {pad}; "
+            "coarsen the decomposition"
+        )
+    full = tuple(slice(None) for _ in range(ndim))
+    ops: list[EdgeOp] = []
+    for axis in range(ndim):
+        n = shape[axis]
+        for side in (-1, +1):
+            recv = list(full)
+            recv[axis] = slice(0, pad) if side == -1 else slice(pad + n, 2 * pad + n)
+            off = tuple(side if d == axis else 0 for d in range(ndim))
+            nb_index = decomp.neighbor_index(blk.index, off)
+            if nb_index is None:
+                ops.append(
+                    EdgeOp(axis, side, "replicate", tuple(recv))
+                )
+                continue
+            nb = decomp[nb_index]
+            if not nb.active:
+                ops.append(EdgeOp(axis, side, "hold", tuple(recv)))
+                continue
+            # Interior strip the neighbour needs from me lives on the
+            # same face: my low-face neighbour receives my first `pad`
+            # interior rows, my high-face neighbour my last `pad`.
+            send = list(full)
+            send[axis] = (
+                slice(pad, 2 * pad) if side == -1 else slice(n, pad + n)
+            )
+            ops.append(
+                EdgeOp(
+                    axis,
+                    side,
+                    "recv",
+                    tuple(recv),
+                    tuple(send),
+                    nb.rank,
+                )
+            )
+    return ExchangePlan(rank=rank, ops=tuple(ops))
+
+
+def _replicate_edge(
+    arr: np.ndarray, op: EdgeOp, pad: int, interior_extent: int
+) -> None:
+    """Fill a domain-boundary ghost strip by edge replication.
+
+    Matches ``np.pad(..., mode='edge')`` applied axis by axis in
+    ascending-axis order (the convention of
+    :func:`repro.core.subregion.make_subregions`).
+    """
+    edge = list(op.recv_slices)
+    idx = pad if op.side == -1 else pad + interior_extent - 1
+    edge[op.axis] = slice(idx, idx + 1)
+    arr[(...,) + op.recv_slices] = arr[(...,) + tuple(edge)]
+
+
+class LocalExchanger:
+    """Exchange ghost strips between subregions living in one process.
+
+    Drives both the serial reference configuration (a 1x1 decomposition,
+    where every face is a domain boundary or a periodic self-wrap) and
+    in-process parallel runs used by the bitwise serial==parallel tests.
+    """
+
+    def __init__(self, decomp: Decomposition, subs: Sequence[SubregionState]):
+        self.decomp = decomp
+        self.subs = list(subs)
+        if not self.subs:
+            raise ValueError("no active subregions to exchange between")
+        pad = self.subs[0].pad
+        if any(s.pad != pad for s in self.subs):
+            raise ValueError("all subregions must share the same pad width")
+        self.pad = pad
+        self._by_rank = {s.block.rank: s for s in self.subs}
+        self.plans = {
+            s.block.rank: build_plan(decomp, s.block.rank, pad)
+            for s in self.subs
+        }
+
+    def exchange(self, field_names: Sequence[str]) -> None:
+        """Run one full ghost exchange of the named fields.
+
+        All subregions advance together, axis by axis: every axis-``d``
+        copy reads interior strips (plus ghost columns refreshed by
+        earlier passes), so there is no read/write hazard within an
+        axis.  The extended sweep (see :func:`sweep_axes`) is used
+        whenever the decomposition has inactive blocks.
+        """
+        extended = self.decomp.n_active < self.decomp.n_blocks
+        for axis in sweep_axes(self.decomp.ndim, extended):
+            for sub in self.subs:
+                plan = self.plans[sub.block.rank]
+                for op in plan.ops_for_axis(axis):
+                    self._apply(sub, op, field_names)
+
+    def _apply(
+        self, sub: SubregionState, op: EdgeOp, field_names: Sequence[str]
+    ) -> None:
+        if op.kind == "hold":
+            return
+        if op.kind == "replicate":
+            extent = sub.block.shape[op.axis]
+            for name in field_names:
+                _replicate_edge(sub.fields[name], op, self.pad, extent)
+            return
+        src = self._by_rank[op.neighbor_rank]
+        # The strip I receive is the neighbour's matching send strip.
+        src_plan = self.plans[op.neighbor_rank]
+        src_op = next(
+            o
+            for o in src_plan.ops_for_axis(op.axis)
+            if o.side == -op.side and o.kind == "recv"
+            and o.neighbor_rank == sub.block.rank
+        )
+        assert src_op.send_slices is not None
+        for name in field_names:
+            sub.fields[name][(...,) + op.recv_slices] = src.fields[name][
+                (...,) + src_op.send_slices
+            ]
+
+    def message_bytes(
+        self, rank: int, values_per_node: int, itemsize: int = 8
+    ) -> dict[int, int]:
+        """Bytes this rank sends to each neighbour per exchange.
+
+        Used for traffic accounting against the shared-bus Ethernet
+        model; ``values_per_node`` is the per-node payload of §6
+        (3 values in 2D for both methods, 4 for FD / 5 for LB in 3D).
+        """
+        sub = self._by_rank[rank]
+        out: dict[int, int] = {}
+        for op in self.plans[rank].recv_ops():
+            assert op.send_slices is not None
+            n = 1
+            for d, sl in enumerate(op.send_slices):
+                start, stop, _ = sl.indices(sub.padded_shape[d])
+                n *= stop - start
+            out[op.neighbor_rank] = (
+                out.get(op.neighbor_rank, 0) + n * values_per_node * itemsize
+            )
+        return out

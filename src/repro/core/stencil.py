@@ -1,0 +1,138 @@
+"""Stencils of local interaction and their consequences (paper §3, App. A).
+
+The paper defines a *local interaction computation* as a set of parallel
+nodes positioned in space so that nodes interact only with neighbours.
+Two canonical nearest-neighbour interaction patterns are distinguished
+(fig. 4): the *star* stencil (axis-aligned neighbours only) and the
+*full* stencil (axis-aligned plus diagonal neighbours).
+
+The stencil shape matters in two places:
+
+* the ghost-exchange schedule — a full stencil requires corner/edge ghost
+  data, which this package supplies via sequential per-axis exchanges
+  (an x-exchange followed by a y-exchange that includes the freshly
+  received x-ghost columns, and so on for z);
+* the worst-case *un-synchronization* between subregion processes
+  (App. A): because communication only loosely synchronizes neighbours,
+  distant subregions may be several integration steps apart, and the
+  attainable spread depends on the dependency graph induced by the
+  stencil (eqs. 22-23).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Stencil",
+    "star_stencil",
+    "full_stencil",
+    "max_unsync_steps",
+]
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """A local interaction pattern.
+
+    Parameters
+    ----------
+    ndim:
+        Spatial dimensionality (2 or 3).
+    reach:
+        Interaction distance in nodes (1 for nearest-neighbour methods;
+        the fourth-order filter of the paper reaches 2).
+    full:
+        ``True`` for the full stencil (diagonal dependencies included),
+        ``False`` for the star stencil (axis-aligned only).
+    """
+
+    ndim: int
+    reach: int
+    full: bool
+
+    def __post_init__(self) -> None:
+        if self.ndim not in (1, 2, 3):
+            raise ValueError(f"ndim must be 1, 2 or 3, got {self.ndim}")
+        if self.reach < 1:
+            raise ValueError(f"reach must be >= 1, got {self.reach}")
+
+    def offsets(self) -> Iterator[tuple[int, ...]]:
+        """Yield every nonzero neighbour offset covered by the stencil."""
+        rng = range(-self.reach, self.reach + 1)
+        for off in itertools.product(rng, repeat=self.ndim):
+            if all(o == 0 for o in off):
+                continue
+            if self.full or sum(1 for o in off if o != 0) == 1:
+                yield off
+
+    def neighbor_block_offsets(self) -> Iterator[tuple[int, ...]]:
+        """Yield the unit block offsets a subregion must exchange with.
+
+        Regardless of ``reach``, a subregion whose side exceeds the reach
+        only ever touches blocks at unit offsets; the reach controls the
+        *width* of the exchanged strip, not which blocks are neighbours.
+        """
+        for off in itertools.product((-1, 0, 1), repeat=self.ndim):
+            if all(o == 0 for o in off):
+                continue
+            if self.full or sum(1 for o in off if o != 0) == 1:
+                yield off
+
+    @property
+    def n_neighbors(self) -> int:
+        """Number of neighbouring blocks for an interior subregion."""
+        return sum(1 for _ in self.neighbor_block_offsets())
+
+    def graph_distance(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Distance between block indices in the stencil dependency graph.
+
+        For the full stencil diagonal moves are allowed, so the distance
+        is the Chebyshev distance; for the star stencil it is the
+        Manhattan distance.
+        """
+        deltas = [abs(int(x) - int(y)) for x, y in zip(a, b)]
+        if self.full:
+            return max(deltas)
+        return sum(deltas)
+
+
+def star_stencil(ndim: int, reach: int = 1) -> Stencil:
+    """The axis-aligned (star) stencil of fig. 4."""
+    return Stencil(ndim=ndim, reach=reach, full=False)
+
+
+def full_stencil(ndim: int, reach: int = 1) -> Stencil:
+    """The full stencil of fig. 4, including diagonal neighbours."""
+    return Stencil(ndim=ndim, reach=reach, full=True)
+
+
+def max_unsync_steps(blocks: Sequence[int], stencil: Stencil) -> int:
+    """Worst-case integration-step spread between two processes (App. A).
+
+    If one process stops after communicating its data for step ``n``, its
+    neighbours may advance one further step, their neighbours one more,
+    and so on: the attainable spread between two subregions equals their
+    distance in the stencil dependency graph.  For a ``(J x K)``
+    decomposition the paper derives
+
+    * full stencil (eq. 22):  ``max(J, K) - 1``
+    * star stencil (eq. 23):  ``(J - 1) + (K - 1)``
+
+    which are the graph diameters under Chebyshev and Manhattan metrics
+    respectively.  This function computes the same quantity for any
+    dimensionality.
+    """
+    if len(blocks) != stencil.ndim:
+        raise ValueError(
+            f"decomposition {blocks!r} has {len(blocks)} axes but the "
+            f"stencil is {stencil.ndim}-dimensional"
+        )
+    if any(b < 1 for b in blocks):
+        raise ValueError(f"block counts must be positive, got {blocks!r}")
+    extents = [b - 1 for b in blocks]
+    if stencil.full:
+        return max(extents)
+    return sum(extents)

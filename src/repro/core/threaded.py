@@ -1,0 +1,137 @@
+"""Threaded parallel runner: real concurrency inside one process.
+
+`repro.core.Simulation` steps its subregions sequentially — correct and
+convenient, but not concurrent.  This runner gives each subregion a
+worker *thread* and synchronizes the compute/communicate cycle with
+barriers; NumPy's vectorized kernels release the GIL, so the threads
+genuinely overlap on a multi-core machine.
+
+The exchange itself remains the single-threaded
+:class:`~repro.core.exchange.LocalExchanger` pass (run by one thread
+between barriers): exchanges copy ghost strips between subregions, and
+racing them against kernels would break the very read/write-hazard
+analysis that guarantees bitwise equality.  The resulting schedule is
+
+```
+barrier -> [all threads] compute_phase(k) -> barrier
+        -> [one thread]  exchange(fields_k)            (for each phase)
+barrier -> [all threads] finalize_step   -> barrier
+```
+
+which performs the identical arithmetic to :class:`Simulation` — the
+tests assert bit-for-bit equality — while computing subregions in
+parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+import numpy as np
+
+from .decomposition import Decomposition
+from .exchange import LocalExchanger
+from .runner import ExplicitMethod
+from .subregion import assemble_global, make_subregions
+
+__all__ = ["ThreadedSimulation"]
+
+
+class ThreadedSimulation:
+    """Step a decomposed problem with one thread per subregion.
+
+    Same constructor signature and result semantics as
+    :class:`repro.core.Simulation`; ``step(n)`` dispatches the worker
+    threads for ``n`` steps and joins them.
+    """
+
+    def __init__(
+        self,
+        method: ExplicitMethod,
+        decomp: Decomposition,
+        global_fields: Mapping[str, np.ndarray],
+        solid: np.ndarray | None = None,
+    ) -> None:
+        self.method = method
+        self.decomp = decomp
+        self.subs = make_subregions(decomp, method.pad, global_fields, solid)
+        if not self.subs:
+            raise ValueError("decomposition has no active subregions")
+        for sub in self.subs:
+            method.init_subregion(sub)
+        self.exchanger = LocalExchanger(decomp, self.subs)
+        self.exchanger.exchange(method.field_names)
+        self._barrier = threading.Barrier(len(self.subs))
+        self._lock = threading.Lock()
+        self._errors: list[BaseException] = []
+
+    @property
+    def step_count(self) -> int:
+        return self.subs[0].step
+
+    # ------------------------------------------------------------------
+    def _worker(self, idx: int, n_steps: int) -> None:
+        method = self.method
+        sub = self.subs[idx]
+        try:
+            for _ in range(n_steps):
+                for phase, fields in enumerate(method.exchange_phases):
+                    method.compute_phase(sub, phase)
+                    self._barrier.wait()
+                    if idx == 0:
+                        # one thread runs the exchange: strips are
+                        # copies between subregions and must not race
+                        # the kernels
+                        self.exchanger.exchange(fields)
+                    self._barrier.wait()
+                method.finalize_step(sub)
+                sub.step += 1
+                self._barrier.wait()
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            with self._lock:
+                self._errors.append(exc)
+            self._barrier.abort()
+
+    def step(self, n: int = 1) -> None:
+        """Advance every subregion ``n`` steps, concurrently."""
+        if len(self.subs) == 1:
+            # degenerate case: no point spawning a thread
+            method = self.method
+            sub = self.subs[0]
+            for _ in range(n):
+                for phase, fields in enumerate(method.exchange_phases):
+                    method.compute_phase(sub, phase)
+                    self.exchanger.exchange(fields)
+                method.finalize_step(sub)
+                sub.step += 1
+            return
+        self._barrier.reset()
+        self._errors.clear()
+        threads = [
+            threading.Thread(target=self._worker, args=(i, n))
+            for i in range(len(self.subs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if self._errors:
+            # Prefer the root cause over the BrokenBarrierErrors that
+            # the abort cascades to the other workers.
+            for exc in self._errors:
+                if not isinstance(exc, threading.BrokenBarrierError):
+                    raise exc
+            raise self._errors[0]
+
+    # ------------------------------------------------------------------
+    def global_field(self, name: str, fill: float = 0.0) -> np.ndarray:
+        """Reassemble a global array from the subregion interiors."""
+        return assemble_global(self.decomp, self.subs, name, fill)
+
+    def global_state(self) -> dict[str, np.ndarray]:
+        """All method fields reassembled into global arrays."""
+        return {
+            name: self.global_field(name)
+            for name in self.method.field_names
+        }

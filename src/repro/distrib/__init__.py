@@ -1,0 +1,53 @@
+"""The distributed system (paper §§4-5, App. A-B).
+
+The four control programs (initialization, decomposition, job-submit,
+monitoring), the parallel worker program with SIGUSR2-triggered
+migration, dump files, the flock-based synchronization algorithm, the
+virtual host registry, and a one-call orchestrator.
+"""
+
+from .decompose import decompose_problem
+from .dumpfile import dump_path, load_dump, save_dump
+from .hostdb import (
+    IDLE_USER_MINUTES,
+    MIGRATE_LOAD_LIMIT,
+    SUBMIT_LOAD_LIMIT,
+    HostDB,
+    HostInfo,
+    paper_cluster,
+)
+from .initprog import initial_fields
+from .monitor import Monitor, MonitorError
+from .orchestrator import DistributedRun, RunSettings, run_distributed
+from .spec import ProblemSpec
+from .submit import spawn_worker, submit_all
+from .sync import SaveTurns, SyncFiles
+from .worker import EXIT_DONE, EXIT_MIGRATED, Worker, WorkerConfig
+
+__all__ = [
+    "ProblemSpec",
+    "initial_fields",
+    "decompose_problem",
+    "dump_path",
+    "save_dump",
+    "load_dump",
+    "HostDB",
+    "HostInfo",
+    "paper_cluster",
+    "SUBMIT_LOAD_LIMIT",
+    "MIGRATE_LOAD_LIMIT",
+    "IDLE_USER_MINUTES",
+    "Monitor",
+    "MonitorError",
+    "DistributedRun",
+    "RunSettings",
+    "run_distributed",
+    "spawn_worker",
+    "submit_all",
+    "SyncFiles",
+    "SaveTurns",
+    "Worker",
+    "WorkerConfig",
+    "EXIT_DONE",
+    "EXIT_MIGRATED",
+]

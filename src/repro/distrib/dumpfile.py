@@ -1,0 +1,95 @@
+"""Dump files: the unit of distribution, checkpointing and migration.
+
+The decomposition program "generates local states for each subregion,
+and saves them in separate files, called dump files.  These files
+contain all the information that is needed by a workstation to
+participate in a distributed computation" (§4.1).  The same format
+serves three roles: initial distribution, the periodic state saves the
+monitoring program restarts from after an unrecoverable error, and the
+save/restore pair at the heart of process migration (§5.1) — migration
+"is equivalent to stopping the computation, saving the entire state on
+disk, and then restarting; except, we only save the state of the
+migrating process".
+
+Format: a single ``.npz`` holding every padded field array, the solid
+mask, and a JSON-encoded manifest (block geometry, pad, step counter,
+scalar extras).  Writes go to a temporary name followed by an atomic
+rename so a crash mid-save can never corrupt the last good dump.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.decomposition import Block
+from ..core.subregion import SubregionState
+
+__all__ = ["save_dump", "load_dump", "dump_path"]
+
+_FIELD_PREFIX = "field__"
+
+
+def dump_path(directory: str | Path, rank: int, tag: str = "state") -> Path:
+    """Canonical dump-file name for a rank (``<dir>/<tag>_rank<k>.npz``)."""
+    return Path(directory) / f"{tag}_rank{rank:04d}.npz"
+
+
+def save_dump(sub: SubregionState, path: str | Path) -> None:
+    """Atomically save a subregion's complete state."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "index": list(sub.block.index),
+        "lo": list(sub.block.lo),
+        "hi": list(sub.block.hi),
+        "rank": sub.block.rank,
+        "active": sub.block.active,
+        "pad": sub.pad,
+        "step": sub.step,
+        "extra": {k: float(v) for k, v in sub.extra.items()},
+    }
+    arrays = {_FIELD_PREFIX + k: v for k, v in sub.fields.items()}
+    arrays["solid"] = sub.solid
+    tmp = path.with_suffix(".tmp.npz")
+    with open(tmp, "wb") as fh:
+        np.savez(fh, manifest=json.dumps(manifest), **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_dump(path: str | Path) -> SubregionState:
+    """Restore a subregion from a dump file.
+
+    Method-private ``aux`` arrays (masks, scratch) are *not* stored;
+    the worker rebuilds them via ``method.init_subregion`` after the
+    restore, exactly like a freshly decomposed subregion.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        manifest = json.loads(str(data["manifest"]))
+        fields = {
+            name[len(_FIELD_PREFIX):]: np.ascontiguousarray(data[name])
+            for name in data.files
+            if name.startswith(_FIELD_PREFIX)
+        }
+        solid = np.ascontiguousarray(data["solid"])
+    block = Block(
+        index=tuple(manifest["index"]),
+        lo=tuple(manifest["lo"]),
+        hi=tuple(manifest["hi"]),
+        rank=int(manifest["rank"]),
+        active=bool(manifest["active"]),
+    )
+    sub = SubregionState(
+        block=block,
+        pad=int(manifest["pad"]),
+        fields=fields,
+        solid=solid,
+        step=int(manifest["step"]),
+    )
+    sub.extra.update(manifest.get("extra", {}))
+    return sub

@@ -1,0 +1,324 @@
+"""The monitoring program (paper §4.1, §5.1).
+
+"The monitoring program checks every few minutes whether the parallel
+processes are progressing correctly.  If an unrecoverable error occurs,
+the distributed simulation is stopped, and a new simulation is started
+from the last state which is saved automatically every 10-20 minutes.
+If a workstation becomes too busy, automatic migration of the affected
+process takes place."
+
+The monitor owns the control plane of a distributed run:
+
+* watches worker exit codes, heartbeats and the virtual host registry;
+* triggers migrations when a host's five-minute load exceeds 1.5
+  (§5.1), when a worker asks to leave (a user's direct ``kill -USR2``
+  leaves a wish file), or when a test calls :meth:`request_migration`;
+* drives the migration sequence — publish the request, interrupt every
+  process with SIGUSR2, wait for the migrator's dump-and-exit and for
+  the others to stop themselves, restart the migrator from its dump on
+  a freshly selected host, then SIGCONT the waiting processes;
+* on a worker crash or stall, kills the run and restarts everything
+  from the last *complete* staggered checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import time
+from pathlib import Path
+
+from ..net.portfile import PortRegistry
+from .dumpfile import dump_path
+from .hostdb import MIGRATE_LOAD_LIMIT, HostDB
+from .submit import spawn_worker
+from .sync import SaveTurns
+from .worker import EXIT_DONE, EXIT_MIGRATED, WorkerConfig
+
+__all__ = ["Monitor", "MonitorError"]
+
+
+class MonitorError(RuntimeError):
+    """The distributed computation could not be driven to completion."""
+
+
+def _proc_state(pid: int) -> str:
+    """Linux process state letter ('R', 'S', 'T', 'Z', ...)."""
+    try:
+        text = Path(f"/proc/{pid}/stat").read_text()
+    except OSError:
+        return "X"
+    # state is the field after the parenthesized comm, which may itself
+    # contain spaces — split after the last ')'.
+    return text.rsplit(")", 1)[1].split()[0]
+
+
+class Monitor:
+    """Control plane of one distributed run."""
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        hostdb: HostDB,
+        procs: dict[int, subprocess.Popen],
+        base_cfg: dict,
+        poll: float = 0.05,
+        load_limit: float = MIGRATE_LOAD_LIMIT,
+        stall_timeout: float = 60.0,
+        max_restarts: int = 2,
+    ) -> None:
+        self.workdir = Path(workdir)
+        self.hostdb = hostdb
+        self.procs = dict(procs)
+        self.base_cfg = dict(base_cfg)
+        self.poll = poll
+        self.load_limit = load_limit
+        self.stall_timeout = stall_timeout
+        self.max_restarts = max_restarts
+        self.generation = 0
+        self.migrations = 0
+        self.restarts = 0
+        self._done: set[int] = set()
+        self._forced: list[int] = []
+        self._log_path = self.workdir / "logs" / "monitor.log"
+        self._log_path.parent.mkdir(parents=True, exist_ok=True)
+
+    def log(self, msg: str) -> None:
+        """Append a line to the monitor log."""
+        with open(self._log_path, "a") as fh:
+            fh.write(f"{time.time():.3f} {msg}\n")
+
+    # ------------------------------------------------------------------
+    # public controls
+    # ------------------------------------------------------------------
+    def request_migration(self, rank: int) -> None:
+        """Ask for a migration of ``rank`` at the next opportunity."""
+        self._forced.append(rank)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, timeout: float = 300.0) -> None:
+        """Drive the computation until every worker finished."""
+        deadline = time.monotonic() + timeout
+        last_progress = time.monotonic()
+        last_steps: dict[int, int] = {}
+        while len(self._done) < len(self.procs):
+            if time.monotonic() > deadline:
+                self._kill_all()
+                raise MonitorError("distributed run timed out")
+
+            # 1. exit-code bookkeeping
+            crashed = []
+            for rank, proc in self.procs.items():
+                if rank in self._done:
+                    continue
+                code = proc.poll()
+                if code is None:
+                    continue
+                if code == EXIT_DONE:
+                    self._done.add(rank)
+                elif code == EXIT_MIGRATED:
+                    # handled inside _migrate(); seeing it here means the
+                    # worker left without us asking — treat as a crash.
+                    crashed.append(rank)
+                else:
+                    crashed.append(rank)
+            if crashed:
+                self.log(f"workers crashed: {crashed}")
+                self._restart_from_checkpoint()
+                last_progress = time.monotonic()
+                continue
+
+            # 2. migration triggers: forced requests, user wish files,
+            #    overloaded hosts (five-minute load > 1.5, §5.1).
+            want = set(self._forced)
+            self._forced.clear()
+            for wish in (self.workdir / "sync").glob("wish_rank*"):
+                want.add(int(wish.name[len("wish_rank"):]))
+                wish.unlink()
+            for host in self.hostdb.overloaded(self.load_limit):
+                if host.rank is not None:
+                    want.add(host.rank)
+            want -= self._done
+            if want:
+                self._migrate(sorted(want))
+                last_progress = time.monotonic()
+                continue
+
+            # 3. stall detection via heartbeats
+            steps = self._read_heartbeats()
+            if steps != last_steps:
+                last_steps = steps
+                last_progress = time.monotonic()
+            elif time.monotonic() - last_progress > self.stall_timeout:
+                self.log("stall detected")
+                self._restart_from_checkpoint()
+                last_progress = time.monotonic()
+                continue
+
+            time.sleep(self.poll)
+        self.log("all workers done")
+
+    # ------------------------------------------------------------------
+    # migration sequence (§5.1)
+    # ------------------------------------------------------------------
+    def _migrate(self, ranks: list[int]) -> None:
+        epoch = self.generation
+        self.log(f"migration epoch {epoch}: ranks {ranks}")
+
+        running = {
+            r: p for r, p in self.procs.items()
+            if r not in self._done and p.poll() is None
+        }
+        # A SIGUSR2 that lands while a worker is still importing Python
+        # modules would kill it (no handler yet).  Port registration
+        # happens strictly after the handler is installed, so wait until
+        # every running worker is registered for the current generation.
+        transport = self.base_cfg.get("transport", "tcp")
+        registry = PortRegistry(self.workdir / f"ports_{transport}.txt")
+        registry.wait_for(
+            epoch, set(running), timeout=self.stall_timeout
+        )
+
+        request = self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
+        request.parent.mkdir(parents=True, exist_ok=True)
+        request.write_text(json.dumps({"ranks": ranks}))
+        for proc in running.values():
+            proc.send_signal(signal.SIGUSR2)
+
+        # Wait for the migrating processes to dump and exit ...
+        sync_deadline = time.monotonic() + self.stall_timeout
+        for rank in ranks:
+            proc = running[rank]
+            while proc.poll() is None:
+                if time.monotonic() > sync_deadline:
+                    self._kill_all()
+                    raise MonitorError(
+                        f"rank {rank} never left during epoch {epoch}"
+                    )
+                time.sleep(self.poll)
+            if proc.returncode != EXIT_MIGRATED:
+                self._kill_all()
+                raise MonitorError(
+                    f"rank {rank} exited {proc.returncode} instead of "
+                    f"migrating"
+                )
+        # ... and for everyone else to pause (marker + actually stopped).
+        waiters = [r for r in running if r not in ranks]
+        for rank in waiters:
+            marker = (
+                self.workdir / f"paused_rank{rank:04d}_epoch{epoch:04d}"
+            )
+            pid = running[rank].pid
+            while not (marker.exists() and _proc_state(pid) == "T"):
+                if time.monotonic() > sync_deadline:
+                    self._kill_all()
+                    raise MonitorError(
+                        f"rank {rank} never paused during epoch {epoch}"
+                    )
+                time.sleep(self.poll)
+
+        # Select free hosts and restart the migrated processes there.
+        old_hosts = {}
+        for rank in ranks:
+            host = self.hostdb.host_of_rank(rank)
+            if host is not None:
+                old_hosts[rank] = host.name
+                self.hostdb.assign(host.name, None)
+        new_hosts = self.hostdb.select_free(
+            len(ranks), exclude=set(old_hosts.values())
+        )
+        for rank, host in zip(ranks, new_hosts):
+            self.hostdb.assign(host.name, rank)
+            cfg = WorkerConfig(
+                workdir=str(self.workdir),
+                rank=rank,
+                host=host.name,
+                generation=epoch + 1,
+                dump_in=str(
+                    dump_path(
+                        self.workdir / "dumps",
+                        rank,
+                        tag=f"migrate{epoch:04d}",
+                    )
+                ),
+                **self.base_cfg,
+            )
+            self.procs[rank] = spawn_worker(cfg)
+            self.log(f"rank {rank} restarted on {host.name}")
+
+        for rank in waiters:
+            self.procs[rank].send_signal(signal.SIGCONT)
+        self.generation = epoch + 1
+        self.migrations += 1
+
+    # ------------------------------------------------------------------
+    # unrecoverable errors (§4.1)
+    # ------------------------------------------------------------------
+    def _restart_from_checkpoint(self) -> None:
+        if self.restarts >= self.max_restarts:
+            self._kill_all()
+            raise MonitorError(
+                f"giving up after {self.restarts} restarts"
+            )
+        self.restarts += 1
+        self._kill_all()
+        step = SaveTurns.latest_complete_step(self.workdir)
+        tag = f"ckpt{step:09d}" if step is not None else "state"
+        self.log(f"restarting everything from '{tag}' dumps")
+        # The whole simulation restarts — even ranks that had finished
+        # must come back, because the ranks re-running from the
+        # checkpoint need their boundary data for the replayed steps.
+        self._done.clear()
+        for marker in self.workdir.glob("done_rank*"):
+            marker.unlink()
+        # Fresh generation: every process re-registers its ports.
+        self.generation += 1
+        for rank in list(self.procs):
+            host = self.hostdb.host_of_rank(rank)
+            cfg = WorkerConfig(
+                workdir=str(self.workdir),
+                rank=rank,
+                host=host.name if host else f"host{rank}",
+                generation=self.generation,
+                dump_in=str(
+                    dump_path(self.workdir / "dumps", rank, tag=tag)
+                ),
+                **self.base_cfg,
+            )
+            self.procs[rank] = spawn_worker(cfg)
+
+    def _kill_all(self) -> None:
+        for rank, proc in self.procs.items():
+            if proc.poll() is None:
+                # Wake SIGSTOPped workers first so their teardown
+                # (open files, sockets) is orderly where possible.
+                try:
+                    proc.send_signal(signal.SIGCONT)
+                except OSError:  # pragma: no cover
+                    pass
+                proc.kill()
+        for proc in self.procs.values():
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    def _read_heartbeats(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        hb_dir = self.workdir / "hb"
+        if not hb_dir.exists():
+            return out
+        for path in hb_dir.glob("rank*.txt"):
+            try:
+                step = int(path.read_text().split()[0])
+            except (ValueError, IndexError, OSError):
+                continue
+            out[int(path.stem[len("rank"):])] = step
+        return out

@@ -1,0 +1,139 @@
+"""One-call driver for a distributed run (init -> decompose -> submit ->
+monitor -> collect).
+
+The paper performs initialization, decomposition, job submission and
+monitoring on one designated workstation; :class:`DistributedRun` plays
+that workstation.  The result of a completed run is the set of final
+dump files, reassembled into global arrays for comparison against the
+serial program — the integration tests assert bit-for-bit equality.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..core.subregion import assemble_global
+from .decompose import decompose_problem
+from .dumpfile import dump_path, load_dump
+from .hostdb import HostDB, HostInfo, paper_cluster
+from .monitor import Monitor
+from .spec import ProblemSpec
+from .submit import submit_all
+
+__all__ = ["RunSettings", "DistributedRun", "run_distributed"]
+
+
+@dataclass
+class RunSettings:
+    """Knobs of a distributed run (worker + monitor configuration)."""
+
+    steps: int
+    save_every: int = 0
+    save_gap: float = 0.0
+    hb_every: int = 1
+    strict_order: bool = False
+    transport: str = "tcp"  # or "udp" (App. D)
+    open_timeout: float = 30.0
+    recv_timeout: float = 60.0
+    sync_timeout: float = 60.0
+    monitor_poll: float = 0.02
+    stall_timeout: float = 60.0
+    run_timeout: float = 300.0
+    hosts: list[HostInfo] = field(default_factory=paper_cluster)
+
+    def worker_base_cfg(self) -> dict:
+        """The WorkerConfig fields shared by every rank."""
+        return dict(
+            steps_total=self.steps,
+            save_every=self.save_every,
+            save_gap=self.save_gap,
+            hb_every=self.hb_every,
+            strict_order=self.strict_order,
+            transport=self.transport,
+            open_timeout=self.open_timeout,
+            recv_timeout=self.recv_timeout,
+            sync_timeout=self.sync_timeout,
+        )
+
+
+class DistributedRun:
+    """A full distributed computation in a working directory."""
+
+    def __init__(
+        self,
+        spec: ProblemSpec,
+        global_fields: Mapping[str, np.ndarray],
+        workdir: str | Path,
+        settings: RunSettings,
+    ) -> None:
+        self.spec = spec
+        self.settings = settings
+        self.workdir = Path(workdir)
+        if self.workdir.exists() and any(self.workdir.iterdir()):
+            raise ValueError(f"workdir {self.workdir} is not empty")
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.decomp = spec.build_decomposition()
+        decompose_problem(spec, global_fields, self.workdir)
+        self.hostdb = HostDB(self.workdir / "hosts.json")
+        self.hostdb.initialize(settings.hosts)
+        self.monitor: Monitor | None = None
+
+    def start(self) -> Monitor:
+        """Submit the workers and return the live monitor."""
+        procs = submit_all(
+            self.workdir,
+            self.hostdb,
+            self.decomp.n_active,
+            self.settings.worker_base_cfg(),
+        )
+        self.monitor = Monitor(
+            self.workdir,
+            self.hostdb,
+            procs,
+            self.settings.worker_base_cfg(),
+            poll=self.settings.monitor_poll,
+            stall_timeout=self.settings.stall_timeout,
+        )
+        return self.monitor
+
+    def wait(self) -> None:
+        """Block until the monitor drives every worker to completion."""
+        assert self.monitor is not None, "call start() first"
+        self.monitor.run(timeout=self.settings.run_timeout)
+
+    def collect(self, fill: float = 0.0) -> dict[str, np.ndarray]:
+        """Reassemble the final dumps into global field arrays."""
+        subs = [
+            load_dump(dump_path(self.workdir / "dumps", rank, tag="final"))
+            for rank in range(self.decomp.n_active)
+        ]
+        steps = {s.step for s in subs}
+        if len(steps) != 1:
+            raise RuntimeError(f"final dumps at different steps: {steps}")
+        names = subs[0].field_names()
+        return {
+            name: assemble_global(self.decomp, subs, name, fill)
+            for name in names
+        }
+
+    def cleanup(self) -> None:
+        """Delete the working directory."""
+        shutil.rmtree(self.workdir, ignore_errors=True)
+
+
+def run_distributed(
+    spec: ProblemSpec,
+    global_fields: Mapping[str, np.ndarray],
+    workdir: str | Path,
+    settings: RunSettings,
+) -> dict[str, np.ndarray]:
+    """Run to completion and return the reassembled global state."""
+    run = DistributedRun(spec, global_fields, workdir, settings)
+    run.start()
+    run.wait()
+    return run.collect()

@@ -1,0 +1,146 @@
+"""Serializable problem specification shared by all distributed programs.
+
+The paper's parallel processes "execute the same program on different
+data": every workstation runs the identical solver binary, parameterized
+by a dump file.  Here the equivalent of the compiled-in problem setup is
+a JSON-serializable :class:`ProblemSpec` that the initialization,
+decomposition, submit and worker programs all reconstruct identically —
+geometry and boundary conditions are specified by *name + parameters*
+(not by code objects) so a worker restarted on a different host after a
+migration rebuilds bit-identical boundary conditions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.decomposition import Decomposition
+from ..fluids.boundary import GlobalBox, PressureOutlet, VelocityInlet
+from ..fluids.fd import FDMethod
+from ..fluids.geometry import channel_geometry, flue_pipe
+from ..fluids.lbm import LBMethod
+from ..fluids.params import FluidParams
+
+__all__ = ["ProblemSpec"]
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Everything needed to reconstruct the problem on any host.
+
+    Parameters
+    ----------
+    method:
+        ``"fd"`` or ``"lb"``.
+    grid_shape:
+        Global grid nodes per axis (also fixes the dimensionality).
+    blocks:
+        Decomposition block counts per axis.
+    periodic:
+        Per-axis periodicity.
+    params:
+        Keyword arguments of :class:`~repro.fluids.FluidParams`.
+    geometry:
+        ``{"kind": "open"}`` (no walls),
+        ``{"kind": "channel", "wall_nodes": int}`` or
+        ``{"kind": "flue_pipe", "variant": ..., "jet_speed": ...,
+        "ramp_steps": ...}``.
+    """
+
+    method: str
+    grid_shape: tuple[int, ...]
+    blocks: tuple[int, ...]
+    periodic: tuple[bool, ...]
+    params: dict[str, Any] = field(default_factory=dict)
+    geometry: dict[str, Any] = field(default_factory=lambda: {"kind": "open"})
+
+    def __post_init__(self) -> None:
+        if self.method not in ("fd", "lb"):
+            raise ValueError(f"unknown method {self.method!r}")
+        kind = self.geometry.get("kind", "open")
+        if kind not in ("open", "channel", "flue_pipe"):
+            raise ValueError(f"unknown geometry kind {kind!r}")
+        # Normalize JSON artifacts so a spec round-trips to an equal
+        # value (lists decode where tuples were encoded).
+        if "gravity" in self.params:
+            self.params["gravity"] = tuple(self.params["gravity"])
+
+    @property
+    def ndim(self) -> int:
+        return len(self.grid_shape)
+
+    # ------------------------------------------------------------------
+    # reconstruction
+    # ------------------------------------------------------------------
+    def build_params(self) -> FluidParams:
+        """Reconstruct the FluidParams of this problem."""
+        kw = dict(self.params)
+        kw.setdefault("gravity", (0.0,) * self.ndim)
+        kw["gravity"] = tuple(kw["gravity"])
+        return FluidParams(**kw)
+
+    def build_geometry(
+        self,
+    ) -> tuple[np.ndarray | None, list[VelocityInlet], list[PressureOutlet]]:
+        """(solid mask, inlets, outlets) for this problem."""
+        g = dict(self.geometry)
+        kind = g.pop("kind", "open")
+        if kind == "open":
+            return None, [], []
+        if kind == "channel":
+            solid = channel_geometry(
+                self.grid_shape, wall_nodes=g.get("wall_nodes", 1)
+            )
+            return solid, [], []
+        if kind == "flue_pipe":
+            if self.ndim != 2:
+                raise ValueError("flue_pipe geometry is two-dimensional")
+            setup = flue_pipe(self.grid_shape, **g)  # type: ignore[arg-type]
+            return setup.solid, [setup.inlet], [setup.outlet]
+        raise ValueError(f"unknown geometry kind {kind!r}")
+
+    def build_method(self):
+        """Reconstruct the numerical method with its boundary conditions."""
+        params = self.build_params()
+        _, inlets, outlets = self.build_geometry()
+        cls = FDMethod if self.method == "fd" else LBMethod
+        return cls(params, self.ndim, inlets=inlets, outlets=outlets)
+
+    def build_decomposition(self) -> Decomposition:
+        """Reconstruct the decomposition (inactive blocks included)."""
+        solid, _, _ = self.build_geometry()
+        return Decomposition(
+            self.grid_shape, self.blocks, periodic=self.periodic, solid=solid
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to canonical JSON."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProblemSpec":
+        raw = json.loads(text)
+        return cls(
+            method=raw["method"],
+            grid_shape=tuple(raw["grid_shape"]),
+            blocks=tuple(raw["blocks"]),
+            periodic=tuple(bool(p) for p in raw["periodic"]),
+            params=dict(raw.get("params", {})),
+            geometry=dict(raw.get("geometry", {"kind": "open"})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the spec to a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProblemSpec":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,67 @@
+"""The job-submit program (paper §4.1).
+
+"The job-submit program finds free workstations in the cluster, and
+begins a parallel subprocess on each workstation.  It provides each
+process with a dump file that specifies one subregion of the problem.
+The processes execute the same program on different data."
+
+Host selection implements the paper's two-group strategy via
+:meth:`repro.distrib.hostdb.HostDB.select_free`; the "remote start" is a
+local subprocess tagged with the virtual host name (the substitution
+documented in DESIGN.md — every control-plane mechanism is real, only
+the machine boundary is virtual).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from .hostdb import HostDB
+from .worker import WorkerConfig
+
+__all__ = ["spawn_worker", "submit_all"]
+
+
+def spawn_worker(cfg: WorkerConfig) -> subprocess.Popen:
+    """Start one parallel subprocess from its config file."""
+    cfg_path = WorkerConfig.path(cfg.workdir, cfg.rank)
+    cfg_path.write_text(cfg.to_json())
+    log_dir = Path(cfg.workdir) / "logs"
+    log_dir.mkdir(parents=True, exist_ok=True)
+    log = open(log_dir / f"rank{cfg.rank:04d}.stdout", "ab")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.distrib.worker", str(cfg_path)],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        cwd=cfg.workdir,
+    )
+
+
+def submit_all(
+    workdir: str | Path,
+    hostdb: HostDB,
+    n_ranks: int,
+    base_cfg: dict,
+) -> dict[int, subprocess.Popen]:
+    """Select free hosts for every rank and start the workers.
+
+    ``base_cfg`` carries the common :class:`WorkerConfig` fields
+    (steps_total, save_every, ...); per-rank fields are filled here.
+    """
+    workdir = Path(workdir)
+    (workdir / "logs").mkdir(parents=True, exist_ok=True)
+    hosts = hostdb.select_free(n_ranks)
+    procs: dict[int, subprocess.Popen] = {}
+    for rank, host in enumerate(hosts):
+        hostdb.assign(host.name, rank)
+        cfg = WorkerConfig(
+            workdir=str(workdir),
+            rank=rank,
+            host=host.name,
+            generation=0,
+            **base_cfg,
+        )
+        procs[rank] = spawn_worker(cfg)
+    return procs

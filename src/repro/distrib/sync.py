@@ -1,0 +1,184 @@
+"""Shared-file synchronization (paper App. B) and staggered saving (§5.2).
+
+The migration synchronization algorithm: "a synchronization request is
+sent to all the processes by means of a UNIX interrupt.  In response,
+every process writes the current integration time step into a shared
+file (using file locking semaphores, and append mode).  Then, every
+process examines the shared file to find the largest integration time
+step T_max among all the processes [and] chooses (T_max + 1) to be the
+upcoming synchronization time step" — the smallest synchronization step
+possible at any given time, so a pending migration happens as soon as
+possible.  Because a signal can land mid-step, a process may complete
+the step in flight after writing; ``T_max + 1`` is still reachable by
+everyone and passed by no one.
+
+Staggered saving: when all processes save state at about the same time
+they saturate the network and the file server, so "the parallel
+processes must save their state one after the other in an orderly
+fashion".  A flock-guarded turn counter orders the savers by rank; the
+last saver publishes a completion marker, which is what makes a
+checkpoint *restartable* — the monitoring program only ever restarts
+from checkpoints whose marker exists, so a crash mid-save-sequence can
+never mix steps.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import time
+from pathlib import Path
+
+__all__ = ["SyncFiles", "SaveTurns"]
+
+
+def _locked_append(path: Path, line: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def _read_pairs(path: Path) -> dict[int, int]:
+    out: dict[int, int] = {}
+    if not path.exists():
+        return out
+    for line in path.read_text().splitlines():
+        parts = line.split()
+        if len(parts) == 2:
+            out[int(parts[0])] = int(parts[1])
+    return out
+
+
+class SyncFiles:
+    """The App. B shared files for one migration epoch."""
+
+    def __init__(self, workdir: str | Path, epoch: int):
+        base = Path(workdir) / "sync"
+        self.epoch = epoch
+        self.steps_path = base / f"epoch{epoch:04d}_steps.txt"
+        self.reached_path = base / f"epoch{epoch:04d}_reached.txt"
+
+    # -- phase 1: everyone reports its current step -------------------
+    def write_step(self, rank: int, step: int) -> None:
+        """Append ``rank step`` (called from the SIGUSR2 handler)."""
+        _locked_append(self.steps_path, f"{rank} {step}\n")
+
+    def has_written(self, rank: int) -> bool:
+        """Whether ``rank`` already reported its step this epoch."""
+        return rank in _read_pairs(self.steps_path)
+
+    def wait_sync_step(
+        self, n_ranks: int, timeout: float = 60.0, poll: float = 0.005
+    ) -> int:
+        """Block until all ranks reported, then return ``T_max + 1``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            steps = _read_pairs(self.steps_path)
+            if len(steps) >= n_ranks:
+                return max(steps.values()) + 1
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"only {len(steps)}/{n_ranks} ranks reported their "
+                    f"step for epoch {self.epoch}"
+                )
+            time.sleep(poll)
+
+    # -- phase 2: everyone confirms having completed T_sync -----------
+    def mark_reached(self, rank: int, step: int) -> None:
+        """Record that ``rank`` completed the synchronization step."""
+        _locked_append(self.reached_path, f"{rank} {step}\n")
+
+    def wait_all_reached(
+        self, n_ranks: int, timeout: float = 60.0, poll: float = 0.005
+    ) -> None:
+        """Barrier: channels may only close once every rank finished
+        the synchronization step (so no in-flight strip is lost)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if len(_read_pairs(self.reached_path)) >= n_ranks:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"ranks missing from reached-barrier of epoch {self.epoch}"
+                )
+            time.sleep(poll)
+
+
+class SaveTurns:
+    """Rank-ordered turn taking for staggered state saves."""
+
+    def __init__(self, workdir: str | Path, step: int):
+        self.step = step
+        base = Path(workdir) / "sync"
+        base.mkdir(parents=True, exist_ok=True)
+        self.counter_path = base / f"save_turn_step{step:09d}.txt"
+        self.complete_path = base / f"ckpt_step{step:09d}_complete"
+
+    def _read_counter(self) -> int:
+        if not self.counter_path.exists():
+            return 0
+        text = self.counter_path.read_text().strip()
+        return int(text) if text else 0
+
+    def wait_turn(
+        self,
+        position: int,
+        timeout: float = 120.0,
+        poll: float = 0.002,
+        gap: float = 0.0,
+    ) -> None:
+        """Block until it is this rank's turn to save.
+
+        ``gap`` inserts the free time slot (§5.2) between consecutive
+        savers so "other programs can use the network and the file
+        system at the same time".
+        """
+        deadline = time.monotonic() + timeout
+        while self._read_counter() < position:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"save turn {position} never came at step {self.step}"
+                )
+            time.sleep(poll)
+        if gap > 0:
+            time.sleep(gap)
+
+    def finish_turn(self, position: int, n_ranks: int) -> None:
+        """Pass the token; the last saver publishes the completion marker."""
+        with open(self.counter_path, "a+") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.seek(0)
+                text = fh.read().strip()
+                current = int(text) if text else 0
+                if current != position:
+                    raise RuntimeError(
+                        f"save token at {current}, expected {position}"
+                    )
+                fh.seek(0)
+                fh.truncate()
+                fh.write(str(position + 1))
+                fh.flush()
+                os.fsync(fh.fileno())
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        if position + 1 == n_ranks:
+            self.complete_path.touch()
+
+    @staticmethod
+    def latest_complete_step(workdir: str | Path) -> int | None:
+        """Newest step with a complete (restartable) checkpoint."""
+        base = Path(workdir) / "sync"
+        steps = []
+        for p in base.glob("ckpt_step*_complete"):
+            try:
+                steps.append(int(p.name[len("ckpt_step"):-len("_complete")]))
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return max(steps) if steps else None

@@ -1,0 +1,327 @@
+"""The parallel program each workstation executes (paper §4-5).
+
+One worker process owns one subregion.  Its life is the two-beat loop of
+§3 — compute locally, communicate with neighbours — plus the mechanisms
+that make the computation transparent to the workstations' regular
+users:
+
+* **SIGUSR2 migration requests** (§5.1): both the monitoring program and
+  a regular user can ask a parallel subprocess to migrate at any time
+  via ``kill -USR2``.  The signal handler appends the current
+  integration step to the epoch's shared sync file (App. B); at the next
+  step boundary the worker joins the synchronization protocol, runs to
+  the agreed step ``T_max + 1``, and then either dumps-and-exits (if it
+  is the one migrating) or closes its channels, stops itself with
+  SIGSTOP and waits for the monitor's SIGCONT to re-open channels under
+  the next port-registry generation.
+* **Staggered checkpointing** (§5.2): every ``save_every`` steps the
+  workers save their state one after the other in rank order, the last
+  one publishing the completion marker the monitor restarts from.
+* **Heartbeats**: the monitoring program checks every few minutes
+  whether the parallel processes are progressing correctly; workers
+  report their step so a stall is observable.
+
+Run as ``python -m repro.distrib.worker <config.json>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..core.exchange import build_plan
+from ..net.channels import ChannelSet
+from ..net.portfile import PortRegistry
+from ..net.transport import SocketExchanger
+from ..net.udp import UdpChannelSet
+from .dumpfile import dump_path, load_dump, save_dump
+from .spec import ProblemSpec
+from .sync import SaveTurns, SyncFiles
+
+__all__ = ["WorkerConfig", "Worker", "EXIT_DONE", "EXIT_MIGRATED", "main"]
+
+EXIT_DONE = 0
+#: EX_TEMPFAIL — the process left to be restarted on another host.
+EXIT_MIGRATED = 75
+
+
+@dataclass
+class WorkerConfig:
+    """Runtime configuration handed to a worker by the submit program."""
+
+    workdir: str
+    rank: int
+    host: str
+    steps_total: int
+    generation: int = 0
+    dump_in: str = ""          # dump file to restore from
+    save_every: int = 0        # checkpoint period in steps (0 = never)
+    save_gap: float = 0.0      # §5.2 free time slot between savers
+    hb_every: int = 1          # heartbeat period in steps
+    strict_order: bool = False  # App. C ablation
+    transport: str = "tcp"     # "tcp" (paper's choice) or "udp" (App. D)
+    niceness: int = 10         # §5.1: low runtime priority (UNIX "nice")
+    #  so the regular user's interactive tasks "receive the full
+    #  attention of the processor immediately"
+    step_delay: float = 0.0    # test/emulation knob: extra seconds per
+    #  step, emulating a busy or slow host so App. A un-synchronization
+    #  and first-come-first-served buffering can be exercised for real
+    open_timeout: float = 30.0
+    recv_timeout: float = 60.0
+    sync_timeout: float = 60.0
+
+    def to_json(self) -> str:
+        """Serialize to JSON for the worker command line."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkerConfig":
+        return cls(**json.loads(text))
+
+    @staticmethod
+    def path(workdir: str | Path, rank: int) -> Path:
+        """Canonical config-file path for a rank."""
+        return Path(workdir) / f"cfg_rank{rank:04d}.json"
+
+
+class Worker:
+    """One parallel subprocess of the distributed computation."""
+
+    def __init__(self, cfg: WorkerConfig):
+        self.cfg = cfg
+        self.workdir = Path(cfg.workdir)
+        self.rank = cfg.rank
+        self.spec = ProblemSpec.load(self.workdir / "spec.json")
+        self.method = self.spec.build_method()
+        self.decomp = self.spec.build_decomposition()
+        self.n_ranks = self.decomp.n_active
+
+        dump_in = cfg.dump_in or str(
+            dump_path(self.workdir / "dumps", self.rank)
+        )
+        self.sub = load_dump(dump_in)
+        if self.sub.block.rank != self.rank:
+            raise RuntimeError(
+                f"dump {dump_in} holds rank {self.sub.block.rank}, "
+                f"worker is rank {self.rank}"
+            )
+        # Rebuild method-private masks and scratch (never dumped).
+        self.method.init_subregion(self.sub)
+
+        self.plan = build_plan(self.decomp, self.rank, self.method.pad)
+        neighbor_ranks = {
+            op.neighbor_rank for op in self.plan.recv_ops()
+        } - {self.rank}
+        if cfg.transport not in ("tcp", "udp"):
+            raise ValueError(f"unknown transport {cfg.transport!r}")
+        self.registry = PortRegistry(
+            self.workdir / f"ports_{cfg.transport}.txt"
+        )
+        channel_cls = ChannelSet if cfg.transport == "tcp" else UdpChannelSet
+        self.channels = channel_cls(
+            self.rank, neighbor_ranks, self.registry
+        )
+        self.exchanger = SocketExchanger(
+            self.sub,
+            self.plan,
+            self.channels,
+            strict_order=cfg.strict_order,
+            timeout=cfg.recv_timeout,
+            extended_sweep=self.decomp.n_active < self.decomp.n_blocks,
+        )
+        self.generation = cfg.generation
+        self._sync_epoch: int | None = None
+        self._log_path = self.workdir / "logs" / f"rank{self.rank:04d}.log"
+        self._log_path.parent.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log(self, msg: str) -> None:
+        """Append a line to this worker's log file."""
+        with open(self._log_path, "a") as fh:
+            fh.write(f"{time.time():.3f} step={self.sub.step} {msg}\n")
+
+    def _request_path(self, epoch: int) -> Path:
+        return self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
+
+    def _usr2_handler(self, signum, frame) -> None:  # noqa: ARG002
+        """App. B phase 1, run directly from the interrupt.
+
+        If the monitor has published a migration request for the current
+        generation, report our step into the epoch's sync file; if not
+        (a regular user signalled this process directly), leave a wish
+        file for the monitoring program to pick up.
+        """
+        epoch = self.generation
+        if self._request_path(epoch).exists():
+            sf = SyncFiles(self.workdir, epoch)
+            if not sf.has_written(self.rank):
+                sf.write_step(self.rank, self.sub.step)
+            self._sync_epoch = epoch
+        else:
+            wish = self.workdir / "sync" / f"wish_rank{self.rank:04d}"
+            wish.parent.mkdir(parents=True, exist_ok=True)
+            wish.touch()
+
+    def install_signals(self) -> None:
+        """Install the SIGUSR2 migration-request handler."""
+        signal.signal(signal.SIGUSR2, self._usr2_handler)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Open channels and run the compute/communicate loop to completion."""
+        self.install_signals()
+        self.channels.open(self.generation, timeout=self.cfg.open_timeout)
+        self.log(f"channels open, generation {self.generation}")
+        try:
+            while True:
+                if self._sync_epoch is not None:
+                    migrated = self._sync_protocol()
+                    if migrated:
+                        return EXIT_MIGRATED
+                if self.sub.step >= self.cfg.steps_total:
+                    break
+                self._step_once()
+                self._heartbeat()
+                self._maybe_checkpoint()
+            save_dump(
+                self.sub,
+                dump_path(self.workdir / "dumps", self.rank, tag="final"),
+            )
+            (self.workdir / f"done_rank{self.rank:04d}").touch()
+            self.log("done")
+            return EXIT_DONE
+        finally:
+            self.channels.close()
+
+    def _step_once(self) -> None:
+        method = self.method
+        sub = self.sub
+        if self.cfg.step_delay > 0.0:
+            time.sleep(self.cfg.step_delay)
+        for phase, fields in enumerate(method.exchange_phases):
+            method.compute_phase(sub, phase)
+            self.exchanger.exchange(fields, phase)
+        method.finalize_step(sub)
+        sub.step += 1
+
+    def _heartbeat(self) -> None:
+        if self.sub.step % max(self.cfg.hb_every, 1):
+            return
+        hb = self.workdir / "hb" / f"rank{self.rank:04d}.txt"
+        hb.parent.mkdir(parents=True, exist_ok=True)
+        hb.write_text(f"{self.sub.step} {time.time():.3f}\n")
+
+    def _maybe_checkpoint(self) -> None:
+        every = self.cfg.save_every
+        if every <= 0 or self.sub.step % every or self.sub.step == 0:
+            return
+        turns = SaveTurns(self.workdir, self.sub.step)
+        turns.wait_turn(self.rank, gap=self.cfg.save_gap)
+        save_dump(
+            self.sub,
+            dump_path(
+                self.workdir / "dumps",
+                self.rank,
+                tag=f"ckpt{self.sub.step:09d}",
+            ),
+        )
+        turns.finish_turn(self.rank, self.n_ranks)
+        self.log(f"checkpoint at step {self.sub.step}")
+
+    # ------------------------------------------------------------------
+    # migration (§5.1 / App. B)
+    # ------------------------------------------------------------------
+    def _sync_protocol(self) -> bool:
+        """Run the synchronization; return True if *we* migrated away."""
+        epoch = self._sync_epoch
+        assert epoch is not None
+        sf = SyncFiles(self.workdir, epoch)
+        t_sync = sf.wait_sync_step(
+            self.n_ranks, timeout=self.cfg.sync_timeout
+        )
+        self.log(f"sync epoch {epoch}: target step {t_sync}")
+        if self.sub.step > t_sync:  # pragma: no cover - invariant guard
+            raise RuntimeError(
+                f"rank {self.rank} already past sync step "
+                f"{t_sync} (at {self.sub.step})"
+            )
+        while self.sub.step < t_sync:
+            self._step_once()
+        sf.mark_reached(self.rank, self.sub.step)
+        sf.wait_all_reached(self.n_ranks, timeout=self.cfg.sync_timeout)
+
+        request = json.loads(self._request_path(epoch).read_text())
+        migrating = set(request["ranks"])
+        self.channels.close()
+        if self.rank in migrating:
+            out = dump_path(
+                self.workdir / "dumps", self.rank, tag=f"migrate{epoch:04d}"
+            )
+            save_dump(self.sub, out)
+            self.log(f"migrating away (dump {out.name})")
+            return True
+
+        # Suspend until the monitor has restarted the migrating
+        # process(es) on free hosts and sends SIGCONT (§5.1).
+        marker = (
+            self.workdir / f"paused_rank{self.rank:04d}_epoch{epoch:04d}"
+        )
+        marker.touch()
+        self.log("paused for migration")
+        os.kill(os.getpid(), signal.SIGSTOP)
+        # --- resumed by the monitoring program ---
+        self.generation = epoch + 1
+        self._sync_epoch = None
+        self.channels.open(self.generation, timeout=self.cfg.open_timeout)
+        self.log(f"resumed, generation {self.generation}")
+        return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.distrib.worker <config.json>")
+        return 2
+    # A migration request can land while the worker is still loading its
+    # dump (the monitor signals every process at once); catch it early
+    # and replay it once the real handler is installed.
+    pending: list[int] = []
+    signal.signal(signal.SIGUSR2, lambda s, f: pending.append(s))
+    cfg = WorkerConfig.from_json(Path(argv[0]).read_text())
+    if cfg.niceness > 0:
+        # §5.1: run at low priority so the computation is transparent
+        # to the workstation's regular user.
+        try:
+            os.nice(cfg.niceness)
+        except OSError:  # pragma: no cover - permission-restricted env
+            pass
+    try:
+        worker = Worker(cfg)
+    except Exception:
+        # Construction failed before logging was available.
+        err = Path(cfg.workdir) / "logs" / f"rank{cfg.rank:04d}.err"
+        err.parent.mkdir(parents=True, exist_ok=True)
+        err.write_text(traceback.format_exc())
+        return 1
+    worker.install_signals()
+    if pending:
+        worker._usr2_handler(signal.SIGUSR2, None)
+    try:
+        return worker.run()
+    except Exception:
+        worker.log("FATAL:\n" + traceback.format_exc())
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Numerical methods of fluid dynamics (paper §6).
+
+Explicit finite differences and the lattice Boltzmann method on uniform
+orthogonal grids, with the shared fourth-order numerical-viscosity
+filter, wall/inlet/outlet boundary conditions, analytic reference
+solutions and flow diagnostics.
+"""
+
+from .analytic import (
+    acoustic_frequency,
+    taylor_green,
+    taylor_green_decay_rate,
+    duct_profile,
+    poiseuille_max_velocity,
+    poiseuille_profile,
+    standing_wave,
+)
+from .boundary import (
+    GlobalBox,
+    PressureOutlet,
+    VelocityInlet,
+)
+from .fd import FDMethod
+from .filters import FourthOrderFilter
+from .geometry import (
+    FluePipeSetup,
+    channel_geometry,
+    cylinder_channel,
+    flue_pipe,
+)
+from .lattices import D2Q9, D3Q15, Lattice, lattice_for
+from .lbm import LBMethod
+from .observables import (
+    acoustic_energy,
+    divergence,
+    kinetic_energy,
+    total_mass,
+    total_momentum,
+    vorticity_2d,
+    vorticity_3d,
+)
+from .params import FluidParams
+from .probes import Probe, dominant_frequency, spectrum
+
+__all__ = [
+    "FluidParams",
+    "FDMethod",
+    "LBMethod",
+    "FourthOrderFilter",
+    "GlobalBox",
+    "VelocityInlet",
+    "PressureOutlet",
+    "FluePipeSetup",
+    "flue_pipe",
+    "channel_geometry",
+    "cylinder_channel",
+    "Lattice",
+    "D2Q9",
+    "D3Q15",
+    "lattice_for",
+    "poiseuille_profile",
+    "poiseuille_max_velocity",
+    "duct_profile",
+    "standing_wave",
+    "acoustic_frequency",
+    "taylor_green",
+    "taylor_green_decay_rate",
+    "vorticity_2d",
+    "vorticity_3d",
+    "divergence",
+    "total_mass",
+    "total_momentum",
+    "kinetic_energy",
+    "acoustic_energy",
+    "Probe",
+    "spectrum",
+    "dominant_frequency",
+]

@@ -1,0 +1,131 @@
+"""Shared array kernels: shifted-slice stencil algebra on padded arrays.
+
+All numerical kernels in :mod:`repro.fluids` are expressed as vectorized
+NumPy operations over *regions* (tuples of slices) of padded arrays.
+A centered difference at region ``R`` reads the regions shifted by one
+node either way; because every field carries ``pad`` ghost layers, the
+shifted reads never leave the array, and the very same kernel code runs
+in the serial program and in every parallel transport (the separation of
+computation from communication the paper builds on, §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+Region = tuple[slice, ...]
+
+__all__ = [
+    "Region",
+    "shift_region",
+    "central_diff",
+    "second_diff",
+    "laplacian",
+    "fourth_diff_sum",
+    "dilate_star",
+]
+
+
+def shift_region(region: Region, axis: int, by: int) -> Region:
+    """Shift a region of slices by ``by`` nodes along ``axis``.
+
+    Only plain ``slice(start, stop)`` entries are supported (the padded
+    regions used by the kernels), so the arithmetic is exact and cheap.
+    """
+    out = list(region)
+    sl = region[axis]
+    if sl.start is None or sl.stop is None or sl.step not in (None, 1):
+        raise ValueError(f"region slice {sl} must be explicit with step 1")
+    out[axis] = slice(sl.start + by, sl.stop + by)
+    return tuple(out)
+
+
+def central_diff(
+    a: np.ndarray, region: Region, axis: int, dx: float
+) -> np.ndarray:
+    """Second-order centered first derivative on ``region``."""
+    plus = a[shift_region(region, axis, +1)]
+    minus = a[shift_region(region, axis, -1)]
+    return (plus - minus) / (2.0 * dx)
+
+
+def second_diff(
+    a: np.ndarray, region: Region, axis: int, dx: float
+) -> np.ndarray:
+    """Second-order centered second derivative on ``region``."""
+    plus = a[shift_region(region, axis, +1)]
+    minus = a[shift_region(region, axis, -1)]
+    mid = a[region]
+    return (plus - 2.0 * mid + minus) / (dx * dx)
+
+
+def laplacian(a: np.ndarray, region: Region, dx: float) -> np.ndarray:
+    """Centered Laplacian (sum of per-axis second differences)."""
+    out = second_diff(a, region, 0, dx)
+    for axis in range(1, len(region)):
+        out += second_diff(a, region, axis, dx)
+    return out
+
+
+def fourth_diff_sum(a: np.ndarray, region: Region) -> np.ndarray:
+    """Sum over axes of the undivided fourth difference.
+
+    Per axis: ``a[i-2] - 4 a[i-1] + 6 a[i] - 4 a[i+1] + a[i+2]`` — the
+    stencil of the fourth-order numerical-viscosity filter
+    (Peyret & Taylor) the paper applies to ``rho, Vx, Vy(,Vz)`` every
+    step to suppress node-to-node spatial frequencies (§6).
+    """
+    out = np.zeros_like(a[region])
+    for axis in range(len(region)):
+        out += (
+            a[shift_region(region, axis, -2)]
+            - 4.0 * a[shift_region(region, axis, -1)]
+            + 6.0 * a[region]
+            - 4.0 * a[shift_region(region, axis, +1)]
+            + a[shift_region(region, axis, +2)]
+        )
+    return out
+
+
+def dilate_star(mask: np.ndarray, reach: int) -> np.ndarray:
+    """Dilate a boolean mask by ``reach`` nodes along each axis (star).
+
+    ``dilate_star(solid, 2)`` marks every node whose filter stencil
+    touches a solid node; the filter correction is zeroed there so that
+    wall values stay pinned and no stencil ever reads across a wall.
+    Edges are handled by clipping (no wraparound): the mask is padded by
+    edge replication, matching the ghost-fill convention.
+    """
+    out = mask.copy()
+    for axis in range(mask.ndim):
+        acc = out.copy()
+        for by in range(1, reach + 1):
+            acc |= _shift_clip(out, axis, +by)
+            acc |= _shift_clip(out, axis, -by)
+        out = acc
+    return out
+
+
+def _shift_clip(mask: np.ndarray, axis: int, by: int) -> np.ndarray:
+    """Shift a mask along ``axis``, replicating the trailing edge."""
+    out = np.empty_like(mask)
+    src: list[slice] = [slice(None)] * mask.ndim
+    dst: list[slice] = [slice(None)] * mask.ndim
+    edge: list[slice] = [slice(None)] * mask.ndim
+    if by > 0:
+        src[axis] = slice(0, mask.shape[axis] - by)
+        dst[axis] = slice(by, None)
+        edge[axis] = slice(0, by)
+        edge_src = [slice(None)] * mask.ndim
+        edge_src[axis] = slice(0, 1)
+    else:
+        src[axis] = slice(-by, None)
+        dst[axis] = slice(0, mask.shape[axis] + by)
+        edge[axis] = slice(mask.shape[axis] + by, None)
+        edge_src = [slice(None)] * mask.ndim
+        edge_src[axis] = slice(mask.shape[axis] - 1, None)
+    out[tuple(dst)] = mask[tuple(src)]
+    out[tuple(edge)] = mask[tuple(edge_src)]
+    return out

@@ -1,0 +1,150 @@
+"""Analytic reference solutions for validation (paper §7).
+
+The performance experiments of §7 run Hagen-Poiseuille flow through a
+rectangular channel, the textbook problem both methods "converge
+quadratically with increased resolution in space" to.  This module
+provides that exact solution (2D plane channel and 3D rectangular duct)
+plus small-amplitude acoustic solutions used to validate the wave side
+of subsonic flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "poiseuille_profile",
+    "poiseuille_max_velocity",
+    "duct_profile",
+    "standing_wave",
+    "acoustic_frequency",
+    "taylor_green",
+    "taylor_green_decay_rate",
+]
+
+
+def poiseuille_profile(
+    y: np.ndarray, height: float, g: float, nu: float
+) -> np.ndarray:
+    """Steady plane-Poiseuille velocity profile.
+
+    A body force (acceleration) ``g`` drives fluid between no-slip walls
+    at ``y = 0`` and ``y = height``; the steady solution of eqs. 2-3 is
+    the parabola ``u(y) = g y (height - y) / (2 nu)``.
+    """
+    return g * y * (height - y) / (2.0 * nu)
+
+
+def poiseuille_max_velocity(height: float, g: float, nu: float) -> float:
+    """Centerline velocity ``g H^2 / (8 nu)`` of the plane channel."""
+    return g * height * height / (8.0 * nu)
+
+
+def duct_profile(
+    y: np.ndarray,
+    z: np.ndarray,
+    ly: float,
+    lz: float,
+    g: float,
+    nu: float,
+    terms: int = 41,
+) -> np.ndarray:
+    """Steady flow through a rectangular duct (3D Hagen-Poiseuille).
+
+    Fourier-series solution (Landau & Lifshitz §17 problem form) for
+    no-slip walls at ``y in {0, ly}`` and ``z in {0, lz}``::
+
+        u(y,z) = (4 g ly^2 / (nu pi^3)) * sum_{odd n}
+                 sin(n pi y / ly) / n^3 *
+                 [1 - cosh(n pi (z - lz/2) / ly) / cosh(n pi lz / (2 ly))]
+
+    ``y`` and ``z`` may be arrays (broadcast together).
+    """
+    y = np.asarray(y, dtype=float)
+    z = np.asarray(z, dtype=float)
+    out = np.zeros(np.broadcast(y, z).shape, dtype=float)
+    pref = 4.0 * g * ly * ly / (nu * np.pi**3)
+
+    def log_cosh(x):
+        # overflow-free: log(cosh x) = |x| + log1p(e^{-2|x|}) - log 2
+        ax = np.abs(x)
+        return ax + np.log1p(np.exp(-2.0 * ax)) - np.log(2.0)
+
+    for n in range(1, terms + 1, 2):
+        k = n * np.pi / ly
+        # cosh ratio in log space: high-n terms overflow a direct cosh
+        ratio = np.exp(
+            log_cosh(k * (z - lz / 2.0)) - log_cosh(k * lz / 2.0)
+        )
+        out += np.sin(k * y) / n**3 * (1.0 - ratio)
+    return pref * out
+
+
+def standing_wave(
+    x: np.ndarray,
+    t: float,
+    length: float,
+    mode: int,
+    amplitude: float,
+    rho0: float,
+    cs: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inviscid 1D standing acoustic wave in a periodic box.
+
+    Returns ``(rho, u)`` for a mode-``mode`` standing wave of relative
+    density amplitude ``amplitude``::
+
+        rho = rho0 (1 + A cos(k x) cos(omega t))
+        u   = A cs sin(k x) sin(omega t)
+
+    with ``k = 2 pi mode / length`` and ``omega = cs k``.  Used to check
+    the propagation speed of the fast acoustic scale whose resolution
+    requirement (eq. 4) motivates explicit methods.
+    """
+    k = 2.0 * np.pi * mode / length
+    omega = cs * k
+    rho = rho0 * (1.0 + amplitude * np.cos(k * x) * np.cos(omega * t))
+    u = amplitude * cs * np.sin(k * x) * np.sin(omega * t)
+    return rho, u
+
+
+def acoustic_frequency(length: float, mode: int, cs: float) -> float:
+    """Frequency (radians per unit time) of the periodic-box mode."""
+    return cs * 2.0 * np.pi * mode / length
+
+
+def taylor_green(
+    x: np.ndarray,
+    y: np.ndarray,
+    t: float,
+    length: float,
+    u0: float,
+    nu: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Taylor-Green vortex array: an exact decaying Navier-Stokes
+    solution in a periodic box.
+
+    ::
+
+        u =  u0 cos(kx) sin(ky) exp(-2 nu k^2 t)
+        v = -u0 sin(kx) cos(ky) exp(-2 nu k^2 t)
+
+    with ``k = 2 pi / length``.  Divergence-free, nonlinear terms cancel
+    exactly, so viscosity alone sets the evolution — the cleanest
+    possible oracle for a solver's effective viscosity (and hence for
+    the LB relation ``nu = (tau - 1/2)/3``).  ``x``/``y`` broadcast.
+    """
+    k = 2.0 * np.pi / length
+    damp = np.exp(-2.0 * nu * k * k * t)
+    u = u0 * np.cos(k * x) * np.sin(k * y) * damp
+    v = -u0 * np.sin(k * x) * np.cos(k * y) * damp
+    return u, v
+
+
+def taylor_green_decay_rate(length: float, nu: float) -> float:
+    """Kinetic-energy decay rate: ``E(t) = E(0) exp(-4 nu k^2 t)``.
+
+    (The velocity decays at ``2 nu k^2``; energy is quadratic.)
+    """
+    k = 2.0 * np.pi / length
+    return 4.0 * nu * k * k

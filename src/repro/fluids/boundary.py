@@ -1,0 +1,161 @@
+"""Boundary conditions: walls, inlet jets, pressure outlets (paper §2).
+
+The paper's domains are enclosed by wall nodes ("gray areas are walls,
+dark-gray areas are walls that enclose the simulated region and
+demarcate the inlet and the outlet").  Walls are *solid nodes of the
+grid*: no-slip velocity, zero-normal-gradient density, and (for the
+lattice Boltzmann method) population bounce-back.  Openings in the walls
+carry the driving conditions of the flue-pipe problem: a velocity inlet
+(the jet of air) and a pressure outlet.
+
+All conditions are local, node-wise rules, so they commute with the
+decomposition: each subregion applies them over its own (grown) interior
+using masks intersected with its block at initialization time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.subregion import SubregionState
+from ._kernels import Region, shift_region
+
+__all__ = [
+    "GlobalBox",
+    "VelocityInlet",
+    "PressureOutlet",
+    "build_wall_aux",
+    "enforce_noslip",
+    "enforce_wall_density",
+]
+
+
+@dataclass(frozen=True)
+class GlobalBox:
+    """A rectangular set of nodes in *global* grid coordinates.
+
+    ``lo`` inclusive, ``hi`` exclusive, one entry per axis.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have equal length")
+        if any(h <= l for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"empty box {self.lo}..{self.hi}")
+
+    def local_mask(self, sub: SubregionState) -> np.ndarray:
+        """Boolean mask over the subregion's padded shape.
+
+        Includes ghost nodes: boundary rules are node-wise, so applying
+        them on ghost copies of remote nodes is exactly what the owning
+        subregion does to its interior originals.
+        """
+        mask = np.zeros(sub.padded_shape, dtype=bool)
+        sl = []
+        for d in range(sub.ndim):
+            # Global -> padded-local: local = global - block.lo + pad.
+            lo = self.lo[d] - sub.block.lo[d] + sub.pad
+            hi = self.hi[d] - sub.block.lo[d] + sub.pad
+            lo = max(lo, 0)
+            hi = min(hi, sub.padded_shape[d])
+            if hi <= lo:
+                return mask
+            sl.append(slice(lo, hi))
+        mask[tuple(sl)] = True
+        return mask
+
+
+VelocityFn = Callable[[int], tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class VelocityInlet:
+    """Prescribed-velocity opening (the jet of air entering the pipe).
+
+    Parameters
+    ----------
+    box:
+        The inlet nodes.
+    velocity:
+        Either a constant velocity tuple or a callable of the integration
+        step (e.g. a ramped jet) returning the tuple.
+    """
+
+    box: GlobalBox
+    velocity: tuple[float, ...] | VelocityFn
+
+    def velocity_at(self, step: int) -> tuple[float, ...]:
+        """Jet velocity at an integration step (ramps resolve here)."""
+        v = self.velocity
+        return v(step) if callable(v) else v
+
+
+@dataclass(frozen=True)
+class PressureOutlet:
+    """Fixed-density (fixed-pressure) opening where the flow exits."""
+
+    box: GlobalBox
+    rho: float = 1.0
+
+
+# ----------------------------------------------------------------------
+# wall (solid-node) rules shared by both numerical methods
+# ----------------------------------------------------------------------
+
+def build_wall_aux(sub: SubregionState) -> None:
+    """Precompute wall-rule masks into ``sub.aux``.
+
+    ``solid_f``: solid mask as float64 (multiplies into kernels);
+    ``fluid_f``: complement.  The density wall rule additionally needs,
+    at every solid node, the number of star-adjacent fluid nodes; it is
+    recomputed per region application because regions vary, but the
+    float masks are shared.
+    """
+    sub.aux["solid_f"] = sub.solid.astype(np.float64)
+    sub.aux["fluid_f"] = (~sub.solid).astype(np.float64)
+
+
+def enforce_noslip(
+    sub: SubregionState, names: Sequence[str], region: Region
+) -> None:
+    """Zero the named velocity components at solid nodes in ``region``."""
+    fluid = sub.aux["fluid_f"][region]
+    for name in names:
+        sub.fields[name][region] *= fluid
+
+
+def enforce_wall_density(
+    sub: SubregionState, region: Region, rho_name: str = "rho"
+) -> None:
+    """Zero-normal-gradient density at walls.
+
+    Every solid node with at least one star-adjacent fluid node takes the
+    mean density of its fluid neighbours, which makes the discrete normal
+    pressure gradient at the wall vanish; deeper solid nodes are left
+    untouched (they keep their initial reference density).  The rule
+    reads one ring beyond ``region``, which the callers' padding
+    guarantees is valid.
+    """
+    rho = sub.fields[rho_name]
+    fluid = sub.aux["fluid_f"]
+    num = np.zeros_like(rho[region])
+    den = np.zeros_like(rho[region])
+    for axis in range(sub.ndim):
+        for by in (-1, +1):
+            shifted = shift_region(region, axis, by)
+            num += rho[shifted] * fluid[shifted]
+            den += fluid[shifted]
+    solid = sub.solid[region]
+    sel = solid & (den > 0.0)
+    target = rho[region]
+    # Out-of-place: compute the replacement values before assignment so
+    # no solid node reads another solid node's freshly written value.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        repl = num / den
+    target[sel] = repl[sel]

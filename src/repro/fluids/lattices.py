@@ -1,0 +1,92 @@
+"""The D2Q9 and D3Q15 lattices.
+
+The paper's communication accounting (§6) pins down the lattices used:
+the lattice Boltzmann method communicates 3 population values per
+boundary fluid node in 2D and 5 in 3D — exactly the number of D2Q9 /
+D3Q15 populations crossing a subregion face.  Both lattices share the
+lattice speed of sound ``c_s^2 = 1/3`` and the BGK viscosity relation
+``nu = (tau - 1/2) / 3`` (lattice units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Lattice", "D2Q9", "D3Q15", "lattice_for"]
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """Velocity set, weights and opposite-direction table."""
+
+    name: str
+    e: np.ndarray  # (Q, ndim) int
+    w: np.ndarray  # (Q,) float
+    opposite: np.ndarray  # (Q,) int
+
+    @property
+    def q(self) -> int:
+        return self.e.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self.e.shape[1]
+
+    def crossing_populations(self, axis: int, side: int) -> np.ndarray:
+        """Indices of populations leaving a face (``e[axis] == side``).
+
+        The count of these (3 for D2Q9, 5 for D3Q15) is the per-node
+        payload of the paper's one-message-per-step LB exchange.
+        """
+        return np.nonzero(self.e[:, axis] == side)[0]
+
+
+def _make(name: str, e_list: list[tuple[int, ...]], w_list: list[float]) -> Lattice:
+    e = np.array(e_list, dtype=np.int64)
+    w = np.array(w_list, dtype=np.float64)
+    if not np.isclose(w.sum(), 1.0):
+        raise AssertionError(f"{name} weights sum to {w.sum()}")
+    opp = np.empty(len(e_list), dtype=np.int64)
+    for i, ei in enumerate(e_list):
+        match = [j for j, ej in enumerate(e_list) if all(a == -b for a, b in zip(ej, ei))]
+        opp[i] = match[0]
+    return Lattice(name=name, e=e, w=w, opposite=opp)
+
+
+#: D2Q9: rest + 4 axis directions (w=1/9) + 4 diagonals (w=1/36).
+D2Q9 = _make(
+    "D2Q9",
+    [
+        (0, 0),
+        (1, 0), (-1, 0), (0, 1), (0, -1),
+        (1, 1), (-1, -1), (1, -1), (-1, 1),
+    ],
+    [4.0 / 9.0] + [1.0 / 9.0] * 4 + [1.0 / 36.0] * 4,
+)
+
+#: D3Q15: rest + 6 axis directions (w=1/9) + 8 cube diagonals (w=1/72).
+D3Q15 = _make(
+    "D3Q15",
+    [
+        (0, 0, 0),
+        (1, 0, 0), (-1, 0, 0),
+        (0, 1, 0), (0, -1, 0),
+        (0, 0, 1), (0, 0, -1),
+        (1, 1, 1), (-1, -1, -1),
+        (1, 1, -1), (-1, -1, 1),
+        (1, -1, 1), (-1, 1, -1),
+        (1, -1, -1), (-1, 1, 1),
+    ],
+    [2.0 / 9.0] + [1.0 / 9.0] * 6 + [1.0 / 72.0] * 8,
+)
+
+
+def lattice_for(ndim: int) -> Lattice:
+    """The paper's lattice for the given dimensionality."""
+    if ndim == 2:
+        return D2Q9
+    if ndim == 3:
+        return D3Q15
+    raise ValueError(f"no lattice for ndim={ndim}")

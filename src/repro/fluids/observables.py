@@ -1,0 +1,94 @@
+"""Diagnostics of the flow fields.
+
+The paper's snapshots (figs. 1-2) plot equi-vorticity contours — the
+curl of the fluid velocity; this module computes vorticity and the other
+bulk diagnostics used by the validation tests (mass, momentum, kinetic
+energy, divergence, acoustic energy).
+
+All functions take *global* (unpadded) arrays, e.g. the output of
+:meth:`repro.core.Simulation.global_field`, with axis 0 = x, axis 1 = y.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "vorticity_2d",
+    "vorticity_3d",
+    "divergence",
+    "total_mass",
+    "total_momentum",
+    "kinetic_energy",
+    "acoustic_energy",
+]
+
+
+def _cdiff(a: np.ndarray, axis: int, dx: float) -> np.ndarray:
+    """Centered difference with one-sided ends (display quality)."""
+    out = np.gradient(a, dx, axis=axis)
+    return out
+
+
+def vorticity_2d(u: np.ndarray, v: np.ndarray, dx: float = 1.0) -> np.ndarray:
+    """Scalar vorticity ``dV_y/dx - dV_x/dy`` (the quantity of fig. 1)."""
+    return _cdiff(v, 0, dx) - _cdiff(u, 1, dx)
+
+
+def vorticity_3d(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, dx: float = 1.0
+) -> np.ndarray:
+    """Vorticity vector, shape ``(3,) + grid``."""
+    wx = _cdiff(w, 1, dx) - _cdiff(v, 2, dx)
+    wy = _cdiff(u, 2, dx) - _cdiff(w, 0, dx)
+    wz = _cdiff(v, 0, dx) - _cdiff(u, 1, dx)
+    return np.stack([wx, wy, wz])
+
+
+def divergence(vels: list[np.ndarray], dx: float = 1.0) -> np.ndarray:
+    """``div V`` — near zero in incompressible regions of subsonic flow."""
+    out = _cdiff(vels[0], 0, dx)
+    for d in range(1, len(vels)):
+        out += _cdiff(vels[d], d, dx)
+    return out
+
+
+def total_mass(rho: np.ndarray, dx: float = 1.0) -> float:
+    """Integral of density over the grid."""
+    return float(rho.sum() * dx**rho.ndim)
+
+
+def total_momentum(
+    rho: np.ndarray, vels: list[np.ndarray], dx: float = 1.0
+) -> np.ndarray:
+    """Integral of ``rho V`` per component."""
+    return np.array(
+        [float((rho * c).sum() * dx**rho.ndim) for c in vels]
+    )
+
+
+def kinetic_energy(
+    rho: np.ndarray, vels: list[np.ndarray], dx: float = 1.0
+) -> float:
+    """``1/2 integral rho |V|^2``."""
+    vsq = sum(c * c for c in vels)
+    return float(0.5 * (rho * vsq).sum() * dx**rho.ndim)
+
+
+def acoustic_energy(
+    rho: np.ndarray,
+    vels: list[np.ndarray],
+    rho0: float,
+    cs: float,
+    dx: float = 1.0,
+) -> float:
+    """Small-signal acoustic energy of the deviation from rest.
+
+    ``E = integral [ cs^2 (rho - rho0)^2 / (2 rho0) + rho0 |V|^2 / 2 ]``
+    — conserved (up to viscosity and filtering) by propagating sound
+    waves, used by the acoustic validation tests.
+    """
+    drho = rho - rho0
+    vsq = sum(c * c for c in vels)
+    e = cs * cs * drho * drho / (2.0 * rho0) + rho0 * vsq / 2.0
+    return float(e.sum() * dx**rho.ndim)

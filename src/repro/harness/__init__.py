@@ -1,0 +1,37 @@
+"""Measurement utilities: §7 timing protocol, eq. 5 metrics, and the
+per-figure parameter sweeps used by the benchmark harness."""
+
+from .metrics import efficiency, format_series, format_table, speedup
+from .sweeps import (
+    DEFAULT_2D_DECOMPS,
+    DEFAULT_2D_SIDES,
+    DEFAULT_3D_DECOMPS,
+    DEFAULT_3D_SIDES,
+    SweepPoint,
+    model_fig12,
+    model_fig13,
+    sweep_2d_grain,
+    sweep_3d_grain,
+    sweep_processors,
+)
+from .timing import StepTiming, measure_node_speed, time_stepper
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "format_table",
+    "format_series",
+    "StepTiming",
+    "time_stepper",
+    "measure_node_speed",
+    "SweepPoint",
+    "sweep_2d_grain",
+    "sweep_3d_grain",
+    "sweep_processors",
+    "model_fig12",
+    "model_fig13",
+    "DEFAULT_2D_DECOMPS",
+    "DEFAULT_3D_DECOMPS",
+    "DEFAULT_2D_SIDES",
+    "DEFAULT_3D_SIDES",
+]

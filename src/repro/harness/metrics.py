@@ -1,0 +1,61 @@
+"""Speedup/efficiency arithmetic (eq. 5) and result tabulation.
+
+Small, dependency-free helpers shared by the benchmark harness: the
+benchmarks print the same rows and series the paper's figures report, so
+each figure has a textual twin that can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["speedup", "efficiency", "format_table", "format_series"]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """Eq. 5: ``S = T_1 / T_p``."""
+    if tp <= 0:
+        raise ValueError(f"tp must be positive, got {tp}")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """Eq. 5: ``f = S / P = T_1 / (P T_p)``."""
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    return speedup(t1, tp) / p
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table (the benches' figure twin)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float]
+) -> str:
+    """One figure series as ``name: (x, y) ...`` pairs."""
+    pairs = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

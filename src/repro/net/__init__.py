@@ -1,0 +1,32 @@
+"""UNIX/TCP-IP communication substrate (paper §4.2, App. C-D).
+
+Length-prefixed socket frames, the shared-file port registry with flock
+(the paper's handshake), channel management with first-come-first-served
+``select`` receives, and the socket-backed ghost exchanger.
+"""
+
+from .channels import ChannelSet
+from .portfile import PortRegistry
+from .protocol import (
+    MSG_DATA,
+    MSG_HELLO,
+    Header,
+    ProtocolError,
+    pack_frame,
+    recv_frame,
+)
+from .transport import SocketExchanger
+from .udp import UdpChannelSet
+
+__all__ = [
+    "ChannelSet",
+    "UdpChannelSet",
+    "PortRegistry",
+    "SocketExchanger",
+    "Header",
+    "ProtocolError",
+    "pack_frame",
+    "recv_frame",
+    "MSG_DATA",
+    "MSG_HELLO",
+]

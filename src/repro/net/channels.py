@@ -1,0 +1,227 @@
+"""TCP channel management between parallel processes (paper §4.2, App. C).
+
+Opening a channel follows the paper's handshake: every process first
+binds a listening socket, writes its port into the shared file, then
+reads the file to find its neighbours.  For each neighbour pair the
+lower rank accepts and the higher rank connects (TCP's listen backlog
+makes this deadlock-free in any order); the connector identifies itself
+with a HELLO frame.  Channels stay open for the whole computation except
+during migration, when they are closed and re-opened under the next
+registry generation (§5).
+
+Receiving is **first-come-first-served** using ``select`` exactly as
+App. C recommends: frames are consumed from whichever neighbour has data
+ready and buffered by ``(step, phase, axis, side, sender)`` until the
+caller needs them — this is what lets computation proceed in processes
+that are not delayed.  A ``strict_order`` mode implements the
+alternative the appendix analyses (drain neighbours in a fixed order)
+so its inferior behaviour can be demonstrated.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import time
+from typing import Iterable, Mapping
+
+from .portfile import PortRegistry
+from .protocol import (
+    MSG_DATA,
+    MSG_HELLO,
+    Header,
+    ProtocolError,
+    pack_frame,
+    recv_frame,
+    send_all,
+)
+
+__all__ = ["ChannelSet"]
+
+_SNDBUF = 1 << 20  # generous kernel buffers keep small-strip sends non-blocking
+
+
+class ChannelSet:
+    """All TCP channels of one parallel process."""
+
+    def __init__(
+        self,
+        rank: int,
+        neighbor_ranks: Iterable[int],
+        registry: PortRegistry,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.rank = rank
+        self.neighbors = sorted(set(neighbor_ranks))
+        if rank in self.neighbors:
+            raise ValueError(f"rank {rank} cannot neighbour itself over TCP")
+        self.registry = registry
+        self.host = host
+        self.generation = -1
+        self._socks: dict[int, socket.socket] = {}
+        self._listener: socket.socket | None = None
+        self._inbox: dict[tuple, bytes] = {}
+        self._hung_up: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self, generation: int, timeout: float = 30.0) -> None:
+        """Open channels to every neighbour under ``generation``."""
+        if self._socks:
+            raise RuntimeError("channels already open")
+        self.generation = generation
+        listener = socket.create_server((self.host, 0), backlog=16)
+        self._listener = listener
+        port = listener.getsockname()[1]
+        self.registry.register(generation, self.rank, self.host, port)
+
+        lower = [n for n in self.neighbors if n < self.rank]
+        higher = [n for n in self.neighbors if n > self.rank]
+
+        # Connect to lower-ranked neighbours (their listeners are bound
+        # before they register, so the connect cannot race the bind).
+        if lower:
+            addrs = self.registry.wait_for(
+                generation, set(lower), timeout=timeout
+            )
+            for n in lower:
+                s = socket.create_connection(addrs[n], timeout=timeout)
+                self._setup(s)
+                send_all(s, pack_frame(MSG_HELLO, self.rank))
+                self._socks[n] = s
+
+        # Accept connections from higher-ranked neighbours.
+        deadline = time.monotonic() + timeout
+        pending = set(higher)
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {self.rank}: neighbours {sorted(pending)} never "
+                    f"connected (generation {generation})"
+                )
+            ready, _, _ = select.select([listener], [], [], remaining)
+            if not ready:
+                continue
+            s, _ = listener.accept()
+            self._setup(s)
+            header, _ = recv_frame(s)
+            if header.msg_type != MSG_HELLO:
+                raise ProtocolError(
+                    f"expected HELLO, got type {header.msg_type}"
+                )
+            if header.sender not in pending:
+                raise ProtocolError(
+                    f"unexpected connection from rank {header.sender}"
+                )
+            pending.discard(header.sender)
+            self._socks[header.sender] = s
+
+    @staticmethod
+    def _setup(s: socket.socket) -> None:
+        s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, _SNDBUF)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, _SNDBUF)
+
+    def close(self) -> None:
+        """Close every channel (done before a migration pause, §5.1)."""
+        for s in self._socks.values():
+            try:
+                s.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._socks.clear()
+        self._hung_up.clear()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        # Buffered future-step frames remain valid across a re-open: the
+        # sender will not retransmit them.
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def send_data(
+        self,
+        to: int,
+        payload: bytes,
+        step: int,
+        phase: int,
+        axis: int,
+        side: int,
+    ) -> None:
+        """Send one boundary-strip frame to a neighbour."""
+        frame = pack_frame(
+            MSG_DATA,
+            self.rank,
+            payload,
+            step=step,
+            phase=phase,
+            axis=axis,
+            side=side,
+        )
+        send_all(self._socks[to], frame)
+
+    def recv_data(
+        self,
+        keys: set[tuple[int, int, int, int, int]],
+        timeout: float = 60.0,
+        strict_order: bool = False,
+    ) -> dict[tuple, bytes]:
+        """Collect the payloads for every requested key.
+
+        ``keys`` are ``(step, phase, axis, side, sender)`` tuples.  In the
+        default first-come-first-served mode, ``select`` picks whichever
+        neighbour has data; in ``strict_order`` mode neighbours are
+        drained in ascending rank order (the App. C ablation).
+        """
+        out: dict[tuple, bytes] = {}
+        for key in list(keys):
+            if key in self._inbox:
+                out[key] = self._inbox.pop(key)
+        missing = keys - out.keys()
+        deadline = time.monotonic() + timeout
+        by_rank = {s: r for r, s in self._socks.items()}
+        while missing:
+            # A peer that has finished its run closes its end; that is
+            # only an error if we still expect data from it (all frames
+            # sent before the close are delivered first by TCP).
+            dead = self._hung_up & {k[4] for k in missing}
+            if dead:
+                raise ProtocolError(
+                    f"rank {self.rank}: neighbours {sorted(dead)} hung up "
+                    f"while {sorted(missing)} still outstanding"
+                )
+            if strict_order:
+                want = sorted(k[4] for k in missing)[0]
+                socks = [self._socks[want]]
+            else:
+                socks = [
+                    s for r, s in self._socks.items()
+                    if r not in self._hung_up
+                ]
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {self.rank}: still waiting for {sorted(missing)}"
+                )
+            ready, _, _ = select.select(socks, [], [], remaining)
+            for s in ready:
+                try:
+                    header, payload = recv_frame(s)
+                except ProtocolError:
+                    self._hung_up.add(by_rank[s])
+                    continue
+                if header.msg_type != MSG_DATA:
+                    raise ProtocolError(
+                        f"unexpected mid-run frame type {header.msg_type}"
+                    )
+                key = header.key()
+                if key in missing:
+                    out[key] = payload
+                    missing.discard(key)
+                else:
+                    # A neighbour running ahead (App. A) — buffer it.
+                    self._inbox[key] = payload
+        return out

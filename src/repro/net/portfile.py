@@ -1,0 +1,93 @@
+"""Shared-file port registry (paper §4.2).
+
+"The port numbers must be known in advance before the TCP/IP channel is
+opened.  Thus, each process must first allocate its port numbers for
+listening to its neighbors, and then write the port numbers into a
+shared file.  The neighbors must read the shared file before they can
+connect" — the workstations share a common file system, and so do the
+worker processes here.  Writes are serialized with ``flock`` in append
+mode, the same file-locking-semaphore technique the synchronization
+algorithm of App. B uses.
+
+A *generation* number partitions registrations across channel re-opens:
+channels are closed during a migration and every process re-registers
+under the next generation when the computation resumes (§5).
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import time
+from pathlib import Path
+
+__all__ = ["PortRegistry"]
+
+
+class PortRegistry:
+    """Append-only rank -> (host, port) registry backed by a shared file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def register(
+        self, generation: int, rank: int, host: str, port: int
+    ) -> None:
+        """Record that ``rank`` listens at ``host:port`` in ``generation``."""
+        line = f"{generation} {rank} {host} {port}\n"
+        # Append under an exclusive lock so concurrent registrations from
+        # different processes never interleave within a line.
+        with open(self.path, "a") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    def read(self, generation: int) -> dict[int, tuple[str, int]]:
+        """All registrations of a generation (last write per rank wins)."""
+        out: dict[int, tuple[str, int]] = {}
+        if not self.path.exists():
+            return out
+        with open(self.path, "r") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_SH)
+            try:
+                lines = fh.readlines()
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        for line in lines:
+            parts = line.split()
+            if len(parts) != 4:
+                continue
+            gen, rank, host, port = parts
+            if int(gen) == generation:
+                out[int(rank)] = (host, int(port))
+        return out
+
+    def wait_for(
+        self,
+        generation: int,
+        ranks: set[int],
+        timeout: float = 30.0,
+        poll: float = 0.01,
+    ) -> dict[int, tuple[str, int]]:
+        """Block until every rank in ``ranks`` has registered.
+
+        This is the "read the shared file before they can connect" side
+        of the paper's handshake.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            entries = self.read(generation)
+            if ranks <= entries.keys():
+                return {r: entries[r] for r in ranks}
+            if time.monotonic() > deadline:
+                missing = sorted(ranks - entries.keys())
+                raise TimeoutError(
+                    f"ranks {missing} never registered ports for "
+                    f"generation {generation}"
+                )
+            time.sleep(poll)

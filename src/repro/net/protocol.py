@@ -1,0 +1,124 @@
+"""Wire protocol for boundary exchange over TCP/IP (paper §4.2).
+
+The paper's processes communicate padded areas through sockets with the
+TCP/IP protocol, which "behaves as if there are two first-in-first-out
+channels for writing data in each direction between two processes".
+Messages are length-prefixed frames: a fixed header identifying the
+sender, integration step, exchange phase, axis and side, followed by the
+raw bytes of the strip arrays (all fields of the phase concatenated in
+declaration order).  The receiver knows every strip's shape from its own
+exchange plan, so no shape metadata travels.
+
+Because communication only loosely synchronizes neighbours (App. A),
+frames for a *future* step can arrive before the receiver needs them;
+the receive side therefore tags frames with ``(step, phase, axis)`` and
+buffers out-of-order arrivals.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "MAGIC",
+    "MSG_HELLO",
+    "MSG_DATA",
+    "Header",
+    "pack_frame",
+    "recv_frame",
+    "send_all",
+    "ProtocolError",
+]
+
+MAGIC = b"SKRD"
+MSG_HELLO = 1  # handshake: "I am rank R" (paper's port-file handshake)
+MSG_DATA = 2   # boundary strip payload
+
+#: magic, version, msg_type, sender_rank, step, phase, axis, side, payload_len
+_HEADER = struct.Struct(">4sBBiqBBbQ")
+HEADER_SIZE = _HEADER.size
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or unexpected frame."""
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded frame header."""
+
+    msg_type: int
+    sender: int
+    step: int
+    phase: int
+    axis: int
+    side: int
+    payload_len: int
+
+    def key(self) -> tuple[int, int, int, int, int]:
+        """Buffering key for out-of-order delivery."""
+        return (self.step, self.phase, self.axis, self.side, self.sender)
+
+
+def pack_frame(
+    msg_type: int,
+    sender: int,
+    payload: bytes = b"",
+    step: int = 0,
+    phase: int = 0,
+    axis: int = 0,
+    side: int = 0,
+) -> bytes:
+    """Serialize a frame (header + payload) to bytes."""
+    header = _HEADER.pack(
+        MAGIC,
+        PROTOCOL_VERSION,
+        msg_type,
+        sender,
+        step,
+        phase,
+        axis,
+        side,
+        len(payload),
+    )
+    return header + payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise on EOF."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[Header, bytes]:
+    """Blocking read of one complete frame from a socket."""
+    raw = _recv_exact(sock, HEADER_SIZE)
+    magic, version, msg_type, sender, step, phase, axis, side, plen = (
+        _HEADER.unpack(raw)
+    )
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"protocol version {version} != {PROTOCOL_VERSION}")
+    payload = _recv_exact(sock, plen) if plen else b""
+    return (
+        Header(msg_type, sender, step, phase, axis, side, plen),
+        payload,
+    )
+
+
+def send_all(sock: socket.socket, data: bytes) -> None:
+    """Send a complete buffer (TCP guarantees ordering and delivery)."""
+    sock.sendall(data)

@@ -1,0 +1,12 @@
+"""Command-line tools: ``python -m repro.tools <command>``.
+
+* ``simulate`` — run a named problem (channel / flue_pipe / cylinder)
+  with either method, any decomposition, and save the fields;
+* ``cluster`` — one simulated distributed run on the 1994 cluster,
+  printing the §7-style measurement;
+* ``figures`` — regenerate every figure's data table outside pytest.
+"""
+
+from .cli import main
+
+__all__ = ["main"]

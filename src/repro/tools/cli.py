@@ -1,0 +1,213 @@
+"""Argument parsing and dispatch for ``python -m repro.tools``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from ..core import Decomposition, Simulation
+    from ..fluids import (
+        FDMethod,
+        FluidParams,
+        LBMethod,
+        channel_geometry,
+        cylinder_channel,
+        flue_pipe,
+    )
+
+    shape = tuple(args.shape)
+    inlets, outlets = [], []
+    if args.problem == "channel":
+        solid = channel_geometry(shape)
+        periodic = (True,) + (False,) * (len(shape) - 1)
+        gravity = (args.force,) + (0.0,) * (len(shape) - 1)
+    elif args.problem == "cylinder":
+        solid = cylinder_channel(shape)
+        periodic = (True, False)
+        gravity = (args.force, 0.0)
+    else:  # flue_pipe
+        setup = flue_pipe(shape, jet_speed=args.jet)
+        solid = setup.solid
+        inlets, outlets = [setup.inlet], [setup.outlet]
+        periodic = (False, False)
+        gravity = (0.0, 0.0)
+
+    ndim = len(shape)
+    params = FluidParams.lattice(
+        ndim, nu=args.nu, gravity=gravity, filter_eps=args.filter_eps
+    )
+    cls = LBMethod if args.method == "lb" else FDMethod
+    method = cls(params, ndim, inlets=inlets, outlets=outlets)
+    decomp = Decomposition(
+        shape, tuple(args.blocks), periodic=periodic, solid=solid
+    )
+    fields = {"rho": np.full(shape, 1.0)}
+    for name in ("u", "v", "w")[:ndim]:
+        fields[name] = np.zeros(shape)
+
+    sim = Simulation(method, decomp, fields, solid)
+    print(
+        f"{args.problem} {shape}, {args.method.upper()}, "
+        f"decomposition {'x'.join(map(str, args.blocks))} "
+        f"({decomp.n_active} active)"
+    )
+    chunk = max(args.steps // 10, 1)
+    done = 0
+    while done < args.steps:
+        n = min(chunk, args.steps - done)
+        sim.step(n)
+        done += n
+        u = sim.global_field("u")
+        print(f"  step {sim.step_count:6d}   max|u| = {np.abs(u).max():.5f}")
+    out = Path(args.out)
+    np.savez_compressed(out, solid=solid, **sim.global_state())
+    print(f"fields written to {out}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from ..cluster import ClusterSimulation, NetworkParams
+    from ..harness import format_table
+
+    blocks = tuple(args.blocks)
+    sim = ClusterSimulation(
+        args.method,
+        len(blocks),
+        blocks,
+        args.side,
+        network=NetworkParams(preset=args.network)
+        if args.network
+        else NetworkParams(),
+        sync_mode=args.sync,
+    )
+    res = sim.run(steps=args.steps, monitor_poll=args.monitor_poll)
+    rows = [
+        ["processors", res.processors],
+        ["nodes/processor", res.nodes_per_proc],
+        ["time/step (simulated)", f"{res.time_per_step:.4f} s"],
+        ["T_1 (one 715/50)", f"{res.serial_time_per_step:.4f} s"],
+        ["speedup", f"{res.speedup:.2f}"],
+        ["efficiency", f"{res.efficiency:.3f}"],
+        ["bus utilization", f"{res.bus.utilization(res.elapsed):.3f}"],
+        ["network errors", res.bus.network_errors],
+        ["migrations", len(res.migrations)],
+    ]
+    print(format_table(["quantity", "value"], rows,
+                       title="simulated distributed run (§7 protocol)"))
+    return 0
+
+
+def _cmd_image(args: argparse.Namespace) -> int:
+    from ..fluids import vorticity_2d
+    from ..viz import field_to_ppm
+
+    data = np.load(args.npz)
+    solid = data["solid"].astype(bool) if "solid" in data.files else None
+    if args.field == "vorticity" and "vorticity" not in data.files:
+        field = vorticity_2d(data["u"], data["v"])
+    else:
+        field = data[args.field]
+    if field.ndim == 3:  # 3D run: take the requested x-slice
+        field = field[args.slice]
+        solid = solid[args.slice] if solid is not None else None
+    out = args.out or f"{Path(args.npz).stem}_{args.field}.ppm"
+    field_to_ppm(field, out, solid=solid)
+    print(f"wrote {out} ({field.shape[0]}x{field.shape[1]})")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from ..fluids import dominant_frequency, spectrum
+
+    data = np.load(args.npz)
+    if args.key not in data.files:
+        print(f"no array {args.key!r} in {args.npz}; "
+              f"available: {', '.join(data.files)}")
+        return 1
+    signal = data[args.key]
+    f = dominant_frequency(signal, dt=args.dt)
+    freqs, amp = spectrum(signal, dt=args.dt)
+    order = np.argsort(amp[1:])[::-1][:5] + 1
+    print(f"samples: {len(signal)}, swing: "
+          f"{signal.max() - signal.min():.3e}")
+    print(f"dominant frequency: {f:.6f} cycles per time unit")
+    print("strongest lines:")
+    for k in order:
+        print(f"  f = {freqs[k]:.6f}   amplitude = {amp[k]:.3e}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import subprocess
+
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(Path(__file__).resolve().parents[3] / "benchmarks"),
+        "--benchmark-only", "-q",
+    ]
+    print("running:", " ".join(cmd))
+    return subprocess.call(cmd)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description=__doc__,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a named flow problem")
+    p.add_argument("problem", choices=("channel", "flue_pipe", "cylinder"))
+    p.add_argument("--method", choices=("lb", "fd"), default="lb")
+    p.add_argument("--shape", type=int, nargs="+", default=(96, 64))
+    p.add_argument("--blocks", type=int, nargs="+", default=(2, 2))
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--nu", type=float, default=0.05)
+    p.add_argument("--force", type=float, default=1e-5)
+    p.add_argument("--jet", type=float, default=0.08)
+    p.add_argument("--filter-eps", type=float, default=0.02)
+    p.add_argument("--out", default="simulation.npz")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("cluster", help="simulated 1994-cluster run")
+    p.add_argument("--method", choices=("lb", "fd"), default="lb")
+    p.add_argument("--blocks", type=int, nargs="+", default=(5, 4))
+    p.add_argument("--side", type=int, default=150)
+    p.add_argument("--steps", type=int, default=30)
+    p.add_argument("--network",
+                   choices=("ethernet10", "switched10", "fddi100",
+                            "atm155"),
+                   default=None)
+    p.add_argument("--sync", choices=("bsp", "loose"), default="bsp")
+    p.add_argument("--monitor-poll", type=float, default=0.0)
+    p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("image", help="render a saved field as PPM")
+    p.add_argument("npz", help="npz file from simulate / an example")
+    p.add_argument("--field", default="vorticity")
+    p.add_argument("--slice", type=int, default=0,
+                   help="x-slice for 3D fields")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_image)
+
+    p = sub.add_parser("probe", help="spectrum of a saved probe signal")
+    p.add_argument("npz")
+    p.add_argument("--key", default="mouth_probe")
+    p.add_argument("--dt", type=float, default=1.0,
+                   help="steps between samples")
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser("figures",
+                       help="regenerate benchmarks/results/*.txt")
+    p.set_defaults(func=_cmd_figures)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

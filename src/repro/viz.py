@@ -1,0 +1,230 @@
+"""Dependency-free visualization: PPM images, SVG plots, ASCII contours.
+
+The paper's figures are equi-vorticity contour plots (figs. 1-2) and
+efficiency/speedup curves (figs. 5-13).  This module renders both
+without any plotting dependency:
+
+* :func:`field_to_ppm` writes a 2D field as a binary PPM image with a
+  blue-white-red diverging colormap (the natural palette for signed
+  vorticity) and walls in gray — the fig. 1 snapshot as a file any
+  image viewer opens;
+* :func:`svg_plot` writes multi-series line plots as standalone SVG —
+  the figs. 5-13 curves;
+* :func:`ascii_contours` renders the +/- contour pattern in a terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "diverging_colormap",
+    "field_to_ppm",
+    "ascii_contours",
+    "svg_plot",
+]
+
+
+def diverging_colormap(values: np.ndarray) -> np.ndarray:
+    """Map values in [-1, 1] to blue-white-red RGB (uint8).
+
+    Negative values shade towards blue, positive towards red, zero is
+    white — the standard signed-field palette.
+    """
+    v = np.clip(np.asarray(values, dtype=float), -1.0, 1.0)
+    rgb = np.empty(v.shape + (3,), dtype=np.uint8)
+    pos = np.clip(v, 0.0, 1.0)
+    neg = np.clip(-v, 0.0, 1.0)
+    rgb[..., 0] = np.round(255 * (1.0 - neg)).astype(np.uint8)  # red
+    rgb[..., 1] = np.round(255 * (1.0 - np.maximum(pos, neg))).astype(
+        np.uint8
+    )
+    rgb[..., 2] = np.round(255 * (1.0 - pos)).astype(np.uint8)  # blue
+    return rgb
+
+
+def field_to_ppm(
+    field: np.ndarray,
+    path: str | Path,
+    solid: np.ndarray | None = None,
+    scale: float | None = None,
+    wall_gray: int = 96,
+) -> Path:
+    """Write a 2D field as a binary PPM (P6) image.
+
+    Axis convention of the paper's figures: x to the right, y upward
+    (the array's axis 0 is x, axis 1 is y).  ``scale`` fixes the value
+    mapped to full color; defaults to ``max |field|``.  Solid nodes are
+    drawn gray.
+    """
+    if field.ndim != 2:
+        raise ValueError(f"need a 2D field, got shape {field.shape}")
+    scale = float(np.abs(field).max()) if scale is None else float(scale)
+    scale = max(scale, 1e-300)
+    rgb = diverging_colormap(field / scale)
+    if solid is not None:
+        if solid.shape != field.shape:
+            raise ValueError("solid mask shape mismatch")
+        rgb[solid] = wall_gray
+    # image rows run top to bottom: transpose to (y, x) and flip y
+    img = np.transpose(rgb, (1, 0, 2))[::-1]
+    path = Path(path)
+    header = f"P6\n{img.shape[1]} {img.shape[0]}\n255\n".encode()
+    path.write_bytes(header + img.tobytes())
+    return path
+
+
+def ascii_contours(
+    field: np.ndarray,
+    solid: np.ndarray | None = None,
+    width: int = 72,
+    height: int = 28,
+    threshold: float = 0.15,
+) -> str:
+    """Coarse +/- contour rendering for terminals (fig. 1 in ASCII).
+
+    Each character cell shows ``#`` for predominantly solid cells,
+    ``+``/``-`` where the cell's extreme value exceeds ``threshold``
+    of the global scale, and space otherwise.
+    """
+    if field.ndim != 2:
+        raise ValueError(f"need a 2D field, got shape {field.shape}")
+    nx, ny = field.shape
+    if solid is None:
+        solid = np.zeros(field.shape, dtype=bool)
+    xe = np.linspace(0, nx, width + 1).astype(int)
+    ye = np.linspace(0, ny, height + 1).astype(int)
+    scale = max(float(np.abs(field).max()), 1e-300)
+    lines = []
+    for jy in reversed(range(height)):  # y upward
+        row = []
+        for ix in range(width):
+            cs = solid[xe[ix]:xe[ix + 1], ye[jy]:ye[jy + 1]]
+            cw = field[xe[ix]:xe[ix + 1], ye[jy]:ye[jy + 1]]
+            if cs.mean() > 0.5 or (
+                cs.any() and np.abs(cw).max() < 0.05 * scale
+            ):
+                row.append("#")
+                continue
+            v = cw.flat[np.abs(cw).argmax()] / scale
+            row.append("+" if v > threshold
+                       else "-" if v < -threshold else " ")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def svg_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    path: str | Path,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 560,
+    height: int = 360,
+    ylim: tuple[float, float] | None = None,
+) -> Path:
+    """Write a multi-series line plot as a standalone SVG file.
+
+    ``series`` maps a legend label to ``(xs, ys)``.  Pure text output:
+    no dependencies, renders in any browser — used to plot the
+    efficiency/speedup curves of figs. 5-13.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+              "#8c564b", "#17becf"]
+    margin_l, margin_r, margin_t, margin_b = 58, 16, 34, 44
+    pw = width - margin_l - margin_r
+    ph = height - margin_t - margin_b
+
+    all_x = np.concatenate([np.asarray(x, float) for x, _ in
+                            series.values()])
+    all_y = np.concatenate([np.asarray(y, float) for _, y in
+                            series.values()])
+    x0, x1 = float(all_x.min()), float(all_x.max())
+    if ylim is not None:
+        y0, y1 = ylim
+    else:
+        y0, y1 = float(all_y.min()), float(all_y.max())
+        pad = 0.05 * max(y1 - y0, 1e-12)
+        y0, y1 = y0 - pad, y1 + pad
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    def sx(x: float) -> float:
+        return margin_l + (x - x0) / (x1 - x0) * pw
+
+    def sy(y: float) -> float:
+        return margin_t + (1.0 - (y - y0) / (y1 - y0)) * ph
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{margin_l}" y="{margin_t}" width="{pw}" height="{ph}" '
+        'fill="none" stroke="#444"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="13">{title}</text>'
+        )
+    # ticks
+    for i in range(5):
+        xv = x0 + i * (x1 - x0) / 4
+        yv = y0 + i * (y1 - y0) / 4
+        parts.append(
+            f'<line x1="{sx(xv):.1f}" y1="{margin_t + ph}" '
+            f'x2="{sx(xv):.1f}" y2="{margin_t + ph + 4}" stroke="#444"/>'
+            f'<text x="{sx(xv):.1f}" y="{margin_t + ph + 16}" '
+            f'text-anchor="middle">{xv:g}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_l - 4}" y1="{sy(yv):.1f}" '
+            f'x2="{margin_l}" y2="{sy(yv):.1f}" stroke="#444"/>'
+            f'<text x="{margin_l - 8}" y="{sy(yv) + 4:.1f}" '
+            f'text-anchor="end">{yv:.3g}</text>'
+        )
+    if xlabel:
+        parts.append(
+            f'<text x="{margin_l + pw / 2:.0f}" y="{height - 8}" '
+            f'text-anchor="middle">{xlabel}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="14" y="{margin_t + ph / 2:.0f}" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{margin_t + ph / 2:.0f})">{ylabel}</text>'
+        )
+    # series
+    for k, (label, (xs, ys)) in enumerate(series.items()):
+        color = colors[k % len(colors)]
+        pts = " ".join(
+            f"{sx(float(x)):.1f},{sy(float(y)):.1f}"
+            for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            'stroke-width="1.6"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{sx(float(x)):.1f}" cy="{sy(float(y)):.1f}" '
+                f'r="2.4" fill="{color}"/>'
+            )
+        ly = margin_t + 14 + 14 * k
+        parts.append(
+            f'<line x1="{margin_l + pw - 110}" y1="{ly - 4}" '
+            f'x2="{margin_l + pw - 90}" y2="{ly - 4}" stroke="{color}" '
+            'stroke-width="2"/>'
+            f'<text x="{margin_l + pw - 84}" y="{ly}">{label}</text>'
+        )
+    parts.append("</svg>")
+    path = Path(path)
+    path.write_text("\n".join(parts))
+    return path

@@ -1,0 +1,104 @@
+"""Dynamic workload allocation: the §1.1 baseline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import ClusterSimulation, LoadTrace, paper_sim_cluster
+from repro.cluster.allocation import proportional_shares, repartition_cost
+
+
+class TestProportionalShares:
+    def test_equal_speeds_equal_shares(self):
+        assert proportional_shares(100, [1.0, 1.0, 1.0, 1.0]) == [25] * 4
+
+    def test_proportionality(self):
+        shares = proportional_shares(300, [2.0, 1.0])
+        assert shares == [200, 100]
+
+    def test_sums_exactly(self):
+        shares = proportional_shares(101, [1.0, 1.0, 1.0])
+        assert sum(shares) == 101
+
+    @given(
+        st.integers(10, 100_000),
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=12),
+    )
+    def test_properties(self, total, speeds):
+        if total < len(speeds):
+            return
+        shares = proportional_shares(total, speeds)
+        assert sum(shares) == total
+        assert all(s >= 1 for s in shares)
+        # faster processors never get a smaller share by more than the
+        # rounding granule
+        for i in range(len(speeds)):
+            for j in range(len(speeds)):
+                if speeds[i] > speeds[j]:
+                    assert shares[i] >= shares[j] - 1
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            proportional_shares(2, [1.0, 1.0, 1.0])
+
+    def test_bad_speed(self):
+        with pytest.raises(ValueError):
+            proportional_shares(10, [1.0, 0.0])
+
+
+class TestRepartitionCost:
+    def test_no_move_costs_only_overhead(self):
+        assert repartition_cost([50, 50], [50, 50], 72, 1e6) == 1.0
+
+    def test_moved_nodes_charged(self):
+        # 10 nodes move: 10 * 72 B / 1 MB/s = 0.72 ms
+        cost = repartition_cost([60, 40], [50, 50], 72.0, 1e6,
+                                fixed_overhead=0.0)
+        assert cost == pytest.approx(10 * 72 / 1e6)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            repartition_cost([10, 10], [10, 11], 72, 1e6)
+
+
+class TestRebalancePolicy:
+    def _traces(self):
+        return {"hp715-01": LoadTrace.busy_from(5.0, load=2.0)}
+
+    def test_rebalance_triggers_and_resizes(self):
+        sim = ClusterSimulation(
+            "lb", 2, (4, 1), 120,
+            hosts=paper_sim_cluster(self._traces()),
+        )
+        res = sim.run(steps=60, monitor_poll=2.0, policy="rebalance")
+        assert len(sim.rebalances) >= 1
+        _, shares = sim.rebalances[0]
+        # the busy host (rank 1) got a much smaller slab
+        assert shares[1] < min(shares[0], shares[2], shares[3])
+        assert sum(shares) == 4 * 120 * 120
+        assert res.migrations == []
+
+    def test_rebalance_beats_doing_nothing(self):
+        hosts = paper_sim_cluster(self._traces())
+        stuck = ClusterSimulation(
+            "lb", 2, (4, 1), 120, hosts=hosts,
+        ).run(steps=200, monitor_poll=0.0)
+        hosts2 = paper_sim_cluster(self._traces())
+        balanced = ClusterSimulation(
+            "lb", 2, (4, 1), 120, hosts=hosts2,
+        ).run(steps=200, monitor_poll=5.0, policy="rebalance")
+        assert balanced.elapsed < stuck.elapsed
+
+    def test_rebalance_requires_chain(self):
+        sim = ClusterSimulation("lb", 2, (2, 2), 100)
+        with pytest.raises(ValueError, match="chain"):
+            sim.run(steps=10, monitor_poll=1.0, policy="rebalance")
+
+    def test_unknown_policy(self):
+        sim = ClusterSimulation("lb", 2, (4, 1), 100)
+        with pytest.raises(ValueError, match="policy"):
+            sim.run(steps=10, policy="prayer")
+
+    def test_no_rebalance_when_balanced(self):
+        sim = ClusterSimulation("lb", 2, (4, 1), 120)
+        sim.run(steps=40, monitor_poll=2.0, policy="rebalance")
+        assert sim.rebalances == []

@@ -1,0 +1,121 @@
+"""Shared-bus Ethernet model: serialization, overhead, collisions."""
+
+import pytest
+
+from repro.cluster import EventQueue, SharedBus
+
+
+def _bus(**kw):
+    q = EventQueue()
+    defaults = dict(bandwidth=1e6, overhead=1e-3, collision_factor=0.0)
+    defaults.update(kw)
+    return q, SharedBus(q, **defaults)
+
+
+class TestTransmission:
+    def test_single_message_time(self):
+        q, bus = _bus()
+        arrivals = []
+        bus.send(10_000, lambda t: arrivals.append(t))
+        q.run()
+        assert arrivals == [pytest.approx(1e-3 + 0.01)]
+
+    def test_messages_serialize(self):
+        """Only one frame on the wire at a time — concurrent sends queue."""
+        q, bus = _bus()
+        arrivals = []
+        bus.send(10_000, lambda t: arrivals.append(t))
+        bus.send(10_000, lambda t: arrivals.append(t))
+        q.run()
+        assert arrivals[0] == pytest.approx(0.011)
+        assert arrivals[1] == pytest.approx(0.022)
+
+    def test_idle_gap_not_charged(self):
+        q, bus = _bus()
+        arrivals = []
+        bus.send(1000, lambda t: arrivals.append(t))
+        q.run()
+        q.schedule(10.0, lambda t: bus.send(1000, lambda t2: arrivals.append(t2)))
+        q.run()
+        assert arrivals[1] == pytest.approx(10.0 + 2e-3)
+
+    def test_overhead_dominates_small_messages(self):
+        """§7: 'each message in a local area network incurs an overhead
+        which becomes important when the messages are small' — the FD
+        vs LB difference."""
+        q, bus = _bus()
+        small = bus.transmit_time(100)
+        assert small > 0.9e-3  # overhead floor
+        assert bus.transmit_time(200) < 2 * small
+
+
+class TestCollisions:
+    def test_backlog_inflates_wire_time(self):
+        q, bus = _bus(collision_factor=0.1)
+        arrivals = []
+        for _ in range(3):
+            bus.send(10_000, lambda t: arrivals.append(t))
+        q.run()
+        # 1st: backlog 0 -> 11 ms; 2nd: backlog 1 -> 1 + 10*1.1 = 12 ms;
+        # 3rd: backlog 2 -> 13 ms
+        assert arrivals[0] == pytest.approx(0.011)
+        assert arrivals[1] == pytest.approx(0.011 + 0.012)
+        assert arrivals[2] == pytest.approx(0.011 + 0.012 + 0.013)
+
+    def test_backlog_clears(self):
+        q, bus = _bus(collision_factor=0.1)
+        bus.send(1000, lambda t: None)
+        q.run()
+        assert bus.backlog() == 0
+
+
+class TestStats:
+    def test_counters(self):
+        q, bus = _bus()
+        bus.send(500, lambda t: None)
+        bus.send(700, lambda t: None)
+        q.run()
+        assert bus.stats.messages == 2
+        assert bus.stats.bytes == 1200
+        assert bus.stats.busy_time == pytest.approx(2e-3 + 1.2e-3)
+
+    def test_queue_delay_tracked(self):
+        q, bus = _bus()
+        bus.send(100_000, lambda t: None)  # 0.101 s on the wire
+        bus.send(100, lambda t: None)
+        q.run()
+        assert bus.stats.total_queue_delay == pytest.approx(0.101)
+        assert bus.stats.max_queue_delay == pytest.approx(0.101)
+
+    def test_network_errors_on_excessive_wait(self):
+        """'the TCP/IP protocol fails to deliver messages after
+        excessive retransmissions' under heavy 3D traffic (§7)."""
+        q, bus = _bus(error_wait_threshold=0.05)
+        for _ in range(3):
+            bus.send(100_000, lambda t: None)
+        q.run()
+        assert bus.stats.network_errors == 2
+
+    def test_utilization(self):
+        q, bus = _bus()
+        bus.send(1_000_000, lambda t: None)  # ~1 s busy
+        q.run()
+        u = bus.stats.utilization(2.0)
+        assert u == pytest.approx((1e-3 + 1.0) / 2.0)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            SharedBus(q, bandwidth=0)
+
+    def test_bad_overhead(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            SharedBus(q, overhead=-1)
+
+    def test_bad_collision_factor(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            SharedBus(q, collision_factor=-0.1)

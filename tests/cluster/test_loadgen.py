@@ -1,0 +1,73 @@
+"""Stochastic user-activity generation."""
+
+import pytest
+
+from repro.cluster import (
+    LoadTrace,
+    expected_busy_events,
+    poisson_user_traces,
+)
+
+
+class TestPoissonTraces:
+    def test_deterministic_for_seed(self):
+        a = poisson_user_traces(["h0", "h1"], 3600.0, 2.0, seed=5)
+        b = poisson_user_traces(["h0", "h1"], 3600.0, 2.0, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = poisson_user_traces(["h0"], 36000.0, 2.0, seed=1)
+        b = poisson_user_traces(["h0"], 36000.0, 2.0, seed=2)
+        assert a != b
+
+    def test_adding_hosts_preserves_existing(self):
+        """Per-host substreams: growing the cluster never reshuffles
+        the traces of hosts already present."""
+        small = poisson_user_traces(["a", "b"], 7200.0, 3.0, seed=9)
+        big = poisson_user_traces(["a", "b", "c"], 7200.0, 3.0, seed=9)
+        assert big["a"] == small["a"]
+        assert big["b"] == small["b"]
+
+    def test_zero_rate_means_idle(self):
+        traces = poisson_user_traces(["h0"], 3600.0, 0.0)
+        assert traces["h0"].points == ()
+
+    def test_event_rate_statistics(self):
+        """Over many host-hours the onset count approaches the rate."""
+        hours = 50.0
+        names = [f"h{i}" for i in range(20)]
+        traces = poisson_user_traces(
+            names, hours * 3600.0, busy_rate_per_hour=1.0,
+            mean_busy_minutes=10.0, seed=3,
+        )
+        events = expected_busy_events(traces, names)
+        expected = 20 * hours * 1.0
+        # busy periods suppress arrivals while running, so slightly
+        # under the nominal rate; Poisson noise on top
+        assert 0.6 * expected < events < 1.1 * expected
+
+    def test_loads_within_duration(self):
+        traces = poisson_user_traces(["h0"], 1800.0, 10.0, seed=7)
+        for t, _ in traces["h0"].points:
+            assert 0.0 <= t <= 1800.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_user_traces(["h"], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_user_traces(["h"], 10.0, -1.0)
+
+
+class TestExpectedBusyEvents:
+    def test_counts_onsets_only(self):
+        trace = LoadTrace(points=((10.0, 2.0), (50.0, 0.0), (80.0, 2.0)))
+        assert expected_busy_events({"h": trace}, ["h"]) == 2
+
+    def test_threshold(self):
+        trace = LoadTrace(points=((10.0, 1.0), (20.0, 0.0)))
+        assert expected_busy_events({"h": trace}, ["h"]) == 0
+
+    def test_only_hosts_in_use(self):
+        trace = LoadTrace(points=((10.0, 2.0),))
+        traces = {"used": trace, "spare": trace}
+        assert expected_busy_events(traces, ["used"]) == 1

@@ -1,0 +1,144 @@
+"""Switched/future network models (§9's prediction)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulation,
+    EventQueue,
+    NETWORK_PRESETS,
+    NetworkParams,
+    SharedBus,
+    SwitchedNetwork,
+    make_network,
+)
+
+
+class TestSwitchedNetwork:
+    def _net(self, **kw):
+        q = EventQueue()
+        return q, SwitchedNetwork(q, bandwidth=1e6, overhead=1e-3, **kw)
+
+    def test_disjoint_pairs_concurrent(self):
+        """a->b and c->d do not contend: both arrive after one wire time."""
+        q, net = self._net()
+        arrivals = []
+        net.send(10_000, lambda t: arrivals.append(t), src="a", dst="b")
+        net.send(10_000, lambda t: arrivals.append(t), src="c", dst="d")
+        q.run()
+        assert arrivals[0] == pytest.approx(0.011)
+        assert arrivals[1] == pytest.approx(0.011)
+
+    def test_same_sender_serializes(self):
+        q, net = self._net()
+        arrivals = []
+        net.send(10_000, lambda t: arrivals.append(t), src="a", dst="b")
+        net.send(10_000, lambda t: arrivals.append(t), src="a", dst="c")
+        q.run()
+        assert arrivals[1] == pytest.approx(0.022)
+
+    def test_same_receiver_serializes(self):
+        q, net = self._net()
+        arrivals = []
+        net.send(10_000, lambda t: arrivals.append(t), src="a", dst="c")
+        net.send(10_000, lambda t: arrivals.append(t), src="b", dst="c")
+        q.run()
+        assert arrivals[1] == pytest.approx(0.022)
+
+    def test_full_duplex(self):
+        """a->b and b->a ride different links: no contention."""
+        q, net = self._net()
+        arrivals = []
+        net.send(10_000, lambda t: arrivals.append(t), src="a", dst="b")
+        net.send(10_000, lambda t: arrivals.append(t), src="b", dst="a")
+        q.run()
+        assert arrivals[0] == arrivals[1] == pytest.approx(0.011)
+
+    def test_stats_tracked(self):
+        q, net = self._net()
+        net.send(500, lambda t: None, src="a", dst="b")
+        q.run()
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 500
+
+    def test_validation(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            SwitchedNetwork(q, bandwidth=0)
+        with pytest.raises(ValueError):
+            SwitchedNetwork(q, overhead=-1)
+
+
+class TestMakeNetwork:
+    def test_presets_exist(self):
+        assert set(NETWORK_PRESETS) == {
+            "ethernet10", "switched10", "fddi100", "atm155",
+        }
+
+    def test_bus_preset(self):
+        q = EventQueue()
+        assert isinstance(make_network(q, preset="ethernet10"), SharedBus)
+        assert isinstance(make_network(q, preset="fddi100"), SharedBus)
+
+    def test_switch_preset(self):
+        q = EventQueue()
+        assert isinstance(
+            make_network(q, preset="switched10"), SwitchedNetwork
+        )
+        atm = make_network(q, preset="atm155")
+        assert isinstance(atm, SwitchedNetwork)
+        assert atm.bandwidth == pytest.approx(19.4e6)
+
+    def test_only_ethernet_collides(self):
+        q = EventQueue()
+        eth = make_network(q, preset="ethernet10", collision_factor=0.05)
+        fddi = make_network(q, preset="fddi100", collision_factor=0.05)
+        assert eth.collision_factor == 0.05
+        assert fddi.collision_factor == 0.0
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="preset"):
+            make_network(EventQueue(), preset="token-ring-4")
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            make_network(EventQueue(), topology="hypercube")
+
+
+class TestSection9Prediction:
+    """'New technologies [...] will make practical three-dimensional
+    simulations' — quantified."""
+
+    def _f3d(self, preset, p=16):
+        sim = ClusterSimulation(
+            "lb", 3, (p, 1, 1), 25,
+            network=NetworkParams(preset=preset),
+        )
+        return sim.run(steps=20).efficiency
+
+    def test_switch_rescues_3d(self):
+        f_bus = self._f3d("ethernet10")
+        f_switch = self._f3d("switched10")
+        assert f_switch > f_bus + 0.15
+
+    def test_faster_media_help_further(self):
+        f_switch = self._f3d("switched10")
+        f_atm = self._f3d("atm155")
+        assert f_atm > f_switch
+        assert f_atm > 0.9  # 3D becomes genuinely practical
+
+    def test_fddi_beats_shared_ethernet(self):
+        assert self._f3d("fddi100") > self._f3d("ethernet10") + 0.15
+
+    def test_2d_barely_cares(self):
+        """2D was already fine on the shared bus; the switch adds little
+        — the technologies matter precisely where the paper says."""
+        def f2d(preset):
+            sim = ClusterSimulation(
+                "lb", 2, (16, 1), 120,
+                network=NetworkParams(preset=preset),
+            )
+            return sim.run(steps=20).efficiency
+
+        gain_2d = f2d("switched10") - f2d("ethernet10")
+        gain_3d = self._f3d("switched10") - self._f3d("ethernet10")
+        assert gain_3d > gain_2d

@@ -1,0 +1,72 @@
+"""§5.2 state-save sharing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import simultaneous_save, staggered_save
+
+
+class TestSimultaneous:
+    def test_total_time(self):
+        # 20 procs x 2 MB at 1.25 MB/s: 32 s of continuous occupation
+        plan = simultaneous_save(20, 2e6, 1.25e6)
+        assert plan.total_time == pytest.approx(32.0)
+        assert plan.max_busy_stretch == pytest.approx(32.0)
+        assert plan.free_fraction == 0.0
+
+    def test_transfers_back_to_back(self):
+        plan = simultaneous_save(3, 1e6, 1e6)
+        assert plan.per_process == ((0.0, 1.0), (1.0, 2.0), (2.0, 3.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simultaneous_save(0, 1e6, 1e6)
+        with pytest.raises(ValueError):
+            simultaneous_save(2, 0, 1e6)
+
+
+class TestStaggered:
+    def test_paper_numbers(self):
+        """'A saving operation that would take 30 seconds [...] now
+        takes 60-90 seconds but leaves free time slots.'"""
+        simo = simultaneous_save(20, 1.875e6, 1.25e6)  # ~30 s
+        assert simo.total_time == pytest.approx(30.0)
+        for gap in (1.0, 2.0):
+            stag = staggered_save(20, 1.875e6, 1.25e6, gap_fraction=gap)
+            assert 60.0 * 0.95 <= stag.total_time <= 90.0 * 1.05
+            assert stag.free_fraction > 0.4
+            # the network is never "frozen" for longer than one dump
+            assert stag.max_busy_stretch == pytest.approx(1.5)
+
+    def test_gap_zero_equals_simultaneous_duration(self):
+        stag = staggered_save(5, 1e6, 1e6, gap_fraction=0.0)
+        simo = simultaneous_save(5, 1e6, 1e6)
+        assert stag.total_time == pytest.approx(simo.total_time)
+        # but the busy-stretch accounting still credits the ordering
+        assert stag.max_busy_stretch < simo.max_busy_stretch
+
+    def test_no_trailing_gap(self):
+        plan = staggered_save(2, 1e6, 1e6, gap_fraction=1.0)
+        assert plan.total_time == pytest.approx(3.0)  # t, gap, t
+
+    @given(
+        st.integers(1, 40),
+        st.floats(1e5, 1e7),
+        st.floats(0.0, 3.0),
+    )
+    def test_invariants(self, n, nbytes, gap):
+        plan = staggered_save(n, nbytes, 1.25e6, gap_fraction=gap)
+        simo = simultaneous_save(n, nbytes, 1.25e6)
+        # staggering never saves wall time ...
+        assert plan.total_time >= simo.total_time - 1e-9
+        # ... but never increases the frozen stretch
+        assert plan.max_busy_stretch <= simo.max_busy_stretch + 1e-9
+        assert 0.0 <= plan.free_fraction < 1.0
+        # transfers are disjoint and ordered
+        for (a0, a1), (b0, b1) in zip(plan.per_process,
+                                      plan.per_process[1:]):
+            assert a1 <= b0 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staggered_save(2, 1e6, 1e6, gap_fraction=-0.1)

@@ -1,0 +1,184 @@
+"""Decomposition geometry: block ranges, neighbours, inactive blocks, m."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Decomposition, full_stencil, paper_m_table, star_stencil
+
+
+class TestSplitting:
+    @given(
+        st.integers(8, 200),
+        st.integers(8, 200),
+        st.integers(1, 6),
+        st.integers(1, 6),
+    )
+    def test_blocks_partition_grid(self, nx, ny, jx, jy):
+        """Blocks tile the grid exactly: disjoint and covering."""
+        if nx < jx or ny < jy:
+            return
+        d = Decomposition((nx, ny), (jx, jy))
+        cover = np.zeros((nx, ny), dtype=int)
+        for blk in d:
+            cover[blk.slices] += 1
+        assert (cover == 1).all()
+
+    @given(st.integers(10, 300), st.integers(1, 8))
+    def test_split_is_balanced(self, n, parts):
+        if n < parts:
+            return
+        d = Decomposition((n, 8), (parts, 1))
+        sizes = {blk.shape[0] for blk in d}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition((4, 4), (8, 1))
+
+    def test_dimensionality_checks(self):
+        with pytest.raises(ValueError):
+            Decomposition((16, 16), (2, 2, 2))
+        with pytest.raises(ValueError):
+            Decomposition((16,), (2,))
+
+
+class TestRanksAndActivity:
+    def test_ranks_dense_and_ordered(self):
+        d = Decomposition((20, 20), (2, 2))
+        assert sorted(b.rank for b in d.active_blocks()) == [0, 1, 2, 3]
+        assert d.n_active == 4
+
+    def test_all_active_without_solid(self):
+        d = Decomposition((24, 24), (3, 3))
+        assert d.n_active == d.n_blocks == 9
+        assert d.active_fraction == 1.0
+
+    def test_inactive_solid_blocks_fig2(self):
+        """Fig. 2: all-solid subregions are not assigned to workstations."""
+        solid = np.zeros((24, 24), dtype=bool)
+        solid[:12, :12] = True  # one quadrant entirely wall
+        d = Decomposition((24, 24), (2, 2), solid=solid)
+        assert d.n_active == 3
+        inactive = [b for b in d if not b.active]
+        assert len(inactive) == 1
+        assert inactive[0].index == (0, 0)
+        assert inactive[0].rank == -1
+        assert d.active_fraction == pytest.approx(3 / 4)
+
+    def test_partially_solid_block_stays_active(self):
+        solid = np.zeros((24, 24), dtype=bool)
+        solid[:11, :12] = True  # not the whole block
+        d = Decomposition((24, 24), (2, 2), solid=solid)
+        assert d.n_active == 4
+
+    def test_n_active_nodes_excludes_inactive(self):
+        solid = np.zeros((24, 24), dtype=bool)
+        solid[:12, :12] = True
+        d = Decomposition((24, 24), (2, 2), solid=solid)
+        assert d.n_active_nodes == 24 * 24 - 12 * 12
+
+    def test_by_rank_roundtrip(self):
+        d = Decomposition((30, 20), (3, 2))
+        for blk in d.active_blocks():
+            assert d.by_rank(blk.rank) is blk
+
+    def test_solid_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Decomposition((16, 16), (2, 2), solid=np.zeros((8, 8), bool))
+
+
+class TestNeighbors:
+    def test_interior_block_star_neighbors(self):
+        d = Decomposition((30, 30), (3, 3))
+        nbrs = d.neighbors((1, 1), star_stencil(2))
+        assert len(nbrs) == 4
+
+    def test_corner_block_neighbors(self):
+        d = Decomposition((30, 30), (3, 3))
+        nbrs = d.neighbors((0, 0), star_stencil(2))
+        assert len(nbrs) == 2
+
+    def test_full_stencil_includes_diagonals(self):
+        d = Decomposition((30, 30), (3, 3))
+        nbrs = d.neighbors((1, 1), full_stencil(2))
+        assert len(nbrs) == 8
+
+    def test_periodic_wraps(self):
+        d = Decomposition((30, 30), (3, 3), periodic=(True, False))
+        nbrs = d.neighbors((0, 1), star_stencil(2))
+        assert len(nbrs) == 4
+        assert nbrs[(-1, 0)].index == (2, 1)
+
+    def test_periodic_single_block_self_neighbor(self):
+        d = Decomposition((30, 8), (1, 1), periodic=(True, False))
+        nbrs = d.neighbors((0, 0), star_stencil(2))
+        assert nbrs[(1, 0)].index == (0, 0)
+        assert (0, -1) not in nbrs  # non-periodic axis, domain boundary
+
+    def test_inactive_neighbors_omitted(self):
+        solid = np.zeros((24, 24), dtype=bool)
+        solid[:12, :12] = True
+        d = Decomposition((24, 24), (2, 2), solid=solid)
+        nbrs = d.neighbors((1, 0), star_stencil(2))
+        assert all(b.active for b in nbrs.values())
+        assert (-1, 0) not in nbrs
+
+
+class TestMFactor:
+    def test_paper_table_values(self):
+        """§8's table: P x 1 -> 2, 2x2 -> 2, 3x3 -> 3, 4x4 -> 4, 5x4 -> 4."""
+        table = {
+            (16, 1): 2,
+            (2, 2): 2,
+            (3, 3): 3,
+            (4, 4): 4,
+            (5, 4): 4,
+        }
+        for blocks, m in table.items():
+            grid = tuple(24 * b for b in blocks)
+            d = Decomposition(grid, blocks)
+            assert d.m_factor("paper") == m, blocks
+
+    def test_paper_table_function(self):
+        assert paper_m_table()[(5, 4)] == 4
+
+    def test_mean_mode_2x2(self):
+        d = Decomposition((24, 24), (2, 2))
+        assert d.m_factor("mean") == 2.0
+
+    def test_max_mode_3x3(self):
+        d = Decomposition((30, 30), (3, 3))
+        assert d.m_factor("max") == 4.0
+
+    def test_untabulated_falls_back_to_interior_faces(self):
+        d = Decomposition((24, 24, 24), (2, 2, 2))
+        assert d.m_factor("paper") == 3.0  # min(1,2)*3
+
+    def test_unknown_mode(self):
+        d = Decomposition((24, 24), (2, 2))
+        with pytest.raises(ValueError):
+            d.m_factor("median")
+
+
+class TestBoundaryNodes:
+    def test_chain_interior_block(self):
+        d = Decomposition((40, 10), (4, 1))
+        # interior block: two communicating faces of 10 nodes each
+        assert d.boundary_nodes((1, 0)) == 20
+
+    def test_chain_end_block(self):
+        d = Decomposition((40, 10), (4, 1))
+        assert d.boundary_nodes((0, 0)) == 10
+
+    def test_corner_block_shares_corner_node(self):
+        d = Decomposition((20, 20), (2, 2))
+        # two faces of 10, corner node counted once
+        assert d.boundary_nodes((0, 0)) == 19
+
+    def test_surface_scaling_against_model(self):
+        """Exact N_c approaches m * sqrt(N) for interior square blocks."""
+        d = Decomposition((300, 300), (3, 3))
+        exact = d.boundary_nodes((1, 1))
+        n = 100 * 100
+        assert exact == pytest.approx(4 * np.sqrt(n), rel=0.05)

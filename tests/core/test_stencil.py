@@ -1,0 +1,103 @@
+"""Stencils and the App. A un-synchronization bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import full_stencil, max_unsync_steps, star_stencil
+from repro.core.stencil import Stencil
+
+
+class TestStencilBasics:
+    def test_star_2d_offsets(self):
+        s = star_stencil(2)
+        assert sorted(s.offsets()) == sorted(
+            [(1, 0), (-1, 0), (0, 1), (0, -1)]
+        )
+
+    def test_full_2d_offsets(self):
+        s = full_stencil(2)
+        assert len(list(s.offsets())) == 8
+
+    def test_star_3d_neighbor_count(self):
+        assert star_stencil(3).n_neighbors == 6
+
+    def test_full_3d_neighbor_count(self):
+        assert full_stencil(3).n_neighbors == 26
+
+    def test_reach_widens_offsets_not_neighbors(self):
+        s = full_stencil(2, reach=2)
+        assert len(list(s.offsets())) == 24  # 5x5 - 1
+        assert s.n_neighbors == 8  # block graph unchanged
+
+    def test_star_reach2_offsets(self):
+        s = star_stencil(2, reach=2)
+        # 2 per direction per axis
+        assert len(list(s.offsets())) == 8
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError):
+            Stencil(ndim=4, reach=1, full=False)
+
+    def test_invalid_reach(self):
+        with pytest.raises(ValueError):
+            Stencil(ndim=2, reach=0, full=True)
+
+
+class TestGraphDistance:
+    def test_full_is_chebyshev(self):
+        s = full_stencil(2)
+        assert s.graph_distance((0, 0), (3, 1)) == 3
+
+    def test_star_is_manhattan(self):
+        s = star_stencil(2)
+        assert s.graph_distance((0, 0), (3, 1)) == 4
+
+
+class TestUnsyncBounds:
+    """Eqs. 22-23: the largest step spread between two processes."""
+
+    def test_paper_eq22_full(self):
+        # full stencil, (J x K): max(J, K) - 1
+        assert max_unsync_steps((6, 4), full_stencil(2)) == 5
+
+    def test_paper_eq23_star(self):
+        # star stencil, (J x K): (J - 1) + (K - 1)
+        assert max_unsync_steps((6, 4), star_stencil(2)) == 8
+
+    def test_single_block_has_no_spread(self):
+        assert max_unsync_steps((1, 1), star_stencil(2)) == 0
+
+    @given(
+        st.tuples(st.integers(1, 12), st.integers(1, 12)),
+        st.booleans(),
+    )
+    def test_bound_is_graph_diameter(self, blocks, full):
+        """The closed forms equal the diameter of the block dependency
+        graph — the spread is attained between the two most distant
+        subregions."""
+        stencil = (full_stencil if full else star_stencil)(2)
+        corners = [
+            (0, 0),
+            (blocks[0] - 1, 0),
+            (0, blocks[1] - 1),
+            (blocks[0] - 1, blocks[1] - 1),
+        ]
+        diameter = max(
+            stencil.graph_distance(a, b) for a in corners for b in corners
+        )
+        assert max_unsync_steps(blocks, stencil) == diameter
+
+    @given(
+        st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+    )
+    def test_3d_star_bound(self, blocks):
+        expected = sum(b - 1 for b in blocks)
+        assert max_unsync_steps(blocks, star_stencil(3)) == expected
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            max_unsync_steps((2, 2, 2), star_stencil(2))
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            max_unsync_steps((0, 2), star_stencil(2))

@@ -1,0 +1,155 @@
+"""Padded subregion states and global <-> local array plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Decomposition, assemble_global, make_subregions
+
+
+def _field(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape)
+
+
+class TestMakeSubregions:
+    def test_interiors_match_global(self):
+        shape = (24, 18)
+        d = Decomposition(shape, (3, 2))
+        a = _field(shape)
+        subs = make_subregions(d, 3, {"a": a})
+        for sub in subs:
+            np.testing.assert_array_equal(
+                sub.interior_view("a"), a[sub.block.slices]
+            )
+
+    @given(
+        st.integers(12, 40),
+        st.integers(12, 40),
+        st.sampled_from([(1, 1), (2, 1), (2, 2), (3, 2)]),
+        st.sampled_from([(False, False), (True, False), (True, True)]),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ghosts_match_padded_global(self, nx, ny, blocks, periodic, pad):
+        """Every ghost value equals the correspondingly padded global
+        array — interior neighbours exact, domain edges replicated or
+        wrapped."""
+        shape = (nx, ny)
+        d = Decomposition(shape, blocks, periodic=periodic)
+        if any(
+            blk.shape[i] < pad for blk in d for i in range(2)
+        ):
+            return
+        a = _field(shape, seed=nx * ny)
+        subs = make_subregions(d, pad, {"a": a})
+        padded = a
+        for axis, per in enumerate(periodic):
+            width = [(0, 0), (0, 0)]
+            width[axis] = (pad, pad)
+            padded = np.pad(
+                padded, width, mode="wrap" if per else "edge"
+            )
+        for sub in subs:
+            sl = tuple(
+                slice(l, h + 2 * pad)
+                for l, h in zip(sub.block.lo, sub.block.hi)
+            )
+            np.testing.assert_array_equal(sub.fields["a"], padded[sl])
+
+    def test_component_fields(self):
+        shape = (16, 12)
+        d = Decomposition(shape, (2, 2))
+        a = _field((5,) + shape)
+        subs = make_subregions(d, 2, {"a": a})
+        sub = subs[0]
+        assert sub.fields["a"].shape == (5, 8 + 4, 6 + 4)
+        np.testing.assert_array_equal(
+            sub.interior_view("a"), a[(...,) + sub.block.slices]
+        )
+
+    def test_field_shape_mismatch(self):
+        d = Decomposition((16, 12), (2, 2))
+        with pytest.raises(ValueError):
+            make_subregions(d, 2, {"a": np.zeros((16, 10))})
+
+    def test_solid_cut_and_padded(self):
+        shape = (16, 12)
+        solid = np.zeros(shape, dtype=bool)
+        solid[:, 0] = True
+        d = Decomposition(shape, (2, 2))
+        subs = make_subregions(d, 2, {"a": _field(shape)}, solid)
+        low = next(s for s in subs if s.block.index == (0, 0))
+        # padded solid replicates the edge: ghost rows below y=0 solid
+        assert low.solid[:, 0].all() and low.solid[:, 2].all()
+
+    def test_inactive_blocks_get_no_subregion(self):
+        shape = (16, 16)
+        solid = np.zeros(shape, dtype=bool)
+        solid[:8, :8] = True
+        d = Decomposition(shape, (2, 2), solid=solid)
+        subs = make_subregions(d, 2, {"a": _field(shape)}, solid)
+        assert len(subs) == 3
+
+
+class TestSubregionState:
+    def _sub(self):
+        d = Decomposition((16, 12), (2, 2))
+        return make_subregions(d, 3, {"a": _field((16, 12))})[0]
+
+    def test_interior_slices(self):
+        sub = self._sub()
+        assert sub.interior == (slice(3, 11), slice(3, 9))
+        assert sub.padded_shape == (14, 12)
+
+    def test_grown_interior(self):
+        sub = self._sub()
+        assert sub.grown_interior(1) == (slice(2, 12), slice(2, 10))
+        assert sub.grown_interior(0) == sub.interior
+
+    def test_grown_interior_limit(self):
+        sub = self._sub()
+        with pytest.raises(ValueError):
+            sub.grown_interior(4)
+
+    def test_add_field(self):
+        sub = self._sub()
+        arr = sub.add_field("b", fill=2.5)
+        assert arr.shape == sub.padded_shape
+        assert (arr == 2.5).all()
+        with pytest.raises(ValueError):
+            sub.add_field("b")
+
+    def test_add_component_field(self):
+        sub = self._sub()
+        arr = sub.add_field("f", components=9)
+        assert arr.shape == (9,) + sub.padded_shape
+
+
+class TestAssembleGlobal:
+    @given(st.sampled_from([(1, 1), (2, 2), (3, 1), (2, 3)]))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip(self, blocks):
+        shape = (18, 18)
+        d = Decomposition(shape, blocks)
+        a = _field(shape, seed=7)
+        subs = make_subregions(d, 2, {"a": a})
+        np.testing.assert_array_equal(assemble_global(d, subs, "a"), a)
+
+    def test_inactive_filled(self):
+        shape = (16, 16)
+        solid = np.zeros(shape, dtype=bool)
+        solid[:8, :8] = True
+        d = Decomposition(shape, (2, 2), solid=solid)
+        a = _field(shape)
+        subs = make_subregions(d, 2, {"a": a}, solid)
+        out = assemble_global(d, subs, "a", fill=-1.0)
+        assert (out[:8, :8] == -1.0).all()
+        np.testing.assert_array_equal(out[8:, :], a[8:, :])
+
+    def test_component_roundtrip(self):
+        shape = (16, 16)
+        d = Decomposition(shape, (2, 2))
+        a = _field((3,) + shape)
+        subs = make_subregions(d, 2, {"a": a})
+        np.testing.assert_array_equal(assemble_global(d, subs, "a"), a)

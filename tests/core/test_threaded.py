@@ -1,0 +1,114 @@
+"""The threaded in-process runner: concurrency without divergence."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Simulation, ThreadedSimulation
+from repro.fluids import FDMethod, FluidParams, LBMethod, channel_geometry
+from tests.conftest import perturbed_fields, rest_fields
+
+
+def _pair(method_cls, shape=(32, 24), blocks=(2, 2), steps=25):
+    solid = channel_geometry(shape)
+    params = FluidParams.lattice(
+        2, nu=0.08, gravity=(1e-5, 0.0), filter_eps=0.02
+    )
+    fields = perturbed_fields(shape, seed=21)
+    fields["u"][solid] = 0.0
+    fields["v"][solid] = 0.0
+    periodic = (True, False)
+    seq = Simulation(
+        method_cls(params, 2),
+        Decomposition(shape, blocks, periodic=periodic, solid=solid),
+        fields, solid,
+    )
+    thr = ThreadedSimulation(
+        method_cls(params, 2),
+        Decomposition(shape, blocks, periodic=periodic, solid=solid),
+        fields, solid,
+    )
+    seq.step(steps)
+    thr.step(steps)
+    return seq, thr
+
+
+@pytest.mark.parametrize("method_cls", [FDMethod, LBMethod],
+                         ids=["fd", "lb"])
+def test_threads_match_sequential_bitwise(method_cls):
+    seq, thr = _pair(method_cls)
+    for name in seq.method.field_names:
+        assert np.array_equal(
+            seq.global_field(name), thr.global_field(name)
+        ), name
+
+
+def test_many_threads(  ):
+    seq, thr = _pair(LBMethod, shape=(48, 32), blocks=(4, 2), steps=15)
+    for name in ("rho", "u", "v", "f"):
+        assert np.array_equal(
+            seq.global_field(name), thr.global_field(name)
+        ), name
+
+
+def test_step_counts_advance_together():
+    _, thr = _pair(LBMethod, steps=7)
+    assert thr.step_count == 7
+    assert all(s.step == 7 for s in thr.subs)
+
+
+def test_repeated_step_calls():
+    solid = channel_geometry((32, 24))
+    params = FluidParams.lattice(2, nu=0.08, gravity=(1e-5, 0.0))
+    fields = rest_fields((32, 24))
+    thr = ThreadedSimulation(
+        LBMethod(params, 2),
+        Decomposition((32, 24), (2, 2), periodic=(True, False),
+                      solid=solid),
+        fields, solid,
+    )
+    seq = Simulation(
+        LBMethod(params, 2),
+        Decomposition((32, 24), (2, 2), periodic=(True, False),
+                      solid=solid),
+        fields, solid,
+    )
+    for _ in range(3):
+        thr.step(5)
+        seq.step(5)
+    assert np.array_equal(thr.global_field("u"), seq.global_field("u"))
+
+
+def test_single_subregion_fast_path():
+    params = FluidParams.lattice(2, nu=0.08)
+    fields = rest_fields((24, 16))
+    thr = ThreadedSimulation(
+        LBMethod(params, 2),
+        Decomposition((24, 16), (1, 1), periodic=(True, True)),
+        fields,
+    )
+    thr.step(5)
+    assert thr.step_count == 5
+
+
+def test_kernel_error_propagates():
+    """A worker-thread exception surfaces in step(), not a deadlock."""
+
+    class ExplodingMethod(LBMethod):
+        def finalize_step(self, sub):
+            if sub.step == 2 and sub.block.rank == 1:
+                raise RuntimeError("boom at step 2")
+            super().finalize_step(sub)
+
+    params = FluidParams.lattice(2, nu=0.08)
+    thr = ThreadedSimulation(
+        ExplodingMethod(params, 2),
+        Decomposition((24, 16), (2, 1), periodic=(True, True)),
+        rest_fields((24, 16)),
+    )
+    with pytest.raises(RuntimeError, match="boom"):
+        thr.step(10)
+
+
+def test_global_state_names():
+    _, thr = _pair(LBMethod, steps=2)
+    assert set(thr.global_state()) == {"rho", "u", "v", "f"}

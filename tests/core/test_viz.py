@@ -1,0 +1,123 @@
+"""Dependency-free visualization."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    ascii_contours,
+    diverging_colormap,
+    field_to_ppm,
+    svg_plot,
+)
+
+
+class TestColormap:
+    def test_endpoints(self):
+        rgb = diverging_colormap(np.array([-1.0, 0.0, 1.0]))
+        np.testing.assert_array_equal(rgb[0], [0, 0, 255])     # blue
+        np.testing.assert_array_equal(rgb[1], [255, 255, 255])  # white
+        np.testing.assert_array_equal(rgb[2], [255, 0, 0])     # red
+
+    def test_clipping(self):
+        rgb = diverging_colormap(np.array([-5.0, 5.0]))
+        np.testing.assert_array_equal(rgb[0], [0, 0, 255])
+        np.testing.assert_array_equal(rgb[1], [255, 0, 0])
+
+    def test_shape_preserved(self):
+        rgb = diverging_colormap(np.zeros((4, 6)))
+        assert rgb.shape == (4, 6, 3)
+        assert rgb.dtype == np.uint8
+
+
+class TestPPM:
+    def test_header_and_size(self, tmp_path):
+        field = np.random.default_rng(0).standard_normal((20, 12))
+        path = field_to_ppm(field, tmp_path / "f.ppm")
+        data = path.read_bytes()
+        # image width = nx = 20 columns, height = ny = 12 rows
+        assert data.startswith(b"P6\n20 12\n255\n")
+        header_len = len(b"P6\n20 12\n255\n")
+        assert len(data) == header_len + 20 * 12 * 3
+
+    def test_solid_painted_gray(self, tmp_path):
+        field = np.ones((8, 8))
+        solid = np.zeros((8, 8), dtype=bool)
+        solid[0, 0] = True
+        path = field_to_ppm(field, tmp_path / "f.ppm", solid=solid)
+        data = path.read_bytes()
+        pixels = np.frombuffer(
+            data.split(b"255\n", 1)[1], dtype=np.uint8
+        ).reshape(8, 8, 3)
+        # array (0, 0) = bottom-left of the image = last row, first col
+        np.testing.assert_array_equal(pixels[-1, 0], [96, 96, 96])
+
+    def test_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            field_to_ppm(np.zeros((3, 3, 3)), tmp_path / "f.ppm")
+
+    def test_mismatched_solid(self, tmp_path):
+        with pytest.raises(ValueError):
+            field_to_ppm(np.zeros((4, 4)), tmp_path / "f.ppm",
+                         solid=np.zeros((5, 5), bool))
+
+    def test_zero_field_is_white(self, tmp_path):
+        path = field_to_ppm(np.zeros((4, 4)), tmp_path / "f.ppm")
+        pixels = np.frombuffer(
+            path.read_bytes().split(b"255\n", 1)[1], dtype=np.uint8
+        )
+        assert (pixels == 255).all()
+
+
+class TestAscii:
+    def test_signs_and_walls(self):
+        field = np.zeros((40, 20))
+        field[5:10, 10:15] = 1.0
+        field[25:30, 5:10] = -1.0
+        solid = np.zeros((40, 20), dtype=bool)
+        solid[:, 0] = True
+        text = ascii_contours(field, solid, width=40, height=20)
+        assert "+" in text and "-" in text and "#" in text
+        lines = text.splitlines()
+        assert len(lines) == 20
+        assert all(len(l) == 40 for l in lines)
+        # walls are the bottom row (y upward)
+        assert set(lines[-1]) == {"#"}
+
+    def test_quiet_field_blank(self):
+        text = ascii_contours(np.zeros((20, 10)), width=20, height=10)
+        assert set(text) <= {" ", "\n"}
+
+
+class TestSVG:
+    def test_writes_valid_svg(self, tmp_path):
+        path = svg_plot(
+            {"2d": ([2, 4, 8], [0.98, 0.95, 0.88]),
+             "3d": ([2, 4, 8], [0.95, 0.86, 0.71])},
+            tmp_path / "fig9.svg",
+            title="fig 9", xlabel="P", ylabel="efficiency",
+        )
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+        assert text.count("<polyline") == 2
+        assert "fig 9" in text and "efficiency" in text
+
+    def test_marker_per_point(self, tmp_path):
+        path = svg_plot({"s": ([1, 2, 3], [1, 2, 3])},
+                        tmp_path / "p.svg")
+        assert path.read_text().count("<circle") == 3
+
+    def test_ylim(self, tmp_path):
+        text = svg_plot(
+            {"s": ([0, 1], [0.4, 0.6])}, tmp_path / "p.svg",
+            ylim=(0.0, 1.0),
+        ).read_text()
+        assert "0.25" in text  # the fixed-scale tick labels
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            svg_plot({}, tmp_path / "p.svg")
+
+    def test_degenerate_extent_handled(self, tmp_path):
+        path = svg_plot({"s": ([1, 1], [2, 2])}, tmp_path / "p.svg")
+        assert "<polyline" in path.read_text()

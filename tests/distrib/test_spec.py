@@ -1,0 +1,140 @@
+"""ProblemSpec serialization and reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.distrib import ProblemSpec, initial_fields
+from repro.fluids import FDMethod, LBMethod
+
+
+def _spec(**kw):
+    base = dict(
+        method="lb",
+        grid_shape=(32, 24),
+        blocks=(2, 2),
+        periodic=(True, False),
+        params={"nu": 0.1, "gravity": (1e-5, 0.0)},
+        geometry={"kind": "channel"},
+    )
+    base.update(kw)
+    return ProblemSpec(**base)
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            _spec(method="spectral")
+
+    def test_unknown_geometry(self):
+        with pytest.raises(ValueError):
+            _spec(geometry={"kind": "moebius"})
+
+
+class TestRoundTrip:
+    def test_json(self):
+        spec = _spec()
+        again = ProblemSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_file(self, tmp_path):
+        spec = _spec(method="fd", geometry={"kind": "flue_pipe",
+                                            "jet_speed": 0.08})
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ProblemSpec.load(path) == spec
+
+    def test_tuple_types_restored(self):
+        again = ProblemSpec.from_json(_spec().to_json())
+        assert isinstance(again.grid_shape, tuple)
+        assert isinstance(again.periodic, tuple)
+        assert again.periodic == (True, False)
+
+
+class TestBuilders:
+    def test_build_method_lb(self):
+        m = _spec().build_method()
+        assert isinstance(m, LBMethod)
+        assert m.params.nu == 0.1
+
+    def test_build_method_fd(self):
+        m = _spec(method="fd").build_method()
+        assert isinstance(m, FDMethod)
+
+    def test_build_geometry_channel(self):
+        solid, inlets, outlets = _spec().build_geometry()
+        assert solid is not None and solid[:, 0].all()
+        assert inlets == [] and outlets == []
+
+    def test_build_geometry_open(self):
+        solid, _, _ = _spec(geometry={"kind": "open"}).build_geometry()
+        assert solid is None
+
+    def test_build_geometry_flue(self):
+        spec = _spec(
+            method="lb",
+            grid_shape=(96, 64),
+            blocks=(2, 2),
+            periodic=(False, False),
+            params={"nu": 0.1},
+            geometry={"kind": "flue_pipe", "jet_speed": 0.05},
+        )
+        solid, inlets, outlets = spec.build_geometry()
+        assert solid.any()
+        assert len(inlets) == 1 and len(outlets) == 1
+        method = spec.build_method()
+        assert method.inlets and method.outlets
+
+    def test_geometry_rebuild_is_deterministic(self):
+        """Two reconstructions (e.g. before and after a migration)
+        produce identical boundary conditions."""
+        spec = _spec(
+            grid_shape=(96, 64),
+            periodic=(False, False),
+            geometry={"kind": "flue_pipe", "jet_speed": 0.05,
+                      "ramp_steps": 30},
+        )
+        a, _, _ = spec.build_geometry()
+        b, _, _ = spec.build_geometry()
+        np.testing.assert_array_equal(a, b)
+        m1, m2 = spec.build_method(), spec.build_method()
+        assert m1.inlets[0].velocity_at(7) == m2.inlets[0].velocity_at(7)
+
+    def test_build_decomposition_skips_solid_blocks(self):
+        spec = _spec(
+            grid_shape=(192, 128),
+            blocks=(6, 4),
+            periodic=(False, False),
+            geometry={"kind": "flue_pipe", "variant": "channel"},
+        )
+        d = spec.build_decomposition()
+        assert d.n_active < 24
+
+
+class TestInitialFields:
+    def test_rest(self):
+        f = initial_fields(_spec(), "rest")
+        assert set(f) == {"rho", "u", "v"}
+        assert (f["rho"] == 1.0).all()
+        assert not f["u"].any()
+
+    def test_standing_wave(self):
+        f = initial_fields(_spec(geometry={"kind": "open"}),
+                           "standing_wave", mode=2, amplitude=1e-3)
+        assert f["rho"].std() > 0
+        assert np.allclose(f["rho"].mean(), 1.0, atol=1e-6)
+
+    def test_random_reproducible(self):
+        spec = _spec()
+        a = initial_fields(spec, "random", seed=42)
+        b = initial_fields(spec, "random", seed=42)
+        np.testing.assert_array_equal(a["rho"], b["rho"])
+
+    def test_solid_nodes_at_rest(self):
+        spec = _spec()
+        f = initial_fields(spec, "random", seed=1)
+        solid, _, _ = spec.build_geometry()
+        assert (f["rho"][solid] == 1.0).all()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            initial_fields(_spec(), "vortex-sheet")

@@ -1,0 +1,100 @@
+"""Analytic reference solutions."""
+
+import numpy as np
+import pytest
+
+from repro.fluids import (
+    acoustic_frequency,
+    duct_profile,
+    poiseuille_max_velocity,
+    poiseuille_profile,
+    standing_wave,
+)
+
+
+class TestPoiseuille:
+    def test_no_slip_at_walls(self):
+        y = np.array([0.0, 10.0])
+        np.testing.assert_allclose(
+            poiseuille_profile(y, 10.0, 1e-5, 0.1), 0.0
+        )
+
+    def test_max_at_center(self):
+        y = np.linspace(0, 10, 101)
+        u = poiseuille_profile(y, 10.0, 1e-5, 0.1)
+        assert u.argmax() == 50
+        assert u.max() == pytest.approx(
+            poiseuille_max_velocity(10.0, 1e-5, 0.1)
+        )
+
+    def test_max_velocity_formula(self):
+        # u_max = g H^2 / (8 nu)
+        assert poiseuille_max_velocity(4.0, 0.02, 0.1) == pytest.approx(
+            0.02 * 16 / 0.8
+        )
+
+    def test_scaling_with_viscosity(self):
+        y = np.array([5.0])
+        u1 = poiseuille_profile(y, 10.0, 1e-5, 0.1)[0]
+        u2 = poiseuille_profile(y, 10.0, 1e-5, 0.2)[0]
+        assert u1 == pytest.approx(2 * u2)
+
+
+class TestDuct:
+    def test_no_slip_on_all_walls(self):
+        y = np.linspace(0, 8, 17)[:, None]
+        z = np.linspace(0, 6, 13)[None, :]
+        u = duct_profile(y, z, 8.0, 6.0, 1e-5, 0.1)
+        np.testing.assert_allclose(u[0], 0.0, atol=1e-10)
+        np.testing.assert_allclose(u[-1], 0.0, atol=1e-10)
+        np.testing.assert_allclose(u[:, 0], 0.0, atol=1e-6)
+        np.testing.assert_allclose(u[:, -1], 0.0, atol=1e-6)
+
+    def test_positive_interior(self):
+        y = np.linspace(0.5, 7.5, 8)[:, None]
+        z = np.linspace(0.5, 5.5, 6)[None, :]
+        u = duct_profile(y, z, 8.0, 6.0, 1e-5, 0.1)
+        assert (u > 0).all()
+
+    def test_wide_duct_approaches_plane_channel(self):
+        """lz -> infinity: mid-plane profile tends to plane Poiseuille."""
+        ly = 10.0
+        y = np.linspace(0, ly, 21)
+        u = duct_profile(y, np.full_like(y, 100.0), ly, 200.0, 1e-5, 0.1,
+                        terms=201)
+        plane = poiseuille_profile(y, ly, 1e-5, 0.1)
+        np.testing.assert_allclose(u, plane, rtol=2e-3, atol=1e-10)
+
+    def test_symmetry(self):
+        y = np.linspace(0, 8, 9)[:, None]
+        z = np.linspace(0, 6, 7)[None, :]
+        u = duct_profile(y, z, 8.0, 6.0, 1e-5, 0.1)
+        np.testing.assert_allclose(u, u[::-1, :], atol=1e-12)
+        np.testing.assert_allclose(u, u[:, ::-1], atol=1e-12)
+
+
+class TestStandingWave:
+    def test_initial_condition(self):
+        x = np.linspace(0, 32, 33)
+        rho, u = standing_wave(x, 0.0, 32.0, 1, 1e-3, 1.0, 0.5)
+        np.testing.assert_allclose(u, 0.0, atol=1e-15)
+        assert rho[0] == pytest.approx(1.001)
+
+    def test_quarter_period_all_kinetic(self):
+        x = np.linspace(0, 32, 33)
+        omega = acoustic_frequency(32.0, 1, 0.5)
+        t = (np.pi / 2) / omega
+        rho, u = standing_wave(x, t, 32.0, 1, 1e-3, 1.0, 0.5)
+        np.testing.assert_allclose(rho, 1.0, atol=1e-12)
+        assert np.abs(u).max() == pytest.approx(1e-3 * 0.5)
+
+    def test_frequency(self):
+        # omega = cs k
+        assert acoustic_frequency(32.0, 2, 0.5) == pytest.approx(
+            0.5 * 2 * np.pi * 2 / 32.0
+        )
+
+    def test_mean_density_is_rho0(self):
+        x = np.arange(64) + 0.5
+        rho, _ = standing_wave(x, 0.3, 64.0, 1, 1e-3, 1.0, 0.5)
+        assert rho.mean() == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,163 @@
+"""Explicit finite differences: exactness, conservation, acoustics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import (
+    FDMethod,
+    FluidParams,
+    acoustic_energy,
+    channel_geometry,
+    poiseuille_profile,
+    standing_wave,
+    total_mass,
+)
+from tests.conftest import channel_sim, rest_fields
+
+
+class TestConstruction:
+    def test_phase_structure_matches_paper(self):
+        """§6: FD communicates velocities and density separately —
+        two messages per step."""
+        m = FDMethod(FluidParams.lattice(2, nu=0.1), 2)
+        assert m.exchange_phases == (("u", "v"), ("rho",))
+        assert len(m.exchange_phases) == 2
+
+    def test_3d_fields(self):
+        m = FDMethod(FluidParams.lattice(3, nu=0.05), 3)
+        assert m.field_names == ("rho", "u", "v", "w")
+
+    def test_rejects_unstable_params(self):
+        with pytest.raises(ValueError):
+            FDMethod(FluidParams(nu=0.4), 2)
+
+    def test_rejects_gravity_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            FDMethod(FluidParams.lattice(2, nu=0.1), 3)
+
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            FDMethod(FluidParams.lattice(2, nu=0.1), 1)
+
+
+class TestPoiseuille:
+    def test_exact_steady_profile(self):
+        """Centered differences represent the parabolic profile exactly:
+        the steady state matches to machine precision (walls on the
+        solid nodes)."""
+        ny, g, nu = 19, 1e-6, 0.1
+        sim = channel_sim(FDMethod, shape=(8, ny), nu=nu, g=g)
+        for _ in range(60):
+            sim.step(200)
+        u = sim.global_field("u")[4]
+        y = np.arange(ny, dtype=float)
+        exact = poiseuille_profile(y, ny - 1.0, g, nu)
+        np.testing.assert_allclose(u, exact, atol=1e-12 * exact.max() + 1e-18)
+
+    def test_no_transverse_flow(self):
+        sim = channel_sim(FDMethod, shape=(8, 15))
+        sim.step(500)
+        assert np.abs(sim.global_field("v")).max() < 1e-12
+
+
+class TestConservation:
+    def _periodic_sim(self, filter_eps=0.0, seed=0):
+        shape = (24, 20)
+        params = FluidParams.lattice(2, nu=0.05, filter_eps=filter_eps)
+        rng = np.random.default_rng(seed)
+        fields = rest_fields(shape)
+        fields["rho"] = 1.0 + 1e-3 * (rng.random(shape) - 0.5)
+        d = Decomposition(shape, (1, 1), periodic=(True, True))
+        return Simulation(FDMethod(params, 2), d, fields)
+
+    def test_mass_conserved_exactly_periodic(self):
+        """The centered flux divergence telescopes on a periodic domain:
+        total mass is conserved to round-off."""
+        sim = self._periodic_sim()
+        m0 = total_mass(sim.global_field("rho"))
+        sim.step(200)
+        assert total_mass(sim.global_field("rho")) == pytest.approx(
+            m0, rel=1e-13
+        )
+
+    def test_mass_conserved_with_filter(self):
+        """The filter redistributes density but its stencil sums to
+        zero, so mass stays conserved on a periodic domain."""
+        sim = self._periodic_sim(filter_eps=0.02)
+        m0 = total_mass(sim.global_field("rho"))
+        sim.step(200)
+        assert total_mass(sim.global_field("rho")) == pytest.approx(
+            m0, rel=1e-12
+        )
+
+    def test_perturbation_decays(self):
+        sim = self._periodic_sim()
+        rho0 = sim.global_field("rho")
+        sim.step(3000)
+        rho1 = sim.global_field("rho")
+        assert rho1.var() < 0.2 * rho0.var()
+
+
+class TestAcoustics:
+    def test_standing_wave_frequency(self):
+        """A mode-1 standing wave oscillates at omega = cs k: after half
+        a period the density pattern inverts (eq. 4's fast scale)."""
+        nx, ny = 64, 8
+        params = FluidParams.lattice(2, nu=1e-3)
+        x = np.arange(nx, dtype=float) + 0.5
+        rho_init, u_init = standing_wave(
+            x, 0.0, float(nx), 1, 1e-4, 1.0, params.cs
+        )
+        fields = rest_fields((nx, ny))
+        fields["rho"] = np.repeat(rho_init[:, None], ny, axis=1)
+        d = Decomposition((nx, ny), (1, 1), periodic=(True, True))
+        sim = Simulation(FDMethod(params, 2), d, fields)
+        period = 2.0 * np.pi / (params.cs * 2.0 * np.pi / nx)
+        sim.step(int(round(period / 2)))
+        drho = sim.global_field("rho")[:, 4] - 1.0
+        drho_init = rho_init - 1.0
+        # half period: pattern inverted
+        corr = np.dot(drho, drho_init) / np.dot(drho_init, drho_init)
+        assert corr == pytest.approx(-1.0, abs=0.1)
+
+    def test_acoustic_energy_decays_with_viscosity(self):
+        nx, ny = 32, 8
+        params = FluidParams.lattice(2, nu=0.1)
+        x = np.arange(nx, dtype=float) + 0.5
+        rho_init, _ = standing_wave(x, 0.0, float(nx), 1, 1e-3, 1.0, params.cs)
+        fields = rest_fields((nx, ny))
+        fields["rho"] = np.repeat(rho_init[:, None], ny, axis=1)
+        d = Decomposition((nx, ny), (1, 1), periodic=(True, True))
+        sim = Simulation(FDMethod(params, 2), d, fields)
+
+        def energy():
+            return acoustic_energy(
+                sim.global_field("rho"),
+                [sim.global_field("u"), sim.global_field("v")],
+                1.0,
+                params.cs,
+            )
+
+        e0 = energy()
+        sim.step(400)
+        assert energy() < 0.5 * e0
+
+
+class TestFD3D:
+    def test_3d_channel_runs_and_is_finite(self):
+        shape = (8, 12, 12)
+        sim = channel_sim(FDMethod, shape=shape, nu=0.08, g=1e-6)
+        sim.step(100)
+        for name in ("rho", "u", "v", "w"):
+            assert np.isfinite(sim.global_field(name)).all()
+        assert sim.global_field("u").max() > 0
+
+    def test_3d_duct_profile_symmetry(self):
+        shape = (6, 13, 13)
+        sim = channel_sim(FDMethod, shape=shape, nu=0.08, g=1e-6)
+        sim.step(800)
+        u = sim.global_field("u")[3]
+        np.testing.assert_allclose(u, u[::-1, :], atol=1e-12)
+        np.testing.assert_allclose(u, u[:, ::-1], atol=1e-12)
+        assert u[6, 6] == u.max()

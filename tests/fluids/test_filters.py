@@ -1,0 +1,128 @@
+"""The fourth-order numerical-viscosity filter (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, make_subregions
+from repro.fluids import FourthOrderFilter
+
+
+def _sub(field, solid=None, pad=3):
+    shape = field.shape
+    d = Decomposition(shape, (1, 1))
+    subs = make_subregions(d, pad, {"a": field}, solid)
+    return subs[0]
+
+
+class TestConstruction:
+    def test_eps_range(self):
+        with pytest.raises(ValueError):
+            FourthOrderFilter(0.1)
+        with pytest.raises(ValueError):
+            FourthOrderFilter(-0.01)
+
+    def test_disabled(self):
+        f = FourthOrderFilter(0.0)
+        assert not f.enabled
+
+    def test_reach_is_two(self):
+        assert FourthOrderFilter.reach == 2
+
+
+class TestApplication:
+    def test_noop_when_disabled(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((16, 12))
+        sub = _sub(a)
+        filt = FourthOrderFilter(0.0)
+        filt.build_mask(sub)
+        filt.apply(sub, ["a"], sub.interior)
+        np.testing.assert_array_equal(sub.interior_view("a"), a)
+
+    def test_preserves_linear_fields(self):
+        """Away from domain edges (whose replicated ghosts flatten the
+        ramp) a linear field is in the filter's null space."""
+        x = np.arange(16)[:, None] * np.ones((1, 12))
+        sub = _sub(2.0 * x + 1.0)
+        filt = FourthOrderFilter(0.02)
+        filt.build_mask(sub)
+        before = sub.interior_view("a").copy()
+        filt.apply(sub, ["a"], sub.interior)
+        np.testing.assert_allclose(
+            sub.interior_view("a")[2:-2, 2:-2], before[2:-2, 2:-2],
+            atol=1e-12,
+        )
+
+    def test_damps_checkerboard(self):
+        """The filter exists to kill node-to-node oscillations."""
+        i, j = np.indices((16, 16))
+        a = 1.0 + 0.1 * (-1.0) ** (i + j)
+        sub = _sub(a)
+        filt = FourthOrderFilter(1.0 / 32.0)
+        filt.build_mask(sub)
+        # interior of the interior: away from the replicated edges
+        amp0 = np.abs(sub.interior_view("a")[4:-4, 4:-4] - 1.0).max()
+        filt.apply(sub, ["a"], sub.interior)
+        amp1 = np.abs(sub.interior_view("a")[4:-4, 4:-4] - 1.0).max()
+        assert amp1 < amp0
+        # checkerboard eigenvalue: correction = eps*32*amp per node
+        assert amp1 == pytest.approx(0.1 * (1 - 32.0 / 32.0), abs=1e-12)
+
+    def test_stable_at_max_eps(self):
+        rng = np.random.default_rng(1)
+        a = 1.0 + 0.1 * rng.random((16, 16))
+        sub = _sub(a)
+        filt = FourthOrderFilter(1.0 / 16.0)
+        filt.build_mask(sub)
+        for _ in range(50):
+            filt.apply(sub, ["a"], sub.interior)
+        v = sub.interior_view("a")
+        assert np.isfinite(v).all()
+        assert v.max() <= 1.1 + 1e-9 and v.min() >= 1.0 - 1e-9
+
+    def test_masked_near_solid(self):
+        """Nodes whose stencil touches a wall are left unfiltered, so
+        wall values stay pinned and nothing reads across the wall."""
+        rng = np.random.default_rng(2)
+        a = rng.random((16, 12))
+        solid = np.zeros((16, 12), dtype=bool)
+        solid[8, :] = True
+        sub = _sub(a, solid)
+        filt = FourthOrderFilter(0.02)
+        filt.build_mask(sub)
+        before = sub.fields["a"].copy()
+        filt.apply(sub, ["a"], sub.interior)
+        after = sub.fields["a"]
+        p = sub.pad
+        # rows within reach 2 of the wall row (global rows 6..10) unchanged
+        np.testing.assert_array_equal(
+            after[p + 6 : p + 11, p : p + 12],
+            before[p + 6 : p + 11, p : p + 12],
+        )
+        # a far row did change
+        assert not np.array_equal(
+            after[p + 2, p : p + 12], before[p + 2, p : p + 12]
+        )
+
+    def test_multiple_fields_filtered_independently(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random((14, 14)), rng.random((14, 14))
+        d = Decomposition((14, 14), (1, 1))
+        sub = make_subregions(d, 3, {"a": a, "b": b})[0]
+        filt = FourthOrderFilter(0.02)
+        filt.build_mask(sub)
+        filt.apply(sub, ["a", "b"], sub.interior)
+        sub2 = make_subregions(d, 3, {"a": a, "b": b})[0]
+        filt.build_mask(sub2)
+        filt.apply(sub2, ["b"], sub2.interior)
+        np.testing.assert_array_equal(sub.fields["b"], sub2.fields["b"])
+
+    def test_3d_filtering(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((10, 10, 10))
+        d = Decomposition((10, 10, 10), (1, 1, 1))
+        sub = make_subregions(d, 3, {"a": a})[0]
+        filt = FourthOrderFilter(0.02)
+        filt.build_mask(sub)
+        filt.apply(sub, ["a"], sub.interior)
+        assert np.isfinite(sub.fields["a"]).all()

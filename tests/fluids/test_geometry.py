@@ -1,0 +1,126 @@
+"""Flue-pipe and channel geometry builders (figs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition
+from repro.fluids import channel_geometry, flue_pipe
+
+
+class TestChannelGeometry:
+    def test_2d_walls(self):
+        solid = channel_geometry((16, 12))
+        assert solid[:, 0].all() and solid[:, -1].all()
+        assert not solid[:, 1:-1].any()
+
+    def test_wall_thickness(self):
+        solid = channel_geometry((16, 12), wall_nodes=2)
+        assert solid[:, :2].all() and solid[:, -2:].all()
+        assert not solid[:, 2:-2].any()
+
+    def test_3d_duct(self):
+        solid = channel_geometry((8, 10, 10))
+        assert solid[:, 0, :].all() and solid[:, :, 0].all()
+        assert solid[:, -1, :].all() and solid[:, :, -1].all()
+        assert not solid[:, 1:-1, 1:-1].any()
+
+
+class TestFluePipe:
+    def test_basic_structure(self):
+        setup = flue_pipe((128, 80))
+        solid = setup.solid
+        assert solid.shape == (128, 80)
+        # enclosing walls present except at the openings
+        assert solid[:, 0].all() and solid[:, -1].all()
+        # jet inlet carved out of the left wall
+        ib = setup.inlet.box
+        assert not solid[ib.lo[0]:ib.hi[0], ib.lo[1]:ib.hi[1]].any()
+        # outlet carved out of the right wall (basic variant)
+        ob = setup.outlet.box
+        assert ob.hi[0] == 128
+        assert not solid[ob.lo[0]:ob.hi[0], ob.lo[1]:ob.hi[1]].any()
+
+    def test_interior_mostly_fluid(self):
+        setup = flue_pipe((128, 80))
+        frac_solid = setup.solid.mean()
+        assert 0.02 < frac_solid < 0.5
+
+    def test_jet_ramp(self):
+        setup = flue_pipe((128, 80), jet_speed=0.1, ramp_steps=50)
+        v0 = setup.inlet.velocity_at(0)
+        v_mid = setup.inlet.velocity_at(24)
+        v_full = setup.inlet.velocity_at(200)
+        assert 0 < v0[0] < v_mid[0] < v_full[0] == pytest.approx(0.1)
+        assert v_full[1] == 0.0
+
+    def test_channel_variant_outlet_on_top(self):
+        setup = flue_pipe((128, 80), variant="channel")
+        ob = setup.outlet.box
+        assert ob.hi[1] == 80  # top wall
+
+    def test_channel_variant_has_inactive_subregions(self):
+        """Fig. 2: whole subregions of a coarse decomposition are solid
+        walls and are not assigned to workstations (paper: 15 of 24)."""
+        setup = flue_pipe((192, 128), variant="channel")
+        d = Decomposition((192, 128), (6, 4), solid=setup.solid)
+        assert d.n_active < d.n_blocks
+        assert d.active_fraction < 1.0
+
+    def test_basic_variant_fully_active(self):
+        setup = flue_pipe((192, 128))
+        d = Decomposition((192, 128), (5, 4), solid=setup.solid)
+        assert d.n_active == 20
+
+    def test_mouth_probe_in_fluid(self):
+        setup = flue_pipe((128, 80))
+        pb = setup.mouth_probe
+        assert not setup.solid[pb.lo[0]:pb.hi[0], pb.lo[1]:pb.hi[1]].all()
+
+    def test_too_coarse_grid_rejected(self):
+        with pytest.raises(ValueError):
+            flue_pipe((32, 20))
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            flue_pipe((128, 80), variant="bass")
+
+    def test_paper_resolution_masks(self):
+        """The paper's 800 x 500 production grid builds cleanly."""
+        setup = flue_pipe((800, 500))
+        assert setup.solid.shape == (800, 500)
+        d = Decomposition((800, 500), (5, 4), solid=setup.solid)
+        assert d.n_active == 20
+
+
+class TestCylinderChannel:
+    def test_walls_and_cylinder(self):
+        from repro.fluids import cylinder_channel
+
+        solid = cylinder_channel((80, 40))
+        assert solid[:, 0].all() and solid[:, -1].all()
+        # cylinder present at the requested center
+        assert solid[20, 20]
+        # and round-ish: columns far from the center are clear
+        assert not solid[60, 20]
+
+    def test_radius_scaling(self):
+        from repro.fluids import cylinder_channel
+
+        small = cylinder_channel((80, 40), radius_frac=0.05)
+        large = cylinder_channel((80, 40), radius_frac=0.2)
+        assert large.sum() > small.sum()
+
+    def test_under_resolved_rejected(self):
+        import pytest
+
+        from repro.fluids import cylinder_channel
+
+        with pytest.raises(ValueError, match="radius"):
+            cylinder_channel((30, 16), radius_frac=0.05)
+
+    def test_center_placement(self):
+        from repro.fluids import cylinder_channel
+
+        solid = cylinder_channel((80, 40), center_frac=(0.75, 0.5))
+        assert solid[60, 20]
+        assert not solid[20, 20]

@@ -1,0 +1,123 @@
+"""Stencil algebra on padded arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fluids._kernels import (
+    central_diff,
+    dilate_star,
+    fourth_diff_sum,
+    laplacian,
+    second_diff,
+    shift_region,
+)
+
+
+def _grid(nx=12, ny=10):
+    x = np.arange(nx)[:, None] * np.ones((1, ny))
+    y = np.ones((nx, 1)) * np.arange(ny)[None, :]
+    return x, y
+
+
+REGION = (slice(2, 10), slice(2, 8))
+
+
+class TestShiftRegion:
+    def test_shift(self):
+        assert shift_region(REGION, 0, 1) == (slice(3, 11), slice(2, 8))
+        assert shift_region(REGION, 1, -2) == (slice(2, 10), slice(0, 6))
+
+    def test_rejects_open_slices(self):
+        with pytest.raises(ValueError):
+            shift_region((slice(None), slice(1, 2)), 0, 1)
+
+
+class TestDerivatives:
+    def test_central_diff_linear_exact(self):
+        x, y = _grid()
+        np.testing.assert_allclose(
+            central_diff(3.0 * x + y, REGION, 0, 1.0), 3.0
+        )
+        np.testing.assert_allclose(
+            central_diff(3.0 * x + y, REGION, 1, 1.0), 1.0
+        )
+
+    def test_central_diff_quadratic_exact(self):
+        # centered differences are exact on quadratics
+        x, _ = _grid()
+        got = central_diff(x * x, REGION, 0, 1.0)
+        np.testing.assert_allclose(got, 2.0 * x[REGION])
+
+    def test_central_diff_dx_scaling(self):
+        x, _ = _grid()
+        got = central_diff(x, REGION, 0, 0.5)
+        np.testing.assert_allclose(got, 2.0)
+
+    def test_second_diff_quadratic(self):
+        x, _ = _grid()
+        np.testing.assert_allclose(second_diff(x * x, REGION, 0, 1.0), 2.0)
+
+    def test_laplacian_harmonic_is_zero(self):
+        x, y = _grid()
+        np.testing.assert_allclose(
+            laplacian(x * x - y * y, REGION, 1.0), 0.0, atol=1e-12
+        )
+
+    def test_laplacian_parabola(self):
+        x, y = _grid()
+        np.testing.assert_allclose(
+            laplacian(x * x + y * y, REGION, 1.0), 4.0
+        )
+
+
+class TestFourthDiff:
+    def test_annihilates_cubics(self):
+        x, y = _grid(14, 14)
+        r = (slice(2, 12), slice(2, 12))
+        f = x**3 - 2 * y**3 + x * x - y
+        np.testing.assert_allclose(fourth_diff_sum(f, r), 0.0, atol=1e-9)
+
+    def test_quartic_value(self):
+        x, _ = _grid(14, 14)
+        r = (slice(2, 12), slice(2, 12))
+        # 4th undivided difference of x^4 is 4! = 24
+        np.testing.assert_allclose(fourth_diff_sum(x**4, r), 24.0)
+
+    def test_checkerboard_amplitude(self):
+        # (-1)^(i+j): per axis the 4th difference is 16 * value
+        i, j = np.indices((12, 12))
+        f = (-1.0) ** (i + j)
+        r = (slice(2, 10), slice(2, 10))
+        np.testing.assert_allclose(fourth_diff_sum(f, r), 32.0 * f[r])
+
+
+class TestDilateStar:
+    def test_single_point(self):
+        m = np.zeros((9, 9), dtype=bool)
+        m[4, 4] = True
+        d = dilate_star(m, 2)
+        assert d[4, 4] and d[2, 4] and d[4, 6] and d[3, 3]
+        assert d.sum() == 25  # a reach-2 dilation applied per axis: 5x5 box
+
+    def test_reach_one(self):
+        m = np.zeros((7, 7), dtype=bool)
+        m[3, 3] = True
+        d = dilate_star(m, 1)
+        assert d.sum() == 9  # 3x3 box (axis-sequential dilation)
+
+    def test_edge_clipping(self):
+        m = np.zeros((6, 6), dtype=bool)
+        m[0, 0] = True
+        d = dilate_star(m, 2)
+        assert d[0, 2] and d[2, 0] and not d[0, 3]
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_superset_and_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.random((10, 8)) < 0.2
+        d1 = dilate_star(m, 1)
+        d2 = dilate_star(m, 2)
+        assert (d1 | m).sum() == d1.sum()  # dilation contains original
+        assert (d2 | d1).sum() == d2.sum()  # monotone in reach

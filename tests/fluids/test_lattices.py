@@ -1,0 +1,87 @@
+"""D2Q9/D3Q15 lattice invariants — including the §6 payload counts that
+identify these lattices as the paper's."""
+
+import numpy as np
+import pytest
+
+from repro.fluids import D2Q9, D3Q15, lattice_for
+
+
+@pytest.mark.parametrize("lat", [D2Q9, D3Q15], ids=lambda l: l.name)
+class TestLatticeInvariants:
+    def test_weights_sum_to_one(self, lat):
+        assert lat.w.sum() == pytest.approx(1.0)
+
+    def test_first_moment_vanishes(self, lat):
+        # sum_i w_i e_i = 0 (isotropy)
+        np.testing.assert_allclose(
+            (lat.w[:, None] * lat.e).sum(axis=0), 0.0, atol=1e-15
+        )
+
+    def test_opposites(self, lat):
+        for i in range(lat.q):
+            j = lat.opposite[i]
+            np.testing.assert_array_equal(lat.e[j], -lat.e[i])
+            assert lat.w[j] == lat.w[i]
+
+    def test_opposite_is_involution(self, lat):
+        np.testing.assert_array_equal(
+            lat.opposite[lat.opposite], np.arange(lat.q)
+        )
+
+    def test_rest_population_first(self, lat):
+        assert (lat.e[0] == 0).all()
+
+
+@pytest.mark.parametrize("lat", [D2Q9, D3Q15], ids=lambda l: l.name)
+def test_second_moment_cs2(lat):
+    """sum_i w_i e_ia e_ib = cs^2 delta_ab with cs^2 = 1/3."""
+    m = np.einsum("i,ia,ib->ab", lat.w, lat.e.astype(float), lat.e.astype(float))
+    np.testing.assert_allclose(m, np.eye(lat.ndim) / 3.0, atol=1e-15)
+
+
+@pytest.mark.parametrize("lat", [D2Q9, D3Q15], ids=lambda l: l.name)
+def test_fourth_moment_isotropy(lat):
+    """sum w e_a e_b e_c e_d = (1/9)(d_ab d_cd + d_ac d_bd + d_ad d_bc)."""
+    e = lat.e.astype(float)
+    m = np.einsum("i,ia,ib,ic,id->abcd", lat.w, e, e, e, e)
+    d = np.eye(lat.ndim)
+    expected = (
+        np.einsum("ab,cd->abcd", d, d)
+        + np.einsum("ac,bd->abcd", d, d)
+        + np.einsum("ad,bc->abcd", d, d)
+    ) / 9.0
+    np.testing.assert_allclose(m, expected, atol=1e-15)
+
+
+class TestCrossingPopulations:
+    """§6: 'LB communicates 5 variables per fluid node in three
+    dimensional problems [...] in two dimensional problems, both methods
+    communicate 3 variables per fluid node.'"""
+
+    def test_d2q9_three_per_face(self):
+        for axis in range(2):
+            for side in (-1, 1):
+                assert len(D2Q9.crossing_populations(axis, side)) == 3
+
+    def test_d3q15_five_per_face(self):
+        for axis in range(3):
+            for side in (-1, 1):
+                assert len(D3Q15.crossing_populations(axis, side)) == 5
+
+    def test_crossings_partition(self):
+        # each non-axis-aligned population crosses one face per axis
+        idx = D2Q9.crossing_populations(0, 1)
+        assert 1 in idx and 5 in idx and 7 in idx
+
+
+class TestLatticeFor:
+    def test_dimensions(self):
+        assert lattice_for(2) is D2Q9
+        assert lattice_for(3) is D3Q15
+        with pytest.raises(ValueError):
+            lattice_for(4)
+
+    def test_sizes(self):
+        assert D2Q9.q == 9 and D2Q9.ndim == 2
+        assert D3Q15.q == 15 and D3Q15.ndim == 3

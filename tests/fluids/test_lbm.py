@@ -1,0 +1,160 @@
+"""Lattice Boltzmann: equilibrium, conservation, convergence, walls."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import FluidParams, LBMethod, poiseuille_profile, total_mass
+from tests.conftest import channel_sim, rest_fields
+
+
+class TestConstruction:
+    def test_single_message_per_step(self):
+        """§6: 'LB sends all the boundary data in one message'."""
+        m = LBMethod(FluidParams.lattice(2, nu=0.1), 2)
+        assert m.exchange_phases == (("f",),)
+
+    def test_tau_from_viscosity(self):
+        m = LBMethod(FluidParams.lattice(2, nu=0.1), 2)
+        assert m.tau == pytest.approx(0.8)
+
+    def test_requires_lattice_units(self):
+        with pytest.raises(ValueError, match="lattice"):
+            LBMethod(FluidParams(nu=0.1, cs=0.5), 2)
+
+    def test_bad_gravity(self):
+        with pytest.raises(ValueError):
+            LBMethod(FluidParams.lattice(2, nu=0.1), 3)
+
+
+class TestEquilibrium:
+    @pytest.fixture
+    def method(self):
+        return LBMethod(FluidParams.lattice(2, nu=0.1), 2)
+
+    def test_density_moment(self, method):
+        rng = np.random.default_rng(0)
+        rho = 1.0 + 0.1 * rng.random((6, 5))
+        vels = [0.05 * rng.random((6, 5)), 0.05 * rng.random((6, 5))]
+        feq = method.equilibrium(rho, vels)
+        np.testing.assert_allclose(feq.sum(axis=0), rho, rtol=1e-13)
+
+    def test_momentum_moment(self, method):
+        rng = np.random.default_rng(1)
+        rho = 1.0 + 0.1 * rng.random((6, 5))
+        vels = [0.05 * rng.random((6, 5)), 0.05 * rng.random((6, 5))]
+        feq = method.equilibrium(rho, vels)
+        lat = method.lattice
+        for d in range(2):
+            mom = sum(
+                float(lat.e[i, d]) * feq[i] for i in range(lat.q)
+            )
+            np.testing.assert_allclose(mom, rho * vels[d], rtol=1e-12,
+                                       atol=1e-15)
+
+    def test_rest_equilibrium_is_weights(self, method):
+        rho = np.ones((3, 3))
+        feq = method.equilibrium(rho, [np.zeros((3, 3))] * 2)
+        for i in range(9):
+            np.testing.assert_allclose(feq[i], method.lattice.w[i])
+
+
+class TestConservation:
+    def _periodic_sim(self, filter_eps=0.0, ndim=2):
+        shape = (20, 16) if ndim == 2 else (10, 8, 8)
+        params = FluidParams.lattice(ndim, nu=0.05, filter_eps=filter_eps)
+        rng = np.random.default_rng(0)
+        fields = rest_fields(shape)
+        fields["rho"] = 1.0 + 1e-3 * (rng.random(shape) - 0.5)
+        d = Decomposition(shape, (1,) * ndim, periodic=(True,) * ndim)
+        return Simulation(LBMethod(params, ndim), d, fields)
+
+    def test_mass_exactly_conserved(self):
+        """Collision conserves sum_i F_i per node and streaming only
+        moves populations: total mass is invariant to round-off."""
+        sim = self._periodic_sim()
+        m0 = total_mass(sim.global_field("rho"))
+        sim.step(200)
+        assert total_mass(sim.global_field("rho")) == pytest.approx(
+            m0, rel=1e-13
+        )
+
+    def test_momentum_conserved_without_force(self):
+        sim = self._periodic_sim()
+        lat = sim.method.lattice
+
+        def momentum():
+            f = sim.global_field("f")
+            per_pop = f.reshape(lat.q, -1).sum(axis=1)
+            return per_pop @ lat.e.astype(float)
+
+        mom0 = momentum()
+        sim.step(200)
+        np.testing.assert_allclose(momentum(), mom0, atol=1e-12)
+
+    def test_mass_conserved_3d(self):
+        sim = self._periodic_sim(ndim=3)
+        m0 = total_mass(sim.global_field("rho"))
+        sim.step(60)
+        assert total_mass(sim.global_field("rho")) == pytest.approx(
+            m0, rel=1e-13
+        )
+
+    def test_populations_stay_positive_for_small_perturbations(self):
+        sim = self._periodic_sim()
+        sim.step(100)
+        assert sim.global_field("f").min() > 0
+
+
+class TestPoiseuille:
+    def _steady_error(self, ny, nu=0.1, g=1e-6):
+        sim = channel_sim(LBMethod, shape=(8, ny), nu=nu, g=g)
+        prev = None
+        for _ in range(300):
+            sim.step(200)
+            u = sim.global_field("u")[4]
+            if prev is not None and np.abs(u - prev).max() < 1e-12 * max(
+                u.max(), 1e-30
+            ):
+                break
+            prev = u.copy()
+        y = np.arange(ny, dtype=float) - 0.5  # halfway bounce-back wall
+        exact = poiseuille_profile(y, ny - 2.0, g, nu)
+        fl = slice(1, ny - 1)
+        return np.abs(u[fl] - exact[fl]).max() / exact.max()
+
+    def test_profile_accuracy(self):
+        assert self._steady_error(18) < 5e-3
+
+    def test_quadratic_convergence(self):
+        """§7: 'both methods converge quadratically with increased
+        resolution in space'."""
+        e1 = self._steady_error(10)
+        e2 = self._steady_error(18)  # channel width doubles: 8 -> 16
+        order = np.log2(e1 / e2)
+        assert order > 1.5
+
+    def test_no_slip_at_wall(self):
+        sim = channel_sim(LBMethod, shape=(8, 15))
+        sim.step(400)
+        u = sim.global_field("u")
+        assert np.abs(u[:, 0]).max() == 0.0  # macro velocity zeroed at solid
+        # first fluid node moves far slower than the centerline
+        assert np.abs(u[4, 1]) < 0.35 * np.abs(u[4, 7])
+
+
+class TestLB3D:
+    def test_3d_channel_finite_and_flowing(self):
+        sim = channel_sim(LBMethod, shape=(8, 10, 10), nu=0.08, g=1e-6)
+        sim.step(150)
+        u = sim.global_field("u")
+        assert np.isfinite(u).all()
+        assert u.max() > 0
+        assert sim.global_field("f").shape == (15, 8, 10, 10)
+
+    def test_3d_duct_symmetry(self):
+        sim = channel_sim(LBMethod, shape=(6, 11, 11), nu=0.08, g=1e-6)
+        sim.step(600)
+        u = sim.global_field("u")[3]
+        np.testing.assert_allclose(u, u[::-1, :], atol=1e-12)
+        np.testing.assert_allclose(u, u[:, ::-1], atol=1e-12)

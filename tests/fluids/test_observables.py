@@ -1,0 +1,98 @@
+"""Flow diagnostics: vorticity (the fig. 1 quantity), divergence, energies."""
+
+import numpy as np
+import pytest
+
+from repro.fluids import (
+    acoustic_energy,
+    divergence,
+    kinetic_energy,
+    total_mass,
+    total_momentum,
+    vorticity_2d,
+    vorticity_3d,
+)
+
+
+def _grid(n=16):
+    x = (np.arange(n) - n / 2.0)[:, None] * np.ones((1, n))
+    y = np.ones((n, 1)) * (np.arange(n) - n / 2.0)[None, :]
+    return x, y
+
+
+class TestVorticity:
+    def test_solid_rotation(self):
+        """u = -omega y, v = omega x: vorticity = 2 omega everywhere."""
+        x, y = _grid()
+        omega = 0.3
+        w = vorticity_2d(-omega * y, omega * x)
+        np.testing.assert_allclose(w, 2 * omega, rtol=1e-12)
+
+    def test_shear_flow(self):
+        x, y = _grid()
+        w = vorticity_2d(0.5 * y, np.zeros_like(y))
+        np.testing.assert_allclose(w, -0.5, rtol=1e-12)
+
+    def test_irrotational_flow(self):
+        x, y = _grid()
+        # potential flow u = x, v = -y
+        w = vorticity_2d(x, -y)
+        np.testing.assert_allclose(w, 0.0, atol=1e-12)
+
+    def test_dx_scaling(self):
+        x, y = _grid()
+        w1 = vorticity_2d(-y, x, dx=1.0)
+        w2 = vorticity_2d(-y, x, dx=2.0)
+        np.testing.assert_allclose(w1, 2 * w2)
+
+    def test_3d_solid_rotation_about_z(self):
+        n = 10
+        idx = np.indices((n, n, n)).astype(float) - n / 2
+        x, y, z = idx
+        u, v, w = -y, x, np.zeros_like(x)
+        vort = vorticity_3d(u, v, w)
+        np.testing.assert_allclose(vort[2], 2.0, rtol=1e-12)
+        np.testing.assert_allclose(vort[0], 0.0, atol=1e-12)
+        np.testing.assert_allclose(vort[1], 0.0, atol=1e-12)
+
+
+class TestDivergence:
+    def test_uniform_flow(self):
+        np.testing.assert_allclose(
+            divergence([np.ones((8, 8)), np.ones((8, 8))]), 0.0, atol=1e-14
+        )
+
+    def test_expansion(self):
+        x, y = _grid()
+        np.testing.assert_allclose(divergence([x, y]), 2.0, rtol=1e-12)
+
+
+class TestIntegrals:
+    def test_total_mass(self):
+        rho = np.full((4, 5), 2.0)
+        assert total_mass(rho) == pytest.approx(40.0)
+        assert total_mass(rho, dx=0.5) == pytest.approx(10.0)
+
+    def test_total_momentum(self):
+        rho = np.full((4, 4), 2.0)
+        u = np.full((4, 4), 0.5)
+        v = np.zeros((4, 4))
+        np.testing.assert_allclose(total_momentum(rho, [u, v]), [16.0, 0.0])
+
+    def test_kinetic_energy(self):
+        rho = np.ones((4, 4))
+        u = np.full((4, 4), 2.0)
+        assert kinetic_energy(rho, [u, np.zeros((4, 4))]) == pytest.approx(
+            0.5 * 16 * 4.0
+        )
+
+    def test_acoustic_energy_zero_at_rest(self):
+        rho = np.ones((6, 6))
+        vels = [np.zeros((6, 6))] * 2
+        assert acoustic_energy(rho, vels, 1.0, 0.5) == 0.0
+
+    def test_acoustic_energy_positive(self):
+        rho = np.ones((6, 6))
+        rho[2, 2] = 1.01
+        vels = [np.zeros((6, 6))] * 2
+        assert acoustic_energy(rho, vels, 1.0, 0.5) > 0

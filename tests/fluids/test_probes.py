@@ -1,0 +1,108 @@
+"""Probes and tone analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import (
+    FluidParams,
+    GlobalBox,
+    LBMethod,
+    Probe,
+    acoustic_frequency,
+    dominant_frequency,
+    spectrum,
+    standing_wave,
+)
+
+
+class TestSpectrum:
+    def test_pure_tone(self):
+        t = np.arange(512)
+        x = np.sin(2 * np.pi * 0.1 * t)
+        f = dominant_frequency(x)
+        assert f == pytest.approx(0.1, abs=2e-3)
+
+    def test_tone_with_offset_and_drift(self):
+        t = np.arange(512)
+        x = 5.0 + 0.01 * t + 0.1 * np.sin(2 * np.pi * 0.07 * t)
+        assert dominant_frequency(x) == pytest.approx(0.07, abs=2e-3)
+
+    def test_off_bin_frequency_interpolated(self):
+        t = np.arange(256)
+        f0 = 0.0837
+        x = np.sin(2 * np.pi * f0 * t)
+        assert dominant_frequency(x) == pytest.approx(f0, abs=2e-3)
+
+    def test_dt_scaling(self):
+        t = np.arange(512)
+        x = np.sin(2 * np.pi * 0.1 * t)
+        # sampling every 5 steps: same signal, frequency in 1/steps
+        assert dominant_frequency(x, dt=5.0) == pytest.approx(
+            0.1 / 5.0, abs=1e-3
+        )
+
+    def test_strongest_of_two(self):
+        t = np.arange(1024)
+        x = np.sin(2 * np.pi * 0.05 * t) + 0.2 * np.sin(2 * np.pi * 0.2 * t)
+        assert dominant_frequency(x) == pytest.approx(0.05, abs=2e-3)
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            spectrum(np.ones(3))
+
+    def test_spectrum_parseval_ish(self):
+        t = np.arange(256)
+        x = np.sin(2 * np.pi * 0.125 * t)
+        freq, amp = spectrum(x)
+        k = np.argmax(amp)
+        assert freq[k] == pytest.approx(0.125, abs=0.005)
+        assert amp[k] == pytest.approx(1.0, rel=0.1)
+
+
+class TestProbe:
+    def _wave_sim(self, nx=48):
+        ny = 6
+        params = FluidParams.lattice(2, nu=1e-3)
+        x = np.arange(nx, dtype=float) + 0.5
+        rho, _ = standing_wave(x, 0.0, float(nx), 1, 1e-4, 1.0, params.cs)
+        fields = {
+            "rho": np.repeat(rho[:, None], ny, axis=1),
+            "u": np.zeros((nx, ny)),
+            "v": np.zeros((nx, ny)),
+        }
+        d = Decomposition((nx, ny), (1, 1), periodic=(True, True))
+        return Simulation(LBMethod(params, 2), d, fields), params
+
+    def test_records_steps_and_values(self):
+        sim, _ = self._wave_sim()
+        probe = Probe(GlobalBox((0, 2), (2, 4)))
+        probe.run(sim, steps=20, every=5)
+        assert probe.steps == [5, 10, 15, 20]
+        assert len(probe.values) == 4
+        assert probe.sample_period == 5
+
+    def test_nonuniform_sampling_detected(self):
+        sim, _ = self._wave_sim()
+        probe = Probe(GlobalBox((0, 2), (2, 4)))
+        probe.run(sim, steps=4, every=2)
+        probe.run(sim, steps=3, every=3)
+        with pytest.raises(ValueError, match="non-uniform"):
+            probe.sample_period
+
+    def test_bad_every(self):
+        sim, _ = self._wave_sim()
+        probe = Probe(GlobalBox((0, 2), (2, 4)))
+        with pytest.raises(ValueError):
+            probe.run(sim, steps=4, every=0)
+
+    def test_measures_standing_wave_tone(self):
+        """End to end: a probe at a density antinode hears omega = cs k."""
+        nx = 48
+        sim, params = self._wave_sim(nx)
+        probe = Probe(GlobalBox((0, 2), (2, 4)))  # antinode at x = 0
+        period = 2 * np.pi / acoustic_frequency(float(nx), 1, params.cs)
+        probe.run(sim, steps=int(6 * period), every=1)
+        f = dominant_frequency(probe.signal)
+        expected = params.cs / nx  # cycles per step
+        assert f == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,42 @@
+"""Metrics and tabulation helpers."""
+
+import pytest
+
+from repro.harness import efficiency, format_series, format_table, speedup
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_efficiency(self):
+        assert efficiency(10.0, 2.0, 10) == pytest.approx(0.5)
+
+    def test_bad_tp(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["P", "f"], [[4, 0.95], [16, 0.80]], title="fig 9"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "fig 9"
+        assert "P" in lines[1] and "f" in lines[1]
+        assert "0.95" in lines[3]
+        # all rows equally wide
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_series(self):
+        s = format_series("2d", [1, 2], [0.5, 0.25])
+        assert s == "2d: (1, 0.5)  (2, 0.25)"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text

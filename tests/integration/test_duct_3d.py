@@ -1,0 +1,66 @@
+"""3D rectangular-duct validation against the exact Fourier solution.
+
+The 3D counterpart of the §7 Hagen-Poiseuille validation: the grids of
+figs. 9-11 are ducts of 10^3..44^3 nodes.  Both methods must approach
+the exact series solution with their respective wall placements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fluids import FDMethod, LBMethod, duct_profile
+from tests.conftest import channel_sim
+
+pytestmark = pytest.mark.slow
+
+
+def _duct_error(method_cls, n, steps, nu=0.08, g=1e-6):
+    sim = channel_sim(method_cls, shape=(6, n, n), nu=nu, g=g)
+    sim.step(steps)
+    u = sim.global_field("u")[3]
+    offset = 0.0 if method_cls is FDMethod else 0.5
+    j = np.arange(n, dtype=float)
+    y = (j - offset)[:, None]
+    z = (j - offset)[None, :]
+    span = (n - 1.0) if offset == 0.0 else (n - 2.0)
+    exact = duct_profile(y, z, span, span, g, nu)
+    fluid = np.zeros((n, n), dtype=bool)
+    fluid[1:-1, 1:-1] = True
+    return float(np.abs(u[fluid] - exact[fluid]).max() / exact.max())
+
+
+def test_fd_duct_accuracy():
+    assert _duct_error(FDMethod, 13, 2500) < 1e-2
+
+
+def test_lb_duct_accuracy():
+    assert _duct_error(LBMethod, 13, 2500) < 5e-2
+
+
+def test_lb_duct_error_shrinks_with_resolution():
+    coarse = _duct_error(LBMethod, 9, 1500)
+    fine = _duct_error(LBMethod, 15, 3500)
+    assert fine < coarse
+
+
+def test_methods_agree_on_flow_rate():
+    """§7: comparable results at the same resolution — the volumetric
+    flow rates match once each method's wall placement is honoured."""
+    n, nu, g = 13, 0.08, 1e-6
+    fd = channel_sim(FDMethod, shape=(6, n, n), nu=nu, g=g)
+    lb = channel_sim(LBMethod, shape=(6, n, n), nu=nu, g=g)
+    fd.step(2500)
+    lb.step(2500)
+    q_fd = float(fd.global_field("u")[3].sum())
+    q_lb = float(lb.global_field("u")[3].sum())
+    # exact flow rates for the two effective duct sizes
+    def q_exact(span, offset):
+        j = np.arange(n, dtype=float)
+        y = (j - offset)[:, None]
+        z = (j - offset)[None, :]
+        u = duct_profile(y, z, span, span, g, nu)
+        u[0, :] = u[-1, :] = u[:, 0] = u[:, -1] = 0.0
+        return float(u.sum())
+
+    assert q_fd / q_exact(n - 1.0, 0.0) == pytest.approx(1.0, abs=0.03)
+    assert q_lb / q_exact(n - 2.0, 0.5) == pytest.approx(1.0, abs=0.06)

@@ -1,0 +1,138 @@
+"""Physics symmetry properties of the solvers (hypothesis-driven).
+
+Discrete translation invariance and parity are symmetries of the
+*continuous* equations that the discretizations preserve exactly on
+periodic domains — per-node stencil arithmetic commutes with rolling
+the arrays, so a shifted initial condition must evolve into the shifted
+solution, bit for bit.  These are unusually sharp oracles: any indexing
+bug, any asymmetric stencil, any spurious coupling breaks them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import FDMethod, FluidParams, LBMethod
+
+
+def _periodic_sim(method_cls, fields, filter_eps=0.02):
+    shape = fields["rho"].shape
+    params = FluidParams.lattice(2, nu=0.06, filter_eps=filter_eps)
+    d = Decomposition(shape, (1, 1), periodic=(True, True))
+    return Simulation(method_cls(params, 2), d, fields)
+
+
+def _random_fields(seed, shape=(24, 20), amp=1e-3):
+    rng = np.random.default_rng(seed)
+    return {
+        "rho": 1.0 + amp * (rng.random(shape) - 0.5),
+        "u": 0.1 * amp * (rng.random(shape) - 0.5),
+        "v": 0.1 * amp * (rng.random(shape) - 0.5),
+    }
+
+
+@pytest.mark.parametrize("method_cls", [FDMethod, LBMethod],
+                         ids=["fd", "lb"])
+class TestTranslationInvariance:
+    @given(st.integers(0, 20), st.integers(-8, 8), st.integers(-8, 8))
+    @settings(max_examples=6, deadline=None)
+    def test_roll_commutes_with_evolution(self, method_cls, seed, sx, sy):
+        fields = _random_fields(seed)
+        rolled = {
+            k: np.roll(np.roll(v, sx, axis=0), sy, axis=1)
+            for k, v in fields.items()
+        }
+        a = _periodic_sim(method_cls, fields)
+        b = _periodic_sim(method_cls, rolled)
+        a.step(12)
+        b.step(12)
+        for name in ("rho", "u", "v"):
+            expect = np.roll(
+                np.roll(a.global_field(name), sx, axis=0), sy, axis=1
+            )
+            np.testing.assert_array_equal(b.global_field(name), expect)
+
+
+@pytest.mark.parametrize("method_cls", [FDMethod, LBMethod],
+                         ids=["fd", "lb"])
+class TestParity:
+    def test_mirror_x(self, method_cls):
+        """Flipping x and negating u is a symmetry of the equations;
+        the discrete evolution must respect it exactly."""
+        fields = _random_fields(3)
+        mirrored = {
+            "rho": fields["rho"][::-1].copy(),
+            "u": -fields["u"][::-1].copy(),
+            "v": fields["v"][::-1].copy(),
+        }
+        a = _periodic_sim(method_cls, fields)
+        b = _periodic_sim(method_cls, mirrored)
+        a.step(12)
+        b.step(12)
+        # Reflection reverses the summation order inside the stencils,
+        # so (unlike translation, which is bit-exact) parity holds to
+        # rounding: tolerances far below any physical signal.
+        kw = dict(rtol=1e-9, atol=1e-16)
+        np.testing.assert_allclose(
+            b.global_field("rho"), a.global_field("rho")[::-1], **kw
+        )
+        np.testing.assert_allclose(
+            b.global_field("u"), -a.global_field("u")[::-1], **kw
+        )
+        np.testing.assert_allclose(
+            b.global_field("v"), a.global_field("v")[::-1], **kw
+        )
+
+    def test_rest_state_is_fixed_point(self, method_cls):
+        fields = {
+            "rho": np.ones((16, 12)),
+            "u": np.zeros((16, 12)),
+            "v": np.zeros((16, 12)),
+        }
+        sim = _periodic_sim(method_cls, fields)
+        sim.step(20)
+        # LB reconstructs rho = sum w_i each step; 1/9 is inexact in
+        # binary, so "exactly 1" holds only to round-off there.
+        np.testing.assert_allclose(
+            sim.global_field("rho"), 1.0, rtol=1e-13
+        )
+        assert np.abs(sim.global_field("u")).max() < 1e-15
+        assert np.abs(sim.global_field("v")).max() < 1e-15
+
+
+class TestCheckpointRestart:
+    """Simulation.save / Simulation.resume: bit-exact continuation."""
+
+    def _sim(self):
+        fields = _random_fields(9)
+        params = FluidParams.lattice(2, nu=0.06, filter_eps=0.02)
+        d = Decomposition((24, 20), (2, 2), periodic=(True, True))
+        return Simulation(LBMethod(params, 2), d, fields)
+
+    def test_resume_continues_bitwise(self, tmp_path):
+        a = self._sim()
+        a.step(10)
+        a.save(tmp_path)
+        a.step(10)  # ground truth: 20 uninterrupted steps
+
+        b = self._sim()
+        b.resume(tmp_path)
+        assert b.step_count == 10
+        b.step(10)
+        for name in ("rho", "u", "v", "f"):
+            assert np.array_equal(
+                a.global_field(name), b.global_field(name)
+            ), name
+
+    def test_resume_rejects_wrong_layout(self, tmp_path):
+        a = self._sim()
+        a.save(tmp_path)
+        params = FluidParams.lattice(2, nu=0.06, filter_eps=0.02)
+        other = Simulation(
+            LBMethod(params, 2),
+            Decomposition((24, 20), (4, 1), periodic=(True, True)),
+            _random_fields(9),
+        )
+        with pytest.raises((ValueError, FileNotFoundError)):
+            other.resume(tmp_path)

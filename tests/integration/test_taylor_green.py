@@ -1,0 +1,118 @@
+"""Taylor-Green vortex: the exact decaying solution as a viscosity oracle.
+
+The vortex array decays purely viscously (the nonlinear terms cancel),
+so the measured kinetic-energy decay rate pins the solver's *effective*
+viscosity — validating the FD momentum diffusion and the LB relation
+``nu = (tau - 1/2)/3`` directly, independent of walls and forcing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import (
+    FDMethod,
+    FluidParams,
+    LBMethod,
+    kinetic_energy,
+    taylor_green,
+    taylor_green_decay_rate,
+)
+
+
+def _tg_sim(method_cls, n=48, nu=0.02, u0=0.01, blocks=(1, 1)):
+    params = FluidParams.lattice(2, nu=nu)
+    x = (np.arange(n, dtype=float) + 0.5)[:, None]
+    y = (np.arange(n, dtype=float) + 0.5)[None, :]
+    u, v = taylor_green(x, y, 0.0, float(n), u0, nu)
+    fields = {
+        "rho": np.ones((n, n)),
+        "u": u * np.ones((n, n)),
+        "v": v * np.ones((n, n)),
+    }
+    d = Decomposition((n, n), blocks, periodic=(True, True))
+    return Simulation(method_cls(params, 2), d, fields), params
+
+
+def _energy(sim):
+    return kinetic_energy(
+        sim.global_field("rho"),
+        [sim.global_field("u"), sim.global_field("v")],
+    )
+
+
+@pytest.mark.parametrize("method_cls", [FDMethod, LBMethod],
+                         ids=["fd", "lb"])
+class TestDecayRate:
+    def test_energy_decays_at_4_nu_k2(self, method_cls):
+        n, nu = 48, 0.02
+        sim, _ = _tg_sim(method_cls, n=n, nu=nu)
+        e0 = _energy(sim)
+        steps = 300
+        sim.step(steps)
+        e1 = _energy(sim)
+        measured = -np.log(e1 / e0) / steps
+        exact = taylor_green_decay_rate(float(n), nu)
+        assert measured == pytest.approx(exact, rel=0.05)
+
+    def test_rate_scales_with_viscosity(self, method_cls):
+        n = 48
+
+        def rate(nu):
+            sim, _ = _tg_sim(method_cls, n=n, nu=nu)
+            e0 = _energy(sim)
+            sim.step(200)
+            return -np.log(_energy(sim) / e0) / 200
+
+        assert rate(0.04) == pytest.approx(2.0 * rate(0.02), rel=0.1)
+
+    def test_velocity_field_shape_preserved(self, method_cls):
+        """The vortex decays in amplitude but keeps its pattern (it is
+        an eigenmode of the dynamics)."""
+        n, nu = 48, 0.02
+        sim, _ = _tg_sim(method_cls, n=n, nu=nu)
+        u0_field = sim.global_field("u").copy()
+        sim.step(250)
+        u1_field = sim.global_field("u")
+        corr = float(
+            (u0_field * u1_field).sum()
+            / np.sqrt((u0_field**2).sum() * (u1_field**2).sum())
+        )
+        assert corr > 0.999
+
+    def test_decay_decomposition_invariant(self, method_cls):
+        serial, _ = _tg_sim(method_cls, n=32)
+        par, _ = _tg_sim(method_cls, n=32, blocks=(2, 2))
+        serial.step(100)
+        par.step(100)
+        for name in ("rho", "u", "v"):
+            np.testing.assert_array_equal(
+                serial.global_field(name), par.global_field(name)
+            )
+
+
+class TestAnalyticForm:
+    def test_divergence_free(self):
+        n = 32
+        x = np.arange(n, dtype=float)[:, None]
+        y = np.arange(n, dtype=float)[None, :]
+        u, v = taylor_green(x, y, 0.0, float(n), 0.01, 0.02)
+        from repro.fluids import divergence
+
+        div = divergence([u * np.ones((n, n)), v * np.ones((n, n))])
+        assert np.abs(div[2:-2, 2:-2]).max() < 1e-4
+
+    def test_decay_formula(self):
+        x = np.array([[3.0]])
+        y = np.array([[5.0]])
+        u0, _ = taylor_green(x, y, 0.0, 32.0, 0.01, 0.05)
+        ut, _ = taylor_green(x, y, 10.0, 32.0, 0.01, 0.05)
+        k = 2 * np.pi / 32.0
+        assert ut[0, 0] / u0[0, 0] == pytest.approx(
+            np.exp(-2 * 0.05 * k * k * 10.0)
+        )
+
+    def test_energy_rate_is_twice_velocity_rate(self):
+        assert taylor_green_decay_rate(32.0, 0.05) == pytest.approx(
+            4.0 * 0.05 * (2 * np.pi / 32.0) ** 2
+        )

@@ -1,0 +1,83 @@
+"""Shared-file port registry (the paper's flock handshake)."""
+
+import threading
+
+import pytest
+
+from repro.net import PortRegistry
+
+
+class TestRegistry:
+    def test_register_and_read(self, tmp_path):
+        reg = PortRegistry(tmp_path / "ports.txt")
+        reg.register(0, 0, "127.0.0.1", 5000)
+        reg.register(0, 1, "127.0.0.1", 5001)
+        assert reg.read(0) == {
+            0: ("127.0.0.1", 5000),
+            1: ("127.0.0.1", 5001),
+        }
+
+    def test_generations_are_separate(self, tmp_path):
+        reg = PortRegistry(tmp_path / "ports.txt")
+        reg.register(0, 0, "h", 5000)
+        reg.register(1, 0, "h", 6000)
+        assert reg.read(0)[0] == ("h", 5000)
+        assert reg.read(1)[0] == ("h", 6000)
+
+    def test_last_write_wins(self, tmp_path):
+        reg = PortRegistry(tmp_path / "ports.txt")
+        reg.register(0, 0, "h", 5000)
+        reg.register(0, 0, "h", 5999)
+        assert reg.read(0)[0] == ("h", 5999)
+
+    def test_read_missing_file(self, tmp_path):
+        reg = PortRegistry(tmp_path / "nothing.txt")
+        assert reg.read(0) == {}
+
+    def test_wait_for_success(self, tmp_path):
+        reg = PortRegistry(tmp_path / "ports.txt")
+        reg.register(0, 0, "h", 5000)
+
+        def late():
+            reg.register(0, 1, "h", 5001)
+
+        t = threading.Timer(0.05, late)
+        t.start()
+        try:
+            got = reg.wait_for(0, {0, 1}, timeout=5.0)
+        finally:
+            t.join()
+        assert got == {0: ("h", 5000), 1: ("h", 5001)}
+
+    def test_wait_for_timeout(self, tmp_path):
+        reg = PortRegistry(tmp_path / "ports.txt")
+        with pytest.raises(TimeoutError, match=r"\[3\]"):
+            reg.wait_for(0, {3}, timeout=0.1, poll=0.02)
+
+    def test_concurrent_registration(self, tmp_path):
+        """Many threads appending under flock never interleave lines."""
+        reg = PortRegistry(tmp_path / "ports.txt")
+        n = 32
+
+        def worker(rank):
+            reg.register(0, rank, f"host{rank}", 5000 + rank)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,)) for r in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entries = reg.read(0)
+        assert len(entries) == n
+        for rank in range(n):
+            assert entries[rank] == (f"host{rank}", 5000 + rank)
+
+    def test_garbage_lines_ignored(self, tmp_path):
+        path = tmp_path / "ports.txt"
+        reg = PortRegistry(path)
+        reg.register(0, 0, "h", 5000)
+        with open(path, "a") as fh:
+            fh.write("not a registration\n")
+        assert reg.read(0) == {0: ("h", 5000)}

@@ -1,0 +1,141 @@
+"""Wire protocol framing."""
+
+import socket
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    MSG_DATA,
+    MSG_HELLO,
+    ProtocolError,
+    pack_frame,
+    recv_frame,
+)
+from repro.net.protocol import HEADER_SIZE, send_all
+
+
+def _roundtrip(frame: bytes):
+    a, b = socket.socketpair()
+    try:
+        send_all(a, frame)
+        return recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestFraming:
+    def test_hello_roundtrip(self):
+        header, payload = _roundtrip(pack_frame(MSG_HELLO, sender=7))
+        assert header.msg_type == MSG_HELLO
+        assert header.sender == 7
+        assert payload == b""
+
+    def test_data_roundtrip(self):
+        body = np.arange(100, dtype=np.float64).tobytes()
+        frame = pack_frame(
+            MSG_DATA, 3, body, step=42, phase=1, axis=2, side=-1
+        )
+        header, payload = _roundtrip(frame)
+        assert header.step == 42
+        assert header.phase == 1
+        assert header.axis == 2
+        assert header.side == -1
+        assert header.payload_len == len(body)
+        np.testing.assert_array_equal(
+            np.frombuffer(payload), np.arange(100, dtype=np.float64)
+        )
+
+    @given(
+        st.integers(0, 255),
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(0, 2**40),
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.integers(-1, 1),
+        st.binary(max_size=4096),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_header_roundtrip(
+        self, msg_type, sender, step, phase, axis, side, payload
+    ):
+        frame = pack_frame(
+            msg_type, sender, payload, step=step, phase=phase,
+            axis=axis, side=side,
+        )
+        header, got = _roundtrip(frame)
+        assert header.msg_type == msg_type
+        assert header.sender == sender
+        assert header.step == step
+        assert header.phase == phase
+        assert header.axis == axis
+        assert header.side == side
+        assert got == payload
+
+    def test_key_identifies_frame(self):
+        frame = pack_frame(MSG_DATA, 5, b"x", step=9, phase=1, axis=0,
+                           side=1)
+        header, _ = _roundtrip(frame)
+        assert header.key() == (9, 1, 0, 1, 5)
+
+    def test_multiple_frames_in_order(self):
+        a, b = socket.socketpair()
+        try:
+            send_all(a, pack_frame(MSG_DATA, 1, b"one", step=1))
+            send_all(a, pack_frame(MSG_DATA, 1, b"two", step=2))
+            h1, p1 = recv_frame(b)
+            h2, p2 = recv_frame(b)
+            assert (h1.step, p1) == (1, b"one")
+            assert (h2.step, p2) == (2, b"two")
+        finally:
+            a.close()
+            b.close()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        a, b = socket.socketpair()
+        try:
+            frame = bytearray(pack_frame(MSG_HELLO, 0))
+            frame[0:4] = b"XXXX"
+            send_all(a, bytes(frame))
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_header(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(pack_frame(MSG_HELLO, 0)[: HEADER_SIZE // 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_truncated_payload(self):
+        a, b = socket.socketpair()
+        try:
+            frame = pack_frame(MSG_DATA, 0, b"full payload")
+            a.sendall(frame[:-4])
+            a.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_bad_version(self):
+        a, b = socket.socketpair()
+        try:
+            frame = bytearray(pack_frame(MSG_HELLO, 0))
+            frame[4] = 99  # version byte
+            send_all(a, bytes(frame))
+            with pytest.raises(ProtocolError, match="version"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()

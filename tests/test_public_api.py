@@ -1,0 +1,76 @@
+"""Meta-tests on the public API surface.
+
+Every name exported through ``__all__`` must resolve, and every public
+callable must carry a docstring — the deliverable is a library, and a
+library's documentation contract is testable.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.fluids",
+    "repro.net",
+    "repro.distrib",
+    "repro.cluster",
+    "repro.harness",
+    "repro.viz",
+    "repro.tools",
+]
+
+
+@pytest.mark.parametrize("modname", PACKAGES)
+def test_module_docstring(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, modname
+
+
+@pytest.mark.parametrize("modname", PACKAGES)
+def test_all_exports_resolve(modname):
+    mod = importlib.import_module(modname)
+    exported = getattr(mod, "__all__", [])
+    for name in exported:
+        assert hasattr(mod, name), f"{modname}.{name} in __all__ missing"
+
+
+@pytest.mark.parametrize("modname", [p for p in PACKAGES if p != "repro"])
+def test_public_callables_documented(modname):
+    mod = importlib.import_module(modname)
+    undocumented = []
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if callable(obj) and not inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        elif inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if callable(meth) and not (
+                    getattr(meth, "__doc__", "") or ""
+                ).strip():
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{modname}: public API without docstrings: {undocumented}"
+    )
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_no_accidental_numpy_reexport():
+    """Submodule namespaces stay clean: no `np`/`numpy` leaking through
+    __all__ anywhere."""
+    for modname in PACKAGES:
+        mod = importlib.import_module(modname)
+        for name in getattr(mod, "__all__", []):
+            assert name not in ("np", "numpy"), modname

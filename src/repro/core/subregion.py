@@ -112,6 +112,29 @@ class SubregionState:
         """Names of all padded fields, in insertion order."""
         return tuple(self.fields.keys())
 
+    def scratch(
+        self,
+        name: str,
+        shape: Sequence[int],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """A named, reusable work buffer registered in ``aux``.
+
+        The first request under a name allocates; later requests with the
+        same shape return the same array, which is what makes a warmed-up
+        integration step allocation-free (the fused kernels write into
+        these instead of fresh temporaries).  Contents are *not*
+        preserved between calls — every user overwrites before reading.
+        Like all of ``aux``, scratch is never exchanged or dumped; after
+        a restore the pool simply refills on first use.
+        """
+        shape = tuple(shape)
+        arr = self.aux.get(name)
+        if arr is None or arr.shape != shape or arr.dtype != dtype:
+            arr = np.empty(shape, dtype=dtype)
+            self.aux[name] = arr
+        return arr
+
 
 def make_subregions(
     decomp: Decomposition,

@@ -127,8 +127,9 @@ class Monitor:
                 else:
                     crashed.append(rank)
             if crashed:
-                self.log(f"workers crashed: {crashed}")
-                self._restart_from_checkpoint()
+                codes = {r: self.procs[r].returncode for r in crashed}
+                self.log(f"workers crashed: {codes}")
+                self._restart_from_checkpoint(crashed)
                 last_progress = time.monotonic()
                 continue
 
@@ -258,12 +259,47 @@ class Monitor:
     # ------------------------------------------------------------------
     # unrecoverable errors (§4.1)
     # ------------------------------------------------------------------
-    def _restart_from_checkpoint(self) -> None:
+    def _worker_diagnostics(self, ranks: list[int] | None) -> str:
+        """Root-failure evidence from the crashed workers' log files.
+
+        Workers leave their reason for dying in three places: a
+        ``rank*.err`` file when construction failed before logging was
+        up, a ``FATAL:`` traceback in ``rank*.log`` when the run loop
+        raised, and captured stdout/stderr in ``rank*.stdout`` for
+        everything earlier (import errors, interpreter aborts).  Collect
+        the most specific one available per rank so the MonitorError
+        reports *why* the run kept dying, not just that it did.
+        """
+        log_dir = self.workdir / "logs"
+        parts: list[str] = []
+        for rank in sorted(ranks or []):
+            evidence = None
+            err = log_dir / f"rank{rank:04d}.err"
+            log = log_dir / f"rank{rank:04d}.log"
+            out = log_dir / f"rank{rank:04d}.stdout"
+            if err.exists():
+                evidence = err.read_text().strip()
+            elif log.exists() and "FATAL:" in (text := log.read_text()):
+                evidence = text[text.rindex("FATAL:"):].strip()
+            elif out.exists() and (text := out.read_text().strip()):
+                tail = text.splitlines()[-15:]
+                evidence = "\n".join(tail)
+            if evidence:
+                parts.append(f"--- rank {rank} ---\n{evidence}")
+        return "\n".join(parts)
+
+    def _restart_from_checkpoint(self, crashed: list[int] | None = None) -> None:
+        diagnostics = self._worker_diagnostics(crashed)
+        if diagnostics:
+            self.log(f"worker diagnostics:\n{diagnostics}")
         if self.restarts >= self.max_restarts:
             self._kill_all()
-            raise MonitorError(
-                f"giving up after {self.restarts} restarts"
-            )
+            msg = f"giving up after {self.restarts} restarts"
+            if crashed:
+                msg += f"; ranks {sorted(crashed)} crashed"
+            if diagnostics:
+                msg += f"\nworker diagnostics:\n{diagnostics}"
+            raise MonitorError(msg)
         self.restarts += 1
         self._kill_all()
         step = SaveTurns.latest_complete_step(self.workdir)

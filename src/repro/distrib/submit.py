@@ -14,6 +14,7 @@ the machine boundary is virtual).
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -22,6 +23,29 @@ from .hostdb import HostDB
 from .worker import WorkerConfig
 
 __all__ = ["spawn_worker", "submit_all"]
+
+
+def _worker_env() -> dict[str, str]:
+    """Environment for a worker subprocess.
+
+    Workers run with their working directory as ``cwd``, so relative
+    ``PYTHONPATH`` entries inherited from the submitting process (for
+    example ``PYTHONPATH=src`` from the test harness) would silently
+    stop resolving and every worker would die on ``import repro`` —
+    absolutize them against the *submitter's* cwd, and keep the
+    directory providing :mod:`repro` itself importable from anywhere.
+    """
+    env = dict(os.environ)
+    entries = [
+        str(Path(p).resolve())
+        for p in env.get("PYTHONPATH", "").split(os.pathsep)
+        if p
+    ]
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    if pkg_root not in entries:
+        entries.append(pkg_root)
+    env["PYTHONPATH"] = os.pathsep.join(entries)
+    return env
 
 
 def spawn_worker(cfg: WorkerConfig) -> subprocess.Popen:
@@ -36,6 +60,7 @@ def spawn_worker(cfg: WorkerConfig) -> subprocess.Popen:
         stdout=log,
         stderr=subprocess.STDOUT,
         cwd=cfg.workdir,
+        env=_worker_env(),
     )
 
 

@@ -7,6 +7,16 @@ node either way; because every field carries ``pad`` ghost layers, the
 shifted reads never leave the array, and the very same kernel code runs
 in the serial program and in every parallel transport (the separation of
 computation from communication the paper builds on, §4.2).
+
+Every derivative kernel takes optional ``out=`` (and, where an
+intermediate is unavoidable, ``scratch=``) buffers of the region's
+shape.  There is a single implementation path: when the buffers are
+omitted they are allocated on the spot, so the allocating and the
+buffered forms produce bitwise-identical results.  The hot paths in
+:mod:`repro.fluids.fd` and :mod:`repro.fluids.filters` pass per-subregion
+scratch registered in ``sub.aux`` (see
+:meth:`repro.core.subregion.SubregionState.scratch`), which makes a
+warmed-up integration step allocation-free.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ Region = tuple[slice, ...]
 __all__ = [
     "Region",
     "shift_region",
+    "region_shape",
     "central_diff",
     "second_diff",
     "laplacian",
@@ -42,50 +53,109 @@ def shift_region(region: Region, axis: int, by: int) -> Region:
     return tuple(out)
 
 
+def region_shape(region: Region) -> tuple[int, ...]:
+    """The array shape a region of explicit slices selects."""
+    shape = []
+    for sl in region:
+        if sl.start is None or sl.stop is None or sl.step not in (None, 1):
+            raise ValueError(f"region slice {sl} must be explicit with step 1")
+        shape.append(sl.stop - sl.start)
+    return tuple(shape)
+
+
 def central_diff(
-    a: np.ndarray, region: Region, axis: int, dx: float
+    a: np.ndarray,
+    region: Region,
+    axis: int,
+    dx: float,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Second-order centered first derivative on ``region``."""
+    """Second-order centered first derivative on ``region``.
+
+    Writes into ``out`` (allocated when omitted) and returns it.
+    """
     plus = a[shift_region(region, axis, +1)]
     minus = a[shift_region(region, axis, -1)]
-    return (plus - minus) / (2.0 * dx)
+    if out is None:
+        out = np.empty(region_shape(region), dtype=a.dtype)
+    np.subtract(plus, minus, out=out)
+    out /= 2.0 * dx
+    return out
 
 
 def second_diff(
-    a: np.ndarray, region: Region, axis: int, dx: float
+    a: np.ndarray,
+    region: Region,
+    axis: int,
+    dx: float,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Second-order centered second derivative on ``region``."""
     plus = a[shift_region(region, axis, +1)]
     minus = a[shift_region(region, axis, -1)]
     mid = a[region]
-    return (plus - 2.0 * mid + minus) / (dx * dx)
-
-
-def laplacian(a: np.ndarray, region: Region, dx: float) -> np.ndarray:
-    """Centered Laplacian (sum of per-axis second differences)."""
-    out = second_diff(a, region, 0, dx)
-    for axis in range(1, len(region)):
-        out += second_diff(a, region, axis, dx)
+    if out is None:
+        out = np.empty(region_shape(region), dtype=a.dtype)
+    np.multiply(mid, 2.0, out=out)
+    np.subtract(plus, out, out=out)
+    out += minus
+    out /= dx * dx
     return out
 
 
-def fourth_diff_sum(a: np.ndarray, region: Region) -> np.ndarray:
+def laplacian(
+    a: np.ndarray,
+    region: Region,
+    dx: float,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """Centered Laplacian (sum of per-axis second differences).
+
+    ``scratch`` holds one per-axis second difference while it is added
+    to the accumulating ``out``; both are allocated when omitted.
+    """
+    out = second_diff(a, region, 0, dx, out=out)
+    if len(region) > 1 and scratch is None:
+        scratch = np.empty_like(out)
+    for axis in range(1, len(region)):
+        out += second_diff(a, region, axis, dx, out=scratch)
+    return out
+
+
+def fourth_diff_sum(
+    a: np.ndarray,
+    region: Region,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
     """Sum over axes of the undivided fourth difference.
 
     Per axis: ``a[i-2] - 4 a[i-1] + 6 a[i] - 4 a[i+1] + a[i+2]`` — the
     stencil of the fourth-order numerical-viscosity filter
     (Peyret & Taylor) the paper applies to ``rho, Vx, Vy(,Vz)`` every
     step to suppress node-to-node spatial frequencies (§6).
+
+    The center coefficient is hoisted out of the axis loop
+    (``6 * ndim * a``), so the whole stencil costs one fused pass per
+    shifted read plus a single ``scratch`` buffer for the odd neighbours.
     """
-    out = np.zeros_like(a[region])
-    for axis in range(len(region)):
-        out += (
-            a[shift_region(region, axis, -2)]
-            - 4.0 * a[shift_region(region, axis, -1)]
-            + 6.0 * a[region]
-            - 4.0 * a[shift_region(region, axis, +1)]
-            + a[shift_region(region, axis, +2)]
+    ndim = len(region)
+    if out is None:
+        out = np.empty(region_shape(region), dtype=a.dtype)
+    if scratch is None:
+        scratch = np.empty_like(out)
+    np.multiply(a[region], 6.0 * ndim, out=out)
+    for axis in range(ndim):
+        out += a[shift_region(region, axis, -2)]
+        out += a[shift_region(region, axis, +2)]
+        np.add(
+            a[shift_region(region, axis, -1)],
+            a[shift_region(region, axis, +1)],
+            out=scratch,
         )
+        scratch *= 4.0
+        out -= scratch
     return out
 
 

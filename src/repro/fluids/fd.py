@@ -31,7 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.subregion import SubregionState
-from ._kernels import central_diff, laplacian
+from ._kernels import central_diff, laplacian, region_shape
 from .boundary import (
     PressureOutlet,
     VelocityInlet,
@@ -135,27 +135,47 @@ class FDMethod:
     # kernels
     # ------------------------------------------------------------------
     def _update_velocity(self, sub: SubregionState) -> None:
-        """Forward-Euler momentum update (eqs. 2-3) on the interior."""
+        """Forward-Euler momentum update (eqs. 2-3) on the interior.
+
+        All derivative kernels write into per-subregion scratch
+        (allocation-free after the first step); the accumulation order
+        matches the classic form ``c + dt (-adv - press + visc + g)``.
+        """
         p = self.params
         region = sub.interior
         rho = sub.fields["rho"]
         vels = [sub.fields[n] for n in self.vel_names]
         vel_mid = [c[region] for c in vels]
         cs2 = p.cs * p.cs
+        ishape = vel_mid[0].shape
+        acc = sub.scratch("fd_acc", ishape)    # adv + press
+        t1 = sub.scratch("fd_t1", ishape)
+        t2 = sub.scratch("fd_t2", ishape)
 
         for d, name in enumerate(self.vel_names):
             c = vels[d]
             # advection: (V . grad) V_d
-            adv = vel_mid[0] * central_diff(c, region, 0, p.dx)
+            central_diff(c, region, 0, p.dx, out=acc)
+            acc *= vel_mid[0]
             for ax in range(1, self.ndim):
-                adv += vel_mid[ax] * central_diff(c, region, ax, p.dx)
+                central_diff(c, region, ax, p.dx, out=t1)
+                t1 *= vel_mid[ax]
+                acc += t1
             # pressure: (cs^2 / rho) d rho / d x_d
-            press = (cs2 / rho[region]) * central_diff(rho, region, d, p.dx)
-            visc = p.nu * laplacian(c, region, p.dx)
-            new = sub.aux["new_" + name]
-            new[region] = c[region] + p.dt * (
-                -adv - press + visc + p.gravity[d]
-            )
+            central_diff(rho, region, d, p.dx, out=t1)
+            np.divide(cs2, rho[region], out=t2)
+            t1 *= t2
+            acc += t1
+            # viscosity: nu * laplacian(V_d)
+            laplacian(c, region, p.dx, out=t1, scratch=t2)
+            t1 *= p.nu
+            # new = c + dt * (visc - (adv + press) + g)
+            t1 -= acc
+            if p.gravity[d] != 0.0:
+                t1 += p.gravity[d]
+            t1 *= p.dt
+            new = sub.aux["new_" + name][region]
+            np.add(c[region], t1, out=new)
         for name in self.vel_names:
             sub.fields[name][region] = sub.aux["new_" + name][region]
         enforce_noslip(sub, self.vel_names, region)
@@ -168,17 +188,24 @@ class FDMethod:
         # already, except ghosts held against inactive blocks (and, at
         # step 0, the raw initial condition): enforce over one ring so
         # the mass fluxes below read clean wall velocities.
-        enforce_noslip(sub, self.vel_names, sub.grown_interior(1))
+        g1 = sub.grown_interior(1)
+        enforce_noslip(sub, self.vel_names, g1)
         rho = sub.fields["rho"]
-        div = None
+        # Mass flux rho(t) * V(t+dt), formed over one ring beyond the
+        # interior (all its centered difference reads) instead of the
+        # whole padded array, into reusable scratch.
+        flux = sub.scratch("fd_flux", region_shape(g1))
+        inner = tuple(slice(1, 1 + n) for n in sub.block.shape)
+        div = sub.scratch("fd_div", region_shape(region))
+        term = sub.scratch("fd_term", region_shape(region))
         for d, name in enumerate(self.vel_names):
-            # Mass flux rho(t) * V(t+dt); the product is formed over the
-            # whole padded array so its centered difference can read one
-            # ring beyond the interior.
-            flux = rho * sub.fields[name]
-            term = central_diff(flux, region, d, p.dx)
-            div = term if div is None else div + term
-        rho[region] = rho[region] - p.dt * div
+            np.multiply(rho[g1], sub.fields[name][g1], out=flux)
+            target = div if d == 0 else term
+            central_diff(flux, inner, d, p.dx, out=target)
+            if d > 0:
+                div += term
+        div *= p.dt
+        rho[region] -= div
 
     def _apply_openings(self, sub: SubregionState, region) -> None:
         """Force inlet velocities and outlet densities (node-wise)."""

@@ -22,7 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.subregion import SubregionState
-from ._kernels import Region, dilate_star, fourth_diff_sum
+from ._kernels import Region, dilate_star, fourth_diff_sum, region_shape
 
 __all__ = ["FourthOrderFilter"]
 
@@ -71,9 +71,12 @@ class FourthOrderFilter:
         if not self.enabled:
             return
         keep = sub.aux["filter_keep"][region]
+        shape = region_shape(region)
+        corr = sub.scratch("filter_corr", shape)
+        tmp = sub.scratch("filter_tmp", shape)
         for name in names:
             a = sub.fields[name]
-            corr = fourth_diff_sum(a, region)
+            fourth_diff_sum(a, region, out=corr, scratch=tmp)
             corr *= keep
             corr *= self.eps
             a[region] -= corr

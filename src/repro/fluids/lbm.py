@@ -86,53 +86,103 @@ class LBMethod:
         self.inlets = tuple(inlets)
         self.outlets = tuple(outlets)
         self.filter = FourthOrderFilter(params.filter_eps)
+        # Precomputed broadcast views of the velocity set, shaped
+        # (Q, 1, ..., 1) so they multiply straight into (Q, ...) arrays:
+        # the fused kernels below are whole-lattice expressions instead
+        # of per-direction Python loops.
+        lat = self.lattice
+        ones = (1,) * ndim
+        self._e_f = lat.e.astype(np.float64)
+        self._e_b = tuple(
+            self._e_f[:, d].reshape((lat.q,) + ones) for d in range(ndim)
+        )
+        self._w_b = lat.w.reshape((lat.q,) + ones)
+        # Collision + Guo forcing collapse into one polynomial per
+        # population (see _relax):
+        #   delta_i = w_i rho [4.5 w eu^2 + A1_i eu + A0_i - s] - w f_i
+        # with w = 1/tau, pref = 1 - 1/(2 tau), G_i = e_i . g:
+        omega = 1.0 / self.tau
+        pref = 1.0 - 0.5 / self.tau
+        g_i = self._e_f @ np.asarray(params.gravity, dtype=np.float64)
+        self._omega = omega
+        self._pref = pref
+        self._a1_b = (3.0 * omega + 9.0 * pref * g_i).reshape(
+            (lat.q,) + ones
+        )
+        self._a0_b = (omega + 3.0 * pref * g_i).reshape((lat.q,) + ones)
+        # Momentum accumulation index lists: every e component is -1/0/+1,
+        # so the d-momentum is a signed sum of population planes — no
+        # multiplies, no intermediate (Q, ...) products.
+        self._mom_idx = tuple(
+            (
+                tuple(int(i) for i in np.flatnonzero(lat.e[:, d] > 0)),
+                tuple(int(i) for i in np.flatnonzero(lat.e[:, d] < 0)),
+            )
+            for d in range(ndim)
+        )
 
     # ------------------------------------------------------------------
     # equilibrium and forcing
     # ------------------------------------------------------------------
     def equilibrium(
-        self, rho: np.ndarray, vels: Sequence[np.ndarray]
+        self,
+        rho: np.ndarray,
+        vels: Sequence[np.ndarray],
+        out: np.ndarray | None = None,
+        eu: np.ndarray | None = None,
+        usq: np.ndarray | None = None,
+        tmp: np.ndarray | None = None,
     ) -> np.ndarray:
         """BGK equilibrium ``f_eq_i = w_i rho (1 + 3 eu + 4.5 eu^2 - 1.5 u^2)``.
 
-        Returns an array of shape ``(Q,) + rho.shape``.
+        Returns an array of shape ``(Q,) + rho.shape`` — ``out`` when
+        given.  The whole lattice is evaluated at once: ``eu`` is a
+        ``(Q,) + rho.shape`` work buffer holding ``e_i . u`` on exit
+        (the Guo forcing reuses it), ``usq``/``tmp`` are ``rho.shape``
+        work buffers whose contents are clobbered.  All buffers are
+        allocated when omitted; the results are identical either way.
         """
-        lat = self.lattice
-        usq = sum(c * c for c in vels)
-        out = np.empty((lat.q,) + rho.shape, dtype=np.float64)
-        for i in range(lat.q):
-            eu = sum(float(lat.e[i, d]) * vels[d] for d in range(self.ndim))
-            out[i] = lat.w[i] * rho * (
-                1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq
+        q = self.lattice.q
+        qshape = (q,) + rho.shape
+        if out is None:
+            out = np.empty(qshape, dtype=np.float64)
+        if eu is None:
+            eu = np.empty(qshape, dtype=np.float64)
+        if usq is None:
+            usq = np.empty(rho.shape, dtype=np.float64)
+        if tmp is None:
+            tmp = np.empty(rho.shape, dtype=np.float64)
+        # The hot path passes ndim-dimensional views, but openings pass
+        # flat masked selections: shape the broadcast constants to match.
+        if rho.ndim == self.ndim:
+            e_b, w_b = self._e_b, self._w_b
+        else:
+            ones = (q,) + (1,) * rho.ndim
+            e_b = tuple(
+                self._e_f[:, d].reshape(ones) for d in range(self.ndim)
             )
+            w_b = self.lattice.w.reshape(ones)
+        # usq <- 1.5 |u|^2
+        np.multiply(vels[0], vels[0], out=usq)
+        for d in range(1, self.ndim):
+            np.multiply(vels[d], vels[d], out=tmp)
+            usq += tmp
+        usq *= 1.5
+        # eu <- e_i . u for every direction at once (out doubles as the
+        # per-axis accumulator scratch before the polynomial needs it).
+        np.multiply(e_b[0], vels[0], out=eu)
+        for d in range(1, self.ndim):
+            np.multiply(e_b[d], vels[d], out=out)
+            eu += out
+        # out <- w_i rho ((4.5 eu + 3) eu + 1 - 1.5 u^2)   (Horner form)
+        np.multiply(eu, 4.5, out=out)
+        out += 3.0
+        out *= eu
+        out += 1.0
+        out -= usq
+        out *= w_b
+        out *= rho
         return out
-
-    def _force_term(
-        self, rho: np.ndarray, vels: Sequence[np.ndarray], i: int
-    ) -> np.ndarray:
-        """Guo forcing contribution to population ``i``.
-
-        ``S_i = (1 - 1/(2 tau)) w_i [3 (e - u) + 9 (e.u) e] . (rho g)``.
-        """
-        lat = self.lattice
-        g = self.params.gravity
-        eu = sum(float(lat.e[i, d]) * vels[d] for d in range(self.ndim))
-        acc = None
-        for d in range(self.ndim):
-            if g[d] == 0.0:
-                continue
-            term = (
-                3.0 * (float(lat.e[i, d]) - vels[d])
-                + 9.0 * eu * float(lat.e[i, d])
-            ) * g[d]
-            acc = term if acc is None else acc + term
-        if acc is None:
-            return np.zeros_like(rho)
-        return (1.0 - 0.5 / self.tau) * lat.w[i] * rho * acc
-
-    @property
-    def _has_force(self) -> bool:
-        return any(g != 0.0 for g in self.params.gravity)
 
     # ------------------------------------------------------------------
     # ExplicitMethod protocol
@@ -181,21 +231,65 @@ class LBMethod:
     # kernels
     # ------------------------------------------------------------------
     def _relax(self, sub: SubregionState) -> None:
-        """BGK collision on the interior; solid nodes do not collide."""
+        """BGK collision + Guo forcing; solid nodes do not collide.
+
+        The relaxation towards equilibrium and the forcing term share
+        every factor (``w_i``, ``rho``, ``e_i . u``), so the whole
+        collision increment collapses into one polynomial per population
+        with coefficients precomputed at construction::
+
+            delta_i = w_i rho [4.5 w eu^2 + A1_i eu + A0_i - s] - w f_i
+            s       = 1.5 w |u|^2 + 3 pref (g . u)
+
+        where ``w = 1/tau``, ``pref = 1 - 1/(2 tau)``,
+        ``A1_i = 3 w + 9 pref (e_i . g)`` and
+        ``A0_i = w + 3 pref (e_i . g)``.  Expanding recovers the textbook
+        ``w (f_eq_i - f_i) + S_i`` with the Guo source
+        ``S_i = pref w_i [3 (e_i - u) + 9 eu e_i] . (rho g)``.  All work
+        lands in per-subregion scratch (allocation-free after step one).
+        """
         region = sub.interior
         f = sub.fields["f"]
         rho = sub.fields["rho"][region]
         vels = [sub.fields[n][region] for n in self.vel_names]
-        feq = self.equilibrium(rho, vels)
-        fluid = sub.aux["fluid_f"][region]
-        omega = 1.0 / self.tau
-        for i in range(self.lattice.q):
-            fi = f[(i,) + region]
-            delta = (feq[i] - fi) * omega
-            if self._has_force:
-                delta += self._force_term(rho, vels, i)
-            # Solid nodes keep their populations (no collision).
-            fi += delta * fluid
+        ishape = rho.shape
+        qshape = (self.lattice.q,) + ishape
+        eu = sub.scratch("lb_eu", qshape)
+        delta = sub.scratch("lb_delta", qshape)
+        s = sub.scratch("lb_usq", ishape)
+        tmp = sub.scratch("lb_tmp", ishape)
+        g = self.params.gravity
+        omega = self._omega
+        # eu <- e_i . u (delta doubles as the per-axis scratch)
+        np.multiply(self._e_b[0], vels[0], out=eu)
+        for d in range(1, self.ndim):
+            np.multiply(self._e_b[d], vels[d], out=delta)
+            eu += delta
+        # s <- 1.5 w |u|^2 + 3 pref (g . u)
+        np.multiply(vels[0], vels[0], out=s)
+        for d in range(1, self.ndim):
+            np.multiply(vels[d], vels[d], out=tmp)
+            s += tmp
+        s *= 1.5 * omega
+        for d in range(self.ndim):
+            if g[d] != 0.0:
+                np.multiply(vels[d], 3.0 * self._pref * g[d], out=tmp)
+                s += tmp
+        # delta <- w_i rho ((4.5 w eu + A1) eu + A0 - s)   (Horner form)
+        np.multiply(eu, 4.5 * omega, out=delta)
+        delta += self._a1_b
+        delta *= eu
+        delta += self._a0_b
+        delta -= s
+        delta *= self._w_b
+        delta *= rho
+        # delta -= w f  (eu is dead past the polynomial; reuse it)
+        fview = f[(slice(None),) + region]
+        np.multiply(fview, omega, out=eu)
+        delta -= eu
+        # Solid nodes keep their populations (no collision).
+        delta *= sub.aux["fluid_f"][region]
+        fview += delta
 
     def _shift(self, sub: SubregionState, region: Region) -> None:
         """Streaming in pull form: ``F_i(x) <- F_i(x - e_i)``."""
@@ -221,25 +315,31 @@ class LBMethod:
         view[:, solid] = arrived[self.lattice.opposite]
 
     def _macro(self, sub: SubregionState, region: Region) -> None:
-        """Fluid variables from populations (plus Guo half-force shift)."""
+        """Fluid variables from populations (plus Guo half-force shift).
+
+        Density is summed directly into the field view; each momentum is
+        a signed sum of population planes written straight into the
+        velocity field view (``e`` components are -1/0/+1).
+        """
         f = sub.fields["f"]
-        lat = self.lattice
         view = f[(slice(None),) + region]
-        rho = view.sum(axis=0)
-        sub.fields["rho"][region] = rho
+        rho = sub.fields["rho"][region]
+        np.sum(view, axis=0, out=rho)
         g = self.params.gravity
         fluid = sub.aux["fluid_f"][region]
         for d, name in enumerate(self.vel_names):
-            mom = np.zeros_like(rho)
-            for i in range(lat.q):
-                e = float(lat.e[i, d])
-                if e:
-                    mom += e * view[i]
-            vel = mom / rho
+            vel = sub.fields[name][region]
+            plus, minus = self._mom_idx[d]
+            np.subtract(view[plus[0]], view[minus[0]], out=vel)
+            for i in plus[1:]:
+                vel += view[i]
+            for i in minus[1:]:
+                vel -= view[i]
+            vel /= rho
             if g[d] != 0.0:
                 vel += 0.5 * g[d]
             # Walls are no-slip: solid nodes report zero velocity.
-            sub.fields[name][region] = vel * fluid
+            vel *= fluid
 
     def _apply_openings(self, sub: SubregionState, region: Region) -> None:
         """Inlets force equilibrium at the jet velocity; outlets rescale

@@ -1,7 +1,14 @@
 """Measurement utilities: §7 timing protocol, eq. 5 metrics, and the
 per-figure parameter sweeps used by the benchmark harness."""
 
-from .metrics import efficiency, format_series, format_table, speedup
+from .metrics import (
+    AllocationReport,
+    count_allocations,
+    efficiency,
+    format_series,
+    format_table,
+    speedup,
+)
 from .sweeps import (
     DEFAULT_2D_DECOMPS,
     DEFAULT_2D_SIDES,
@@ -19,6 +26,8 @@ from .timing import StepTiming, measure_node_speed, time_stepper
 __all__ = [
     "speedup",
     "efficiency",
+    "AllocationReport",
+    "count_allocations",
     "format_table",
     "format_series",
     "StepTiming",

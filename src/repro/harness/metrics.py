@@ -7,9 +7,18 @@ each figure has a textual twin that can be diffed across runs.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
-__all__ = ["speedup", "efficiency", "format_table", "format_series"]
+__all__ = [
+    "speedup",
+    "efficiency",
+    "format_table",
+    "format_series",
+    "AllocationReport",
+    "count_allocations",
+]
 
 
 def speedup(t1: float, tp: float) -> float:
@@ -59,3 +68,76 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Heap behaviour of one measured call (see :func:`count_allocations`).
+
+    ``net_bytes`` is the traced-heap growth that survived the call;
+    ``peak_bytes`` the highest transient excursion above the starting
+    point during it.  A step that allocates even one temporary grid
+    array shows up in ``peak_bytes`` at the size of that array, so a
+    threshold far below one field and far above interpreter noise
+    separates the two cleanly.
+    """
+
+    net_bytes: int
+    peak_bytes: int
+    calls: int
+
+    def allocates_arrays(self, threshold: int = 16384) -> bool:
+        """Whether any call transiently allocated ``threshold`` bytes."""
+        return self.peak_bytes >= threshold
+
+
+def count_allocations(
+    fn: Callable[[], object],
+    warmup: int = 1,
+    repeat: int = 1,
+    ufunc_bufsize: int | None = 32,
+) -> AllocationReport:
+    """Measure heap allocation of ``fn()`` with :mod:`tracemalloc`.
+
+    The warm-up calls let lazy pools fill (the per-subregion scratch
+    buffers of the fused kernels allocate on first use); the measured
+    calls then run against a recorded baseline and reset peak.  NumPy
+    registers its array-data allocations with tracemalloc, so a fused
+    integration step that is truly allocation-free reports a
+    ``peak_bytes`` of interpreter noise only, while a single leaked
+    temporary reports the full array size.
+
+    One subtlety: ufunc calls on broadcast or non-contiguous operands
+    transiently allocate *internal* work buffers of a fixed size
+    (``np.getbufsize()`` elements per operand — 64 KiB by default)
+    regardless of the array sizes involved.  Those are machinery, not
+    temporaries, so the measured calls run under a shrunken buffer size
+    (``ufunc_bufsize`` elements, restored afterwards); pass ``None`` to
+    keep the process-wide setting instead.
+    """
+    import numpy as np
+
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    old_bufsize = (
+        np.setbufsize(ufunc_bufsize) if ufunc_bufsize is not None else None
+    )
+    try:
+        for _ in range(max(warmup, 0)):
+            fn()
+        base, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        for _ in range(max(repeat, 1)):
+            fn()
+        current, peak = tracemalloc.get_traced_memory()
+        return AllocationReport(
+            net_bytes=current - base,
+            peak_bytes=peak - base,
+            calls=max(repeat, 1),
+        )
+    finally:
+        if old_bufsize is not None:
+            np.setbufsize(old_bufsize)
+        if not was_tracing:
+            tracemalloc.stop()

@@ -144,6 +144,82 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+#: the §7 kernel-benchmark cases: (name, method, shape, serial/threaded
+#: block grids).  128x128 / 32^3 channel flow, the sizes the perf table
+#: in README.md quotes.
+_BENCH_CASES = (
+    ("fd2d", "fd", (128, 128), (1, 1), (2, 2)),
+    ("lb2d", "lb", (128, 128), (1, 1), (2, 2)),
+    ("lb3d", "lb", (32, 32, 32), (1, 1, 1), (2, 2, 1)),
+)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from ..core import Decomposition, Simulation, ThreadedSimulation
+    from ..fluids import FDMethod, FluidParams, LBMethod, channel_geometry
+    from ..harness import format_table, time_stepper
+
+    if args.steps < 1 or args.repeats < 1:
+        print("bench: --steps and --repeats must be >= 1", file=sys.stderr)
+        return 2
+
+    results: dict[str, dict] = {}
+    rows = []
+    for name, method_name, shape, serial_blocks, threaded_blocks in _BENCH_CASES:
+        ndim = len(shape)
+        solid = channel_geometry(shape)
+        n_fluid = int(np.count_nonzero(~solid))
+        periodic = (True,) + (False,) * (ndim - 1)
+        gravity = (1e-5,) + (0.0,) * (ndim - 1)
+        params = FluidParams.lattice(
+            ndim, nu=0.05, gravity=gravity, filter_eps=0.02
+        )
+        cls = LBMethod if method_name == "lb" else FDMethod
+        fields = {"rho": np.full(shape, 1.0)}
+        for vn in ("u", "v", "w")[:ndim]:
+            fields[vn] = np.zeros(shape)
+        for runner, blocks in (
+            (Simulation, serial_blocks),
+            (ThreadedSimulation, threaded_blocks),
+        ):
+            label = (
+                f"{name}_serial" if runner is Simulation else f"{name}_threaded"
+            )
+            decomp = Decomposition(
+                shape, blocks, periodic=periodic, solid=solid
+            )
+            sim = runner(cls(params, ndim), decomp, fields, solid)
+            timing = time_stepper(
+                sim.step, steps=args.steps, repeats=args.repeats
+            )
+            speed = n_fluid / timing.seconds_per_step
+            results[label] = {
+                "method": method_name,
+                "shape": list(shape),
+                "blocks": list(blocks),
+                "fluid_nodes": n_fluid,
+                "seconds_per_step": timing.seconds_per_step,
+                "nodes_per_second": speed,
+            }
+            rows.append(
+                [label, "x".join(map(str, shape)),
+                 "x".join(map(str, blocks)),
+                 f"{timing.seconds_per_step * 1e3:.3f} ms",
+                 f"{speed:,.0f}"]
+            )
+    print(format_table(
+        ["case", "grid", "blocks", "time/step", "fluid nodes/s"],
+        rows, title=f"kernel speeds (§7 protocol, {args.steps}-step "
+                    f"average, best of {args.repeats})",
+    ))
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     import subprocess
 
@@ -204,6 +280,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dt", type=float, default=1.0,
                    help="steps between samples")
     p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser("bench",
+                       help="time the fluid kernels (§7 protocol)")
+    p.add_argument("--steps", type=int, default=20,
+                   help="steps per timed window (paper: 20)")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="windows to time; best is kept (paper: 2)")
+    p.add_argument("--out", default="BENCH_kernels.json")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("figures",
                        help="regenerate benchmarks/results/*.txt")

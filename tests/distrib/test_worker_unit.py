@@ -152,9 +152,9 @@ class TestNiceness:
     def test_spawned_worker_runs_niced(self, tmp_path):
         """§5.1: parallel subprocesses run at low priority so the
         regular user keeps interactive response."""
-        import subprocess
-        import sys
         import time
+
+        from repro.distrib.submit import spawn_worker
 
         _prepare(tmp_path, blocks=(1, 1))
         # a (1,1) decomposition has no neighbours: the worker runs its
@@ -162,13 +162,7 @@ class TestNiceness:
         cfg = WorkerConfig(
             workdir=str(tmp_path), rank=0, host="h", steps_total=200,
         )
-        cfg_path = WorkerConfig.path(tmp_path, 0)
-        cfg_path.write_text(cfg.to_json())
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.distrib.worker",
-             str(cfg_path)],
-            cwd=tmp_path,
-        )
+        proc = spawn_worker(cfg)
         try:
             nice_value = None
             deadline = time.time() + 30

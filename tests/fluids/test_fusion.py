@@ -1,0 +1,256 @@
+"""The fused kernels against the pre-fusion reference implementations.
+
+The fused `(Q, ...)` LB kernels and buffered FD kernels reorder
+floating-point work (Horner forms, hoisted constants, precomputed
+coefficient vectors), so they are not bit-identical to the original
+per-direction loops — but they must stay within round-off of them.
+The classes below re-implement the original allocating loops verbatim;
+a Poiseuille channel run must agree to <= 1e-12 relative tolerance.
+
+The fused kernels also must not allocate: after warm-up fills the
+per-subregion scratch pool, a collision + moments pass reuses it
+entirely, which `harness.count_allocations` verifies via tracemalloc.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Simulation
+from repro.fluids import FDMethod, LBMethod, FluidParams
+from repro.fluids._kernels import central_diff, laplacian, shift_region
+from repro.fluids.boundary import enforce_noslip
+from repro.fluids.filters import FourthOrderFilter
+from repro.harness import count_allocations
+
+from ..conftest import channel_sim, perturbed_fields, rest_fields
+
+
+# ----------------------------------------------------------------------
+# pre-fusion reference implementations (the seed's per-direction loops)
+# ----------------------------------------------------------------------
+def _ref_fourth_diff_sum(a, region):
+    out = np.zeros_like(a[region])
+    for axis in range(len(region)):
+        out += (
+            a[shift_region(region, axis, -2)]
+            - 4.0 * a[shift_region(region, axis, -1)]
+            + 6.0 * a[region]
+            - 4.0 * a[shift_region(region, axis, +1)]
+            + a[shift_region(region, axis, +2)]
+        )
+    return out
+
+
+class ReferenceFilter(FourthOrderFilter):
+    def apply(self, sub, names, region):
+        if not self.enabled:
+            return
+        keep = sub.aux["filter_keep"][region]
+        for name in names:
+            a = sub.fields[name]
+            corr = _ref_fourth_diff_sum(a, region)
+            corr *= keep
+            corr *= self.eps
+            a[region] -= corr
+
+
+class ReferenceLBMethod(LBMethod):
+    """The seed's per-population loops for equilibrium/collision/moments."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.filter = ReferenceFilter(self.params.filter_eps)
+
+    def equilibrium(self, rho, vels, **_ignored):
+        lat = self.lattice
+        usq = sum(c * c for c in vels)
+        out = np.empty((lat.q,) + rho.shape, dtype=np.float64)
+        for i in range(lat.q):
+            eu = sum(
+                float(lat.e[i, d]) * vels[d] for d in range(self.ndim)
+            )
+            out[i] = lat.w[i] * rho * (
+                1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq
+            )
+        return out
+
+    def _force_term(self, rho, vels, i):
+        lat = self.lattice
+        g = self.params.gravity
+        eu = sum(float(lat.e[i, d]) * vels[d] for d in range(self.ndim))
+        acc = None
+        for d in range(self.ndim):
+            if g[d] == 0.0:
+                continue
+            term = (
+                3.0 * (float(lat.e[i, d]) - vels[d])
+                + 9.0 * eu * float(lat.e[i, d])
+            ) * g[d]
+            acc = term if acc is None else acc + term
+        if acc is None:
+            return np.zeros_like(rho)
+        return (1.0 - 0.5 / self.tau) * lat.w[i] * rho * acc
+
+    def _relax(self, sub):
+        region = sub.interior
+        f = sub.fields["f"]
+        rho = sub.fields["rho"][region]
+        vels = [sub.fields[n][region] for n in self.vel_names]
+        feq = self.equilibrium(rho, vels)
+        fluid = sub.aux["fluid_f"][region]
+        omega = 1.0 / self.tau
+        has_force = any(g != 0.0 for g in self.params.gravity)
+        for i in range(self.lattice.q):
+            fi = f[(i,) + region]
+            delta = (feq[i] - fi) * omega
+            if has_force:
+                delta += self._force_term(rho, vels, i)
+            fi += delta * fluid
+
+    def _macro(self, sub, region):
+        f = sub.fields["f"]
+        lat = self.lattice
+        view = f[(slice(None),) + region]
+        rho = view.sum(axis=0)
+        sub.fields["rho"][region] = rho
+        g = self.params.gravity
+        fluid = sub.aux["fluid_f"][region]
+        for d, name in enumerate(self.vel_names):
+            mom = np.zeros_like(rho)
+            for i in range(lat.q):
+                e = float(lat.e[i, d])
+                if e:
+                    mom += e * view[i]
+            vel = mom / rho
+            if g[d] != 0.0:
+                vel += 0.5 * g[d]
+            sub.fields[name][region] = vel * fluid
+
+
+class ReferenceFDMethod(FDMethod):
+    """The seed's allocating finite-difference updates."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.filter = ReferenceFilter(self.params.filter_eps)
+
+    def _update_velocity(self, sub):
+        p = self.params
+        region = sub.interior
+        rho = sub.fields["rho"]
+        vels = [sub.fields[n] for n in self.vel_names]
+        vel_mid = [c[region] for c in vels]
+        cs2 = p.cs * p.cs
+        for d, name in enumerate(self.vel_names):
+            c = vels[d]
+            adv = vel_mid[0] * central_diff(c, region, 0, p.dx)
+            for ax in range(1, self.ndim):
+                adv += vel_mid[ax] * central_diff(c, region, ax, p.dx)
+            press = (cs2 / rho[region]) * central_diff(rho, region, d, p.dx)
+            visc = p.nu * laplacian(c, region, p.dx)
+            new = sub.aux["new_" + name]
+            new[region] = c[region] + p.dt * (
+                -adv - press + visc + p.gravity[d]
+            )
+        for name in self.vel_names:
+            sub.fields[name][region] = sub.aux["new_" + name][region]
+        enforce_noslip(sub, self.vel_names, region)
+
+    def _update_density(self, sub):
+        p = self.params
+        region = sub.interior
+        enforce_noslip(sub, self.vel_names, sub.grown_interior(1))
+        rho = sub.fields["rho"]
+        div = None
+        for d, name in enumerate(self.vel_names):
+            flux = rho * sub.fields[name]
+            term = central_diff(flux, region, d, p.dx)
+            div = term if div is None else div + term
+        rho[region] = rho[region] - p.dt * div
+
+
+# ----------------------------------------------------------------------
+# fused vs reference on a Poiseuille channel run
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "fused_cls,ref_cls",
+    [(LBMethod, ReferenceLBMethod), (FDMethod, ReferenceFDMethod)],
+    ids=["lb", "fd"],
+)
+def test_fused_matches_reference_poiseuille(fused_cls, ref_cls):
+    """50 channel steps agree with the pre-fusion loops to <= 1e-12."""
+    kw = dict(shape=(32, 24), nu=0.05, g=1e-5, filter_eps=0.02)
+    fused = channel_sim(fused_cls, **kw)
+    ref = channel_sim(ref_cls, **kw)
+    fused.step(50)
+    ref.step(50)
+    for name in ("rho", "u", "v"):
+        np.testing.assert_allclose(
+            fused.global_field(name),
+            ref.global_field(name),
+            rtol=1e-12,
+            atol=1e-14,
+            err_msg=f"field {name!r} drifted from the reference kernels",
+        )
+
+
+def test_fused_matches_reference_3d():
+    """A short 3D LB run agrees with the reference loops too."""
+    kw = dict(shape=(12, 10, 10), nu=0.05, g=1e-5, filter_eps=0.02)
+    fused = channel_sim(LBMethod, **kw)
+    ref = channel_sim(ReferenceLBMethod, **kw)
+    fused.step(10)
+    ref.step(10)
+    for name in ("rho", "u", "v", "w"):
+        np.testing.assert_allclose(
+            fused.global_field(name),
+            ref.global_field(name),
+            rtol=1e-12,
+            atol=1e-14,
+        )
+
+
+# ----------------------------------------------------------------------
+# allocation-freedom of the fused hot path
+# ----------------------------------------------------------------------
+def _periodic_lb_sim(shape=(64, 64)):
+    """A solid-free fully periodic LB domain (pure relax/stream/macro)."""
+    params = FluidParams.lattice(
+        2, nu=0.05, gravity=(1e-5, 0.0), filter_eps=0.02
+    )
+    decomp = Decomposition(shape, (1, 1), periodic=(True, True))
+    return Simulation(
+        LBMethod(params, 2), decomp, perturbed_fields(shape)
+    )
+
+
+def test_lb_relax_macro_allocation_free():
+    """Collision + moments reuse the scratch pool: no new arrays."""
+    sim = _periodic_lb_sim()
+    sim.step(2)  # fills the scratch pool
+    method = sim.method
+    sub = sim.subs[0]
+    region = sub.grown_interior(2)
+
+    def relax_macro():
+        method._relax(sub)
+        method._macro(sub, region)
+
+    report = count_allocations(relax_macro, warmup=2, repeat=3)
+    # One interior field is 64*64*8 = 32 KiB; the default 16 KiB
+    # threshold catches any temporary of even half a field.
+    assert not report.allocates_arrays(), (
+        f"relax+macro transiently allocated {report.peak_bytes} bytes"
+    )
+
+
+def test_lb_full_step_allocates_less_than_one_field():
+    """A whole warmed-up step stays far below one temporary grid array."""
+    sim = _periodic_lb_sim()
+    sim.step(3)
+    report = count_allocations(lambda: sim.step(1), warmup=2, repeat=3)
+    field_bytes = 64 * 64 * 8
+    assert report.peak_bytes < field_bytes, (
+        f"step transiently allocated {report.peak_bytes} bytes "
+        f"(one field is {field_bytes})"
+    )

@@ -9,6 +9,7 @@ from repro.fluids._kernels import (
     dilate_star,
     fourth_diff_sum,
     laplacian,
+    region_shape,
     second_diff,
     shift_region,
 )
@@ -31,6 +32,84 @@ class TestShiftRegion:
     def test_rejects_open_slices(self):
         with pytest.raises(ValueError):
             shift_region((slice(None), slice(1, 2)), 0, 1)
+        with pytest.raises(ValueError):
+            shift_region((slice(2), slice(1, 2)), 0, 1)
+        with pytest.raises(ValueError):
+            shift_region((slice(1, None), slice(1, 2)), 0, 1)
+
+    def test_rejects_strided_slices(self):
+        with pytest.raises(ValueError):
+            shift_region((slice(0, 8, 2), slice(1, 2)), 0, 1)
+        with pytest.raises(ValueError):
+            shift_region((slice(8, 0, -1), slice(1, 2)), 0, 1)
+
+    def test_untouched_axes_not_validated(self):
+        # only the shifted axis is inspected, matching the seed behaviour
+        got = shift_region((slice(1, 4), slice(None)), 0, 2)
+        assert got == (slice(3, 6), slice(None))
+
+
+class TestRegionShape:
+    def test_shape(self):
+        assert region_shape(REGION) == (8, 6)
+        assert region_shape((slice(0, 1),)) == (1,)
+
+    def test_matches_indexing(self):
+        a = np.zeros((12, 10))
+        assert region_shape(REGION) == a[REGION].shape
+
+    def test_rejects_open_slices(self):
+        with pytest.raises(ValueError):
+            region_shape((slice(None), slice(1, 2)))
+        with pytest.raises(ValueError):
+            region_shape((slice(1, None), slice(1, 2)))
+        with pytest.raises(ValueError):
+            region_shape((slice(2), slice(1, 2)))
+
+    def test_rejects_strided_slices(self):
+        with pytest.raises(ValueError):
+            region_shape((slice(0, 8, 2),))
+
+
+class TestOutVariants:
+    """``out=``/``scratch=`` buffered calls match allocating calls bitwise."""
+
+    def _field(self):
+        rng = np.random.default_rng(7)
+        return rng.random((12, 10))
+
+    def _check(self, kernel, *args, scratch=False):
+        a = self._field()
+        plain = kernel(a, REGION, *args)
+        out = np.full(region_shape(REGION), np.nan)
+        kwargs = {"out": out}
+        if scratch:
+            kwargs["scratch"] = np.full_like(out, np.nan)
+        ret = kernel(a, REGION, *args, **kwargs)
+        assert ret is out  # writes in place, returns the buffer
+        assert np.array_equal(plain, out)
+
+    def test_central_diff(self):
+        self._check(central_diff, 0, 0.7)
+        self._check(central_diff, 1, 0.7)
+
+    def test_second_diff(self):
+        self._check(second_diff, 0, 0.7)
+        self._check(second_diff, 1, 0.7)
+
+    def test_laplacian(self):
+        self._check(laplacian, 0.7, scratch=True)
+
+    def test_fourth_diff_sum(self):
+        self._check(fourth_diff_sum, scratch=True)
+
+    def test_out_only_without_scratch(self):
+        # scratch is optional independently of out
+        a = self._field()
+        out = np.empty(region_shape(REGION))
+        assert np.array_equal(
+            laplacian(a, REGION, 1.0, out=out), laplacian(a, REGION, 1.0)
+        )
 
 
 class TestDerivatives:

@@ -66,6 +66,27 @@ class TestCluster:
         assert rc == 0
 
 
+class TestBench:
+    def test_writes_json_and_table(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_kernels.json"
+        rc = main(["bench", "--steps", "1", "--repeats", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "fluid nodes/s" in text
+        data = json.loads(out.read_text())
+        assert set(data) == {
+            "fd2d_serial", "fd2d_threaded", "lb2d_serial",
+            "lb2d_threaded", "lb3d_serial", "lb3d_threaded",
+        }
+        for entry in data.values():
+            assert entry["nodes_per_second"] > 0
+            assert entry["seconds_per_step"] > 0
+            assert entry["fluid_nodes"] > 0
+
+
 class TestParsing:
     def test_missing_command(self, capsys):
         with pytest.raises(SystemExit):

@@ -96,6 +96,9 @@ class SimResult:
     bus: BusStats
     compute_time_total: float
     migrations: list[MigrationEvent] = field(default_factory=list)
+    collective_messages: int = 0   # diagnostics-collective frames
+    collective_bytes: int = 0      # ... and their payload bytes
+    collective_time: float = 0.0   # bus time the collectives occupied
 
     @property
     def speedup(self) -> float:
@@ -182,11 +185,22 @@ class ClusterSimulation:
         hosts: list[SimHost] | None = None,
         network: NetworkParams = NetworkParams(),
         sync_mode: str = "bsp",
+        diag_every: int = 0,
+        collective_algorithm: str = "tree",
     ) -> None:
         if method not in ("fd", "lb"):
             raise ValueError(f"unknown method {method!r}")
         if sync_mode not in ("bsp", "loose"):
             raise ValueError(f"unknown sync_mode {sync_mode!r}")
+        if collective_algorithm not in ("tree", "ring"):
+            raise ValueError(
+                f"unknown collective algorithm {collective_algorithm!r}"
+            )
+        if diag_every > 0 and sync_mode == "loose":
+            raise ValueError(
+                "in-flight diagnostics are a synchronizing collective; "
+                "they cannot be charged under sync_mode='loose'"
+            )
         self.sync_mode = sync_mode
         self.method = method
         self.ndim = ndim
@@ -258,6 +272,25 @@ class ClusterSimulation:
         # BSP barrier bookkeeping
         self._barrier_step = 0
         self._barrier_count = 0
+
+        # in-flight diagnostics collectives (charged at the BSP barrier)
+        self.diag_every = int(diag_every)
+        self.collective_algorithm = collective_algorithm
+        self.collective_messages = 0
+        self.collective_bytes = 0
+        self.collective_time = 0.0
+        self._diag_pattern: list[tuple[int, int, int]] = []
+        if self.diag_every > 0:
+            from ..net.collectives import collective_pattern
+
+            # Two small allreduces per check — sum over [mass, KE] and
+            # max over [max|V|, n_nonfinite], 2 float64 each — exactly
+            # what GlobalDiagnostics.check performs, with the message
+            # list replayed from the very schedules the live
+            # Communicator executes.
+            self._diag_pattern = 2 * collective_pattern(
+                "allreduce", collective_algorithm, self.n_procs, 16
+            )
 
     # ------------------------------------------------------------------
     # timing helpers
@@ -349,6 +382,9 @@ class ClusterSimulation:
             bus=self.bus.stats,
             compute_time_total=sum(p.compute_time for p in self.procs),
             migrations=list(self.migrations),
+            collective_messages=self.collective_messages,
+            collective_bytes=self.collective_bytes,
+            collective_time=self.collective_time,
         )
 
     # ------------------------------------------------------------------
@@ -441,16 +477,23 @@ class ClusterSimulation:
             # cycle together (or service a pending migration).
             self._barrier_count = 0
             self._barrier_step += 1
+            resume = t
+            if self.diag_every > 0 and \
+                    self._barrier_step % self.diag_every == 0:
+                # The workers allreduce their diagnostics partials at
+                # this step boundary; the next cycle opens only once
+                # the collective has cleared the bus.
+                resume = self._charge_collectives(t)
             sync = self._sync
             if sync is not None and self._barrier_step >= sync["step"]:
                 for p in self.procs:
-                    p.paused_at = t
+                    p.paused_at = resume
                 sync["paused"] = self.n_procs
-                self._complete_migration(t)
+                self._complete_migration(resume)
                 return
             if self._barrier_step < self._steps_target:
                 for p in self.procs:
-                    self._start_step(p, t)
+                    self._start_step(p, resume)
             return
         sync = self._sync
         if sync is not None and proc.step >= sync["step"]:
@@ -461,6 +504,28 @@ class ClusterSimulation:
             return
         if proc.step < self._steps_target:
             self._start_step(proc, t)
+
+    def _charge_collectives(self, t: float) -> float:
+        """Charge one diagnostics allreduce pair to the bus at time ``t``.
+
+        The recorded message list is replayed in causal order; on the
+        paper's shared Ethernet each frame serializes on the medium, so
+        the finish time of the last frame is when the collective clears
+        and the next compute cycle may open.
+        """
+        finish = t
+        for src, dst, nbytes in self._diag_pattern:
+            f = self.bus.send(
+                nbytes,
+                lambda now: None,
+                src=self.procs[src].host.name,
+                dst=self.procs[dst].host.name,
+            )
+            finish = max(finish, f)
+            self.collective_messages += 1
+            self.collective_bytes += nbytes
+        self.collective_time += finish - t
+        return finish
 
     # ------------------------------------------------------------------
     # monitoring program (§5.1)

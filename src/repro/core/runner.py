@@ -137,6 +137,19 @@ class Simulation:
             name: self.global_field(name) for name in self.method.field_names
         }
 
+    def global_diagnostics(self, algorithm: str = "tree"):
+        """Globally reduced mass / kinetic energy / max |V| right now.
+
+        Runs the same collective schedules as a distributed run's
+        in-flight diagnostics, interleaved co-operatively in this
+        thread over the in-process backend, so the returned
+        :class:`~repro.distrib.diagnostics.DiagRecord` is bit-for-bit
+        what the workers of an equivalent distributed run would log.
+        """
+        from ..distrib.diagnostics import serial_diagnostics
+
+        return serial_diagnostics(self.subs, algorithm=algorithm)
+
     # ------------------------------------------------------------------
     # checkpointing (the in-process face of the §4.1 dump files)
     # ------------------------------------------------------------------

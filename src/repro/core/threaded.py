@@ -30,6 +30,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..net.collectives import Communicator
 from .decomposition import Decomposition
 from .exchange import LocalExchanger
 from .runner import ExplicitMethod
@@ -52,6 +53,9 @@ class ThreadedSimulation:
         decomp: Decomposition,
         global_fields: Mapping[str, np.ndarray],
         solid: np.ndarray | None = None,
+        diag_every: int = 0,
+        diag_algorithm: str = "tree",
+        diag_vmax: float = 0.0,
     ) -> None:
         self.method = method
         self.decomp = decomp
@@ -65,6 +69,30 @@ class ThreadedSimulation:
         self._barrier = threading.Barrier(len(self.subs))
         self._lock = threading.Lock()
         self._errors: list[BaseException] = []
+        #: global :class:`~repro.distrib.diagnostics.DiagRecord` samples
+        #: collected every ``diag_every`` steps (empty when disabled)
+        self.diagnostics: list = []
+        self._diags = None
+        if diag_every > 0:
+            # Each thread gets a communicator over the in-process
+            # fabric — the very collectives a distributed run would use,
+            # blocking thread against thread.  ``diag_vmax = 0`` keeps
+            # the CFL sentinel off (only NaNs abort an in-process run).
+            from ..distrib.diagnostics import GlobalDiagnostics
+            from ..net.local import LocalFabric
+
+            fabric = LocalFabric(len(self.subs))
+            self._diags = [
+                GlobalDiagnostics(
+                    Communicator(
+                        fabric.channel_set(i), i, len(self.subs),
+                        algorithm=diag_algorithm,
+                    ),
+                    every=diag_every,
+                    vmax=diag_vmax,
+                )
+                for i in range(len(self.subs))
+            ]
 
     @property
     def step_count(self) -> int:
@@ -87,6 +115,12 @@ class ThreadedSimulation:
                     self._barrier.wait()
                 method.finalize_step(sub)
                 sub.step += 1
+                if self._diags is not None:
+                    # The collective itself synchronizes the threads;
+                    # every thread reads only its own subregion.
+                    rec = self._diags[idx].maybe_check(sub)
+                    if idx == 0 and rec is not None:
+                        self.diagnostics.append(rec)
                 self._barrier.wait()
         except BaseException as exc:  # pragma: no cover - surfaced below
             with self._lock:
@@ -105,6 +139,10 @@ class ThreadedSimulation:
                     self.exchanger.exchange(fields)
                 method.finalize_step(sub)
                 sub.step += 1
+                if self._diags is not None:
+                    rec = self._diags[0].maybe_check(sub)
+                    if rec is not None:
+                        self.diagnostics.append(rec)
             return
         self._barrier.reset()
         self._errors.clear()

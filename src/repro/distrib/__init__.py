@@ -7,6 +7,16 @@ virtual host registry, and a one-call orchestrator.
 """
 
 from .decompose import decompose_problem
+from .diagnostics import (
+    DEFAULT_VMAX,
+    DiagnosticsFailure,
+    DiagnosticsLog,
+    DiagRecord,
+    GlobalDiagnostics,
+    fold_partials,
+    local_partials,
+    serial_diagnostics,
+)
 from .dumpfile import dump_path, load_dump, save_dump
 from .hostdb import (
     IDLE_USER_MINUTES,
@@ -21,8 +31,14 @@ from .monitor import Monitor, MonitorError
 from .orchestrator import DistributedRun, RunSettings, run_distributed
 from .spec import ProblemSpec
 from .submit import spawn_worker, submit_all
-from .sync import SaveTurns, SyncFiles
-from .worker import EXIT_DONE, EXIT_MIGRATED, Worker, WorkerConfig
+from .sync import MessageSaveTurns, SaveTurns, SyncFiles, SyncFileWarning
+from .worker import (
+    EXIT_DIAGNOSTIC,
+    EXIT_DONE,
+    EXIT_MIGRATED,
+    Worker,
+    WorkerConfig,
+)
 
 __all__ = [
     "ProblemSpec",
@@ -46,8 +62,19 @@ __all__ = [
     "submit_all",
     "SyncFiles",
     "SaveTurns",
+    "MessageSaveTurns",
+    "SyncFileWarning",
     "Worker",
     "WorkerConfig",
     "EXIT_DONE",
     "EXIT_MIGRATED",
+    "EXIT_DIAGNOSTIC",
+    "DiagRecord",
+    "DiagnosticsLog",
+    "DiagnosticsFailure",
+    "GlobalDiagnostics",
+    "DEFAULT_VMAX",
+    "local_partials",
+    "fold_partials",
+    "serial_diagnostics",
 ]

@@ -1,0 +1,273 @@
+"""In-flight global diagnostics over the collective layer.
+
+The paper's monitor "checks every few minutes whether the parallel
+processes are progressing correctly" (§4.1) — but a worker that starts
+spewing NaNs keeps stepping and heartbeating happily until the run ends
+or stalls.  This module gives the run a physical pulse: every ``every``
+steps the workers allreduce total mass, kinetic energy and max |V| (a
+CFL/Mach sentinel for the weakly-compressible methods), append the
+record to a per-run ``diagnostics.jsonl`` the monitor consumes as a
+progress heartbeat, and abort with
+:data:`~repro.distrib.worker.EXIT_DIAGNOSTIC` the moment a NaN or CFL
+violation goes global — a *diagnosed* failure instead of a stall
+timeout.
+
+The same partials/fold also run under the serial and threaded runners
+through the in-process backend, so a distributed diagnostic stream can
+be validated bit-for-bit against a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..net.collectives import Communicator, build_schedule, drive_all
+from .sync import _locked_append
+
+__all__ = [
+    "DEFAULT_VMAX",
+    "DiagRecord",
+    "DiagnosticsFailure",
+    "DiagnosticsLog",
+    "GlobalDiagnostics",
+    "local_partials",
+    "fold_partials",
+    "serial_diagnostics",
+]
+
+#: Default max-|V| abort threshold: the lattice speed of sound
+#: ``c_s = 1/sqrt(3)``.  Both methods are weakly-compressible, valid for
+#: Mach << 1; a velocity at c_s means the run is physically gone even if
+#: it has not overflowed yet.
+DEFAULT_VMAX = 1.0 / np.sqrt(3.0)
+
+#: Collective-sequence slots reserved per integration step.  The
+#: communicator's op counter is pinned to ``step * SEQ_PER_STEP`` before
+#: each check, so a rank restarted after migration (counter reset)
+#: stays in lockstep with the survivors.
+SEQ_PER_STEP = 8
+
+
+class DiagnosticsFailure(RuntimeError):
+    """A globally-reduced quantity crossed an abort threshold."""
+
+    def __init__(self, record: "DiagRecord", reason: str) -> None:
+        super().__init__(f"step {record.step}: {reason}")
+        self.record = record
+        self.reason = reason
+
+
+@dataclass
+class DiagRecord:
+    """One globally-reduced diagnostics sample (a JSONL line)."""
+
+    step: int
+    total_mass: float
+    kinetic_energy: float
+    max_speed: float
+    n_nonfinite: int
+    wall_time: float = 0.0
+
+    def to_line(self) -> str:
+        """Serialize as one JSON line (non-strict JSON carries NaN)."""
+        return json.dumps(asdict(self)) + "\n"
+
+    @classmethod
+    def from_line(cls, line: str) -> "DiagRecord":
+        """Parse one JSON line back into a record."""
+        d = json.loads(line)
+        return cls(
+            step=int(d["step"]),
+            total_mass=float(d["total_mass"]),
+            kinetic_energy=float(d["kinetic_energy"]),
+            max_speed=float(d["max_speed"]),
+            n_nonfinite=int(d["n_nonfinite"]),
+            wall_time=float(d.get("wall_time", 0.0)),
+        )
+
+
+class DiagnosticsLog:
+    """Reader/writer of a run's ``diagnostics.jsonl``.
+
+    Appends are flock'd and fsync'd like every other shared file of the
+    run; the reader tolerates a torn final line (a crash mid-append).
+    """
+
+    FILENAME = "diagnostics.jsonl"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_workdir(cls, workdir: str | Path) -> "DiagnosticsLog":
+        """The canonical per-run log location."""
+        return cls(Path(workdir) / cls.FILENAME)
+
+    def append(self, record: DiagRecord) -> None:
+        """Append one record (locked, fsync'd)."""
+        _locked_append(self.path, record.to_line())
+
+    def read(self) -> list[DiagRecord]:
+        """All complete records, oldest first."""
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                out.append(DiagRecord.from_line(line))
+            except (ValueError, KeyError):  # torn tail line
+                continue
+        return out
+
+    def last(self) -> DiagRecord | None:
+        """The newest complete record, or ``None``."""
+        recs = self.read()
+        return recs[-1] if recs else None
+
+    def last_step(self) -> int | None:
+        """Step of the newest complete record (a progress signal)."""
+        rec = self.last()
+        return rec.step if rec is not None else None
+
+
+def local_partials(sub) -> np.ndarray:
+    """One subregion's contribution: ``[mass, ke, max|V|, n_nonfinite]``.
+
+    Computed over the *interior* fluid nodes only (ghosts belong to the
+    neighbour, solids carry no fluid).  The first two entries fold with
+    ``sum``, the last two with ``max``.
+    """
+    interior_solid = sub.solid[sub.interior]
+    fluid = ~interior_solid
+    rho = sub.interior_view("rho")[fluid]
+    vsq = np.zeros_like(rho)
+    checked = [rho]
+    for name in ("u", "v", "w"):
+        if name in sub.fields:
+            vel = sub.interior_view(name)[fluid]
+            vsq += vel * vel
+            checked.append(vel)
+    mass = float(rho.sum())
+    ke = float(0.5 * (rho * vsq).sum())
+    max_speed = float(np.sqrt(vsq.max())) if vsq.size else 0.0
+    n_nonfinite = int(sum(np.count_nonzero(~np.isfinite(a))
+                          for a in checked))
+    return np.array([mass, ke, max_speed, float(n_nonfinite)])
+
+
+def fold_partials(parts: list[np.ndarray]) -> np.ndarray:
+    """Rank-ordered serial fold of partials — the bit-for-bit reference.
+
+    Matches what the collective allreduce produces for these small
+    payloads on any transport and either algorithm.
+    """
+    sums = parts[0][:2]
+    maxs = parts[0][2:]
+    for p in parts[1:]:
+        sums = np.add(sums, p[:2])
+        maxs = np.maximum(maxs, p[2:])
+    return np.concatenate([sums, maxs])
+
+
+def serial_diagnostics(subs, step: int | None = None,
+                       algorithm: str = "tree") -> DiagRecord:
+    """Global diagnostics of in-process subregions (serial runners).
+
+    Runs the very same allgather schedules as the distributed path,
+    interleaved co-operatively in this thread, then folds in rank
+    order — so the record is bit-for-bit what a distributed run of the
+    same decomposition reports.
+    """
+    parts = [local_partials(s) for s in subs]
+    n = len(parts)
+    if n > 1:
+        gens = {
+            r: build_schedule("allgather", algorithm, r, n,
+                              parts[r].tobytes())
+            for r in range(n)
+        }
+        blocks = drive_all(gens)[0]
+        parts = [np.frombuffer(b, np.float64) for b in blocks]
+    folded = fold_partials(parts)
+    return DiagRecord(
+        step=int(subs[0].step if step is None else step),
+        total_mass=float(folded[0]),
+        kinetic_energy=float(folded[1]),
+        max_speed=float(folded[2]),
+        n_nonfinite=int(folded[3]),
+        wall_time=time.time(),
+    )
+
+
+class GlobalDiagnostics:
+    """Periodic allreduced diagnostics with abort thresholds.
+
+    One instance per rank; ``check`` must be reached by every rank of
+    the communicator's group at the same integration step.  Rank 0
+    appends each record to ``log``.  A global NaN (or a max speed above
+    ``vmax``) raises :class:`DiagnosticsFailure` on *every* rank — they
+    all computed the same reduced record — so the whole run aborts in
+    one step, diagnosed.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        every: int,
+        vmax: float = DEFAULT_VMAX,
+        log: DiagnosticsLog | None = None,
+        pin_seq: bool = True,
+    ) -> None:
+        if every < 0:
+            raise ValueError("diagnostics period must be >= 0")
+        self.comm = comm
+        self.every = every
+        self.vmax = vmax
+        self.log = log
+        self.pin_seq = pin_seq
+        self.last: DiagRecord | None = None
+
+    def maybe_check(self, sub) -> DiagRecord | None:
+        """Run :meth:`check` if the subregion's step is due."""
+        if self.every <= 0 or sub.step == 0 or sub.step % self.every:
+            return None
+        return self.check(sub)
+
+    def check(self, sub) -> DiagRecord:
+        """Allreduce this step's partials; abort on NaN/CFL violation."""
+        if self.pin_seq:
+            self.comm.seq = sub.step * SEQ_PER_STEP
+        partials = local_partials(sub)
+        sums = self.comm.allreduce(partials[:2], "sum")
+        maxs = self.comm.allreduce(partials[2:], "max")
+        record = DiagRecord(
+            step=int(sub.step),
+            total_mass=float(sums[0]),
+            kinetic_energy=float(sums[1]),
+            max_speed=float(maxs[0]),
+            n_nonfinite=int(maxs[1]),
+            wall_time=time.time(),
+        )
+        self.last = record
+        if self.log is not None and self.comm.rank == 0:
+            self.log.append(record)
+        if record.n_nonfinite:
+            raise DiagnosticsFailure(
+                record,
+                f"non-finite values in the global state "
+                f"(a rank reported {record.n_nonfinite} bad nodes)",
+            )
+        if self.vmax > 0.0 and record.max_speed > self.vmax:
+            raise DiagnosticsFailure(
+                record,
+                f"max |V| = {record.max_speed:.4f} exceeds the "
+                f"CFL/Mach sentinel {self.vmax:.4f}",
+            )
+        return record

@@ -31,11 +31,12 @@ import time
 from pathlib import Path
 
 from ..net.portfile import PortRegistry
+from .diagnostics import DiagnosticsLog
 from .dumpfile import dump_path
 from .hostdb import MIGRATE_LOAD_LIMIT, HostDB
 from .submit import spawn_worker
 from .sync import SaveTurns
-from .worker import EXIT_DONE, EXIT_MIGRATED, WorkerConfig
+from .worker import EXIT_DIAGNOSTIC, EXIT_DONE, EXIT_MIGRATED, WorkerConfig
 
 __all__ = ["Monitor", "MonitorError"]
 
@@ -82,6 +83,7 @@ class Monitor:
         self.restarts = 0
         self._done: set[int] = set()
         self._forced: list[int] = []
+        self._diag_log = DiagnosticsLog.for_workdir(self.workdir)
         self._log_path = self.workdir / "logs" / "monitor.log"
         self._log_path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -120,6 +122,12 @@ class Monitor:
                     continue
                 if code == EXIT_DONE:
                     self._done.add(rank)
+                elif code == EXIT_DIAGNOSTIC:
+                    # The workers aborted themselves on a globally
+                    # reduced NaN/CFL violation.  Restarting from the
+                    # last checkpoint would only replay the blow-up —
+                    # stop and report the diagnosed failure instead.
+                    self._diagnostic_failure(rank)
                 elif code == EXIT_MIGRATED:
                     # handled inside _migrate(); seeing it here means the
                     # worker left without us asking — treat as a crash.
@@ -149,8 +157,13 @@ class Monitor:
                 last_progress = time.monotonic()
                 continue
 
-            # 3. stall detection via heartbeats
+            # 3. stall detection via heartbeats; the diagnostics log is
+            #    a second progress pulse (a run whose heartbeat files
+            #    are on a wedged filesystem still advances it).
             steps = self._read_heartbeats()
+            diag_step = self._diag_log.last_step()
+            if diag_step is not None:
+                steps[-1] = diag_step
             if steps != last_steps:
                 last_steps = steps
                 last_progress = time.monotonic()
@@ -255,6 +268,35 @@ class Monitor:
             self.procs[rank].send_signal(signal.SIGCONT)
         self.generation = epoch + 1
         self.migrations += 1
+
+    def _diagnostic_failure(self, rank: int) -> None:
+        """Stop the run and raise the workers' own diagnosis.
+
+        Called when a worker exits with :data:`EXIT_DIAGNOSTIC`: the
+        computation detected a global NaN or CFL violation through the
+        in-flight diagnostics and aborted itself on every rank.  This
+        is a *diagnosed* physics/numerics failure, not an
+        infrastructure fault — no checkpoint restart.
+        """
+        self.log(f"rank {rank} reported a diagnostic abort")
+        self._kill_all()
+        msg = "run aborted on a diagnosed global blow-up"
+        failure = self.workdir / "diag_failure.json"
+        if failure.exists():
+            try:
+                info = json.loads(failure.read_text())
+                msg += f": {info.get('reason', '')}"
+                msg += f"\nrecord: {json.dumps(info.get('record'))}"
+            except ValueError:  # pragma: no cover - torn write
+                pass
+        last = self._diag_log.last()
+        if last is not None:
+            msg += (f"\nlast diagnostics: step {last.step}, "
+                    f"mass {last.total_mass:.6g}, "
+                    f"KE {last.kinetic_energy:.6g}, "
+                    f"max|V| {last.max_speed:.6g}, "
+                    f"{last.n_nonfinite} non-finite nodes")
+        raise MonitorError(msg)
 
     # ------------------------------------------------------------------
     # unrecoverable errors (§4.1)

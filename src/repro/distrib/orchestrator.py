@@ -44,6 +44,13 @@ class RunSettings:
     monitor_poll: float = 0.02
     stall_timeout: float = 60.0
     run_timeout: float = 300.0
+    diag_every: int = 0        # in-flight global diagnostics period
+    diag_vmax: float = 0.0     # CFL/Mach abort threshold (0 = c_s)
+    diag_algorithm: str = "tree"   # "tree" or "ring" collectives
+    save_barrier: str = "file"     # "file" (App. B) or "message"
+    udp_loss: float = 0.0      # App. D datagram loss injection
+    nan_step: int = 0          # test knob: poison a value at this step
+    nan_rank: int = 0          # ... on this rank
     hosts: list[HostInfo] = field(default_factory=paper_cluster)
 
     def worker_base_cfg(self) -> dict:
@@ -58,6 +65,13 @@ class RunSettings:
             open_timeout=self.open_timeout,
             recv_timeout=self.recv_timeout,
             sync_timeout=self.sync_timeout,
+            diag_every=self.diag_every,
+            diag_vmax=self.diag_vmax,
+            diag_algorithm=self.diag_algorithm,
+            save_barrier=self.save_barrier,
+            udp_loss=self.udp_loss,
+            nan_step=self.nan_step,
+            nan_rank=self.nan_rank,
         )
 
 

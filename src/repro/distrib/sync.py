@@ -27,9 +27,19 @@ from __future__ import annotations
 import fcntl
 import os
 import time
+import warnings
 from pathlib import Path
 
-__all__ = ["SyncFiles", "SaveTurns"]
+__all__ = ["SyncFiles", "SaveTurns", "MessageSaveTurns", "SyncFileWarning"]
+
+
+class SyncFileWarning(RuntimeWarning):
+    """A shared sync file held a malformed record.
+
+    Every write is a flock'd, fsync'd append of one whole line, so a
+    torn or garbled line is a real fault (filesystem, foreign writer,
+    manual edit) worth surfacing — not something to skip silently.
+    """
 
 
 def _locked_append(path: Path, line: str) -> None:
@@ -45,13 +55,33 @@ def _locked_append(path: Path, line: str) -> None:
 
 
 def _read_pairs(path: Path) -> dict[int, int]:
+    """Parse ``rank value`` lines, keeping the last complete record per rank.
+
+    A rank may legitimately append more than once across epochs; later
+    complete records override earlier ones.  Malformed lines raise a
+    :class:`SyncFileWarning` and are excluded — they never shadow or
+    erase a rank's last complete record.
+    """
     out: dict[int, int] = {}
     if not path.exists():
         return out
-    for line in path.read_text().splitlines():
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
         parts = line.split()
-        if len(parts) == 2:
-            out[int(parts[0])] = int(parts[1])
+        try:
+            if len(parts) != 2:
+                raise ValueError(f"expected 2 fields, found {len(parts)}")
+            rank, value = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            warnings.warn(
+                f"{path.name}:{lineno}: malformed sync record "
+                f"{line!r} ({exc})",
+                SyncFileWarning,
+                stacklevel=2,
+            )
+            continue
+        out[rank] = value
     return out
 
 
@@ -118,7 +148,7 @@ class SaveTurns:
         base = Path(workdir) / "sync"
         base.mkdir(parents=True, exist_ok=True)
         self.counter_path = base / f"save_turn_step{step:09d}.txt"
-        self.complete_path = base / f"ckpt_step{step:09d}_complete"
+        self.complete_path = SaveTurns.complete_marker(workdir, step)
 
     def _read_counter(self) -> int:
         if not self.counter_path.exists():
@@ -172,6 +202,12 @@ class SaveTurns:
             self.complete_path.touch()
 
     @staticmethod
+    def complete_marker(workdir: str | Path, step: int) -> Path:
+        """Path of the completion marker for a checkpoint step."""
+        return (Path(workdir) / "sync"
+                / f"ckpt_step{step:09d}_complete")
+
+    @staticmethod
     def latest_complete_step(workdir: str | Path) -> int | None:
         """Newest step with a complete (restartable) checkpoint."""
         base = Path(workdir) / "sync"
@@ -182,3 +218,47 @@ class SaveTurns:
             except ValueError:  # pragma: no cover - foreign file
                 continue
         return max(steps) if steps else None
+
+
+class MessageSaveTurns:
+    """Rank-ordered save turns passed as messages, not shared files.
+
+    The same §5.2 staggering as :class:`SaveTurns`, but the token
+    travels over the collective layer's point-to-point channels
+    (:meth:`~repro.net.collectives.Communicator.send_token`): rank
+    ``r`` saves after receiving the token from ``r - 1`` and then
+    forwards it to ``r + 1``.  Tokens are keyed by the checkpoint step,
+    so no counter state has to survive a migration.  Ordering no longer
+    needs a shared filesystem; the last saver still touches the
+    completion marker, which is how the monitoring program recognizes a
+    restartable checkpoint (the App. B shared-file path stays the
+    default).
+    """
+
+    def __init__(self, comm, workdir: str | Path, step: int):
+        self.comm = comm
+        self.step = step
+        self.complete_path = SaveTurns.complete_marker(workdir, step)
+
+    def wait_turn(
+        self,
+        position: int,
+        timeout: float = 120.0,  # noqa: ARG002 - the communicator's own
+        # receive timeout governs the blocking wait
+        poll: float = 0.002,  # noqa: ARG002 - interface parity; nothing
+        # to poll, the receive blocks
+        gap: float = 0.0,
+    ) -> None:
+        """Block until the token arrives from the previous rank."""
+        if position > 0:
+            self.comm.recv_token(position - 1, self.step)
+        if gap > 0:
+            time.sleep(gap)
+
+    def finish_turn(self, position: int, n_ranks: int) -> None:
+        """Forward the token; the last saver publishes the marker."""
+        if position + 1 < n_ranks:
+            self.comm.send_token(position + 1, self.step)
+        else:
+            self.complete_path.parent.mkdir(parents=True, exist_ok=True)
+            self.complete_path.touch()

@@ -35,20 +35,40 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from ..core.exchange import build_plan
 from ..net.channels import ChannelSet
+from ..net.collectives import Communicator
 from ..net.portfile import PortRegistry
 from ..net.transport import SocketExchanger
 from ..net.udp import UdpChannelSet
+from .diagnostics import (
+    DEFAULT_VMAX,
+    DiagnosticsFailure,
+    DiagnosticsLog,
+    GlobalDiagnostics,
+)
 from .dumpfile import dump_path, load_dump, save_dump
 from .spec import ProblemSpec
-from .sync import SaveTurns, SyncFiles
+from .sync import MessageSaveTurns, SaveTurns, SyncFiles
 
-__all__ = ["WorkerConfig", "Worker", "EXIT_DONE", "EXIT_MIGRATED", "main"]
+__all__ = [
+    "WorkerConfig",
+    "Worker",
+    "EXIT_DONE",
+    "EXIT_MIGRATED",
+    "EXIT_DIAGNOSTIC",
+    "main",
+]
 
 EXIT_DONE = 0
 #: EX_TEMPFAIL — the process left to be restarted on another host.
 EXIT_MIGRATED = 75
+#: EX_PROTOCOL — the run aborted itself on a diagnosed global
+#: NaN/CFL violation (see :mod:`repro.distrib.diagnostics`); there is
+#: no point restarting from the latest checkpoint without intervention.
+EXIT_DIAGNOSTIC = 76
 
 
 @dataclass
@@ -75,6 +95,14 @@ class WorkerConfig:
     open_timeout: float = 30.0
     recv_timeout: float = 60.0
     sync_timeout: float = 60.0
+    diag_every: int = 0        # global-diagnostics period (0 = off)
+    diag_vmax: float = 0.0     # max-|V| abort threshold (0 = c_s default)
+    diag_algorithm: str = "tree"   # collective algorithm: tree or ring
+    save_barrier: str = "file"     # "file" (App. B default) or "message"
+    udp_loss: float = 0.0      # injected datagram loss rate (App. D knob)
+    nan_step: int = 0          # test/emulation knob: poison one value at
+    nan_rank: int = 0          # this step on this rank, as a blown-up
+    #  kernel would, to exercise the diagnosed-abort path
 
     def to_json(self) -> str:
         """Serialize to JSON for the worker command line."""
@@ -123,10 +151,15 @@ class Worker:
         self.registry = PortRegistry(
             self.workdir / f"ports_{cfg.transport}.txt"
         )
-        channel_cls = ChannelSet if cfg.transport == "tcp" else UdpChannelSet
-        self.channels = channel_cls(
-            self.rank, neighbor_ranks, self.registry
-        )
+        if cfg.transport == "tcp":
+            self.channels = ChannelSet(
+                self.rank, neighbor_ranks, self.registry
+            )
+        else:
+            self.channels = UdpChannelSet(
+                self.rank, neighbor_ranks, self.registry,
+                loss_rate=cfg.udp_loss,
+            )
         self.exchanger = SocketExchanger(
             self.sub,
             self.plan,
@@ -135,6 +168,27 @@ class Worker:
             timeout=cfg.recv_timeout,
             extended_sweep=self.decomp.n_active < self.decomp.n_blocks,
         )
+        if cfg.save_barrier not in ("file", "message"):
+            raise ValueError(f"unknown save barrier {cfg.save_barrier!r}")
+        self.comm: Communicator | None = None
+        self.diag: GlobalDiagnostics | None = None
+        if cfg.diag_every > 0 or cfg.save_barrier == "message":
+            self.comm = Communicator(
+                self.channels,
+                self.rank,
+                self.n_ranks,
+                algorithm=cfg.diag_algorithm,
+                timeout=cfg.recv_timeout,
+                link_timeout=cfg.open_timeout,
+            )
+        if cfg.diag_every > 0:
+            self.diag = GlobalDiagnostics(
+                self.comm,
+                every=cfg.diag_every,
+                vmax=cfg.diag_vmax if cfg.diag_vmax > 0.0 else DEFAULT_VMAX,
+                log=DiagnosticsLog.for_workdir(self.workdir)
+                if self.rank == 0 else None,
+            )
         self.generation = cfg.generation
         self._sync_epoch: int | None = None
         self._log_path = self.workdir / "logs" / f"rank{self.rank:04d}.log"
@@ -183,16 +237,19 @@ class Worker:
         self.channels.open(self.generation, timeout=self.cfg.open_timeout)
         self.log(f"channels open, generation {self.generation}")
         try:
-            while True:
-                if self._sync_epoch is not None:
-                    migrated = self._sync_protocol()
-                    if migrated:
-                        return EXIT_MIGRATED
-                if self.sub.step >= self.cfg.steps_total:
-                    break
-                self._step_once()
-                self._heartbeat()
-                self._maybe_checkpoint()
+            try:
+                while True:
+                    if self._sync_epoch is not None:
+                        migrated = self._sync_protocol()
+                        if migrated:
+                            return EXIT_MIGRATED
+                    if self.sub.step >= self.cfg.steps_total:
+                        break
+                    self._step_once()
+                    self._heartbeat()
+                    self._maybe_checkpoint()
+            except DiagnosticsFailure as failure:
+                return self._diagnostic_abort(failure)
             save_dump(
                 self.sub,
                 dump_path(self.workdir / "dumps", self.rank, tag="final"),
@@ -213,6 +270,19 @@ class Worker:
             self.exchanger.exchange(fields, phase)
         method.finalize_step(sub)
         sub.step += 1
+        if (
+            self.cfg.nan_step > 0
+            and sub.step == self.cfg.nan_step
+            and self.rank == self.cfg.nan_rank
+        ):
+            view = sub.interior_view("rho")
+            view.flat[view.size // 2] = np.nan
+            self.log("injected NaN (test knob)")
+        # The diagnostics collective runs here, not in the outer loop,
+        # so catch-up stepping inside the migration sync protocol keeps
+        # every rank's collective sequence aligned.
+        if self.diag is not None:
+            self.diag.maybe_check(sub)
 
     def _heartbeat(self) -> None:
         if self.sub.step % max(self.cfg.hb_every, 1):
@@ -225,7 +295,10 @@ class Worker:
         every = self.cfg.save_every
         if every <= 0 or self.sub.step % every or self.sub.step == 0:
             return
-        turns = SaveTurns(self.workdir, self.sub.step)
+        if self.cfg.save_barrier == "message" and self.n_ranks > 1:
+            turns = MessageSaveTurns(self.comm, self.workdir, self.sub.step)
+        else:
+            turns = SaveTurns(self.workdir, self.sub.step)
         turns.wait_turn(self.rank, gap=self.cfg.save_gap)
         save_dump(
             self.sub,
@@ -237,6 +310,26 @@ class Worker:
         )
         turns.finish_turn(self.rank, self.n_ranks)
         self.log(f"checkpoint at step {self.sub.step}")
+
+    def _diagnostic_abort(self, failure: DiagnosticsFailure) -> int:
+        """Record a diagnosed global blow-up and exit cleanly.
+
+        Every rank of the group computed the same reduced record, so
+        every rank raises and exits with :data:`EXIT_DIAGNOSTIC`
+        together; rank 0 leaves ``diag_failure.json`` for the
+        monitoring program to chain into its error report.
+        """
+        self.log(f"DIAGNOSTIC ABORT: {failure}")
+        if self.rank == 0:
+            out = self.workdir / "diag_failure.json"
+            out.write_text(json.dumps(
+                {
+                    "reason": failure.reason,
+                    "record": asdict(failure.record),
+                },
+                indent=2,
+            ) + "\n")
+        return EXIT_DIAGNOSTIC
 
     # ------------------------------------------------------------------
     # migration (§5.1 / App. B)

@@ -2,10 +2,24 @@
 
 Length-prefixed socket frames, the shared-file port registry with flock
 (the paper's handshake), channel management with first-come-first-served
-``select`` receives, and the socket-backed ghost exchanger.
+``select`` receives, the socket-backed ghost exchanger, and the
+collective layer (barrier / broadcast / reduce / allreduce / allgather
+with tree and ring algorithms) that runs identically over TCP, UDP and
+the in-process fabric.
 """
 
 from .channels import ChannelSet
+from .collectives import (
+    COLLECTIVE_PHASE,
+    DEFAULT_CHUNK_BYTES,
+    REDUCE_OPS,
+    TOKEN_PHASE,
+    Communicator,
+    build_schedule,
+    collective_pattern,
+    drive_all,
+)
+from .local import LocalChannelSet, LocalFabric
 from .portfile import PortRegistry
 from .protocol import (
     MSG_DATA,
@@ -21,6 +35,16 @@ from .udp import UdpChannelSet
 __all__ = [
     "ChannelSet",
     "UdpChannelSet",
+    "LocalFabric",
+    "LocalChannelSet",
+    "Communicator",
+    "build_schedule",
+    "drive_all",
+    "collective_pattern",
+    "COLLECTIVE_PHASE",
+    "TOKEN_PHASE",
+    "DEFAULT_CHUNK_BYTES",
+    "REDUCE_OPS",
     "PortRegistry",
     "SocketExchanger",
     "Header",

@@ -128,6 +128,29 @@ class UdpChannelSet:
         self._unacked.clear()
 
     # ------------------------------------------------------------------
+    # on-demand links (collective topology)
+    # ------------------------------------------------------------------
+    def has_link(self, rank: int) -> bool:
+        """Whether ``rank``'s datagram address is already resolved."""
+        return rank in self._addrs
+
+    def ensure_links(self, peers: Iterable[int], timeout: float = 30.0) -> None:
+        """Resolve non-neighbour peers' addresses from the registry.
+
+        Datagrams are connectionless, so a "link" is just a registry
+        lookup under the current generation — after a migration re-open
+        the stale address is simply re-resolved.
+        """
+        missing = {p for p in set(peers) if p not in self._addrs}
+        if not missing:
+            return
+        if self._sock is None:
+            raise RuntimeError("channels are closed")
+        self._addrs.update(
+            self.registry.wait_for(self.generation, missing, timeout=timeout)
+        )
+
+    # ------------------------------------------------------------------
     # send side
     # ------------------------------------------------------------------
     def _raw_send(self, packet: bytes, addr: tuple[str, int]) -> None:

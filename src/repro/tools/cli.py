@@ -154,6 +154,112 @@ _BENCH_CASES = (
 )
 
 
+def _bench_collectives(args: argparse.Namespace) -> int:
+    """Time the collective primitives and the diagnostics overhead.
+
+    Four ranks run as threads over the in-process fabric — the same
+    blocking :class:`~repro.net.collectives.Communicator` schedules a
+    distributed run executes, minus the wire.  The second half measures
+    what in-flight diagnostics at ``N = 10`` cost a threaded lattice
+    Boltzmann run per step (the ISSUE.md acceptance number).
+    """
+    import json
+    import threading
+    import time
+
+    from ..core import Decomposition, ThreadedSimulation
+    from ..fluids import FluidParams, LBMethod, channel_geometry
+    from ..harness import format_table, time_stepper
+    from ..net.collectives import Communicator
+    from ..net.local import LocalFabric
+
+    n = args.ranks
+    iters = args.steps
+    big = np.ones(65536)  # 512 KiB -> exercises the chunked array path
+
+    def timed(comms, op) -> float:
+        """Best-of-repeats seconds for one collective across ``n`` threads."""
+
+        def worker(comm):
+            for _ in range(iters):
+                op(comm)
+
+        best = float("inf")
+        for _ in range(args.repeats):
+            threads = [
+                threading.Thread(target=worker, args=(c,)) for c in comms
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            best = min(best, (time.perf_counter() - t0) / iters)
+        return best
+
+    cases = (
+        ("barrier", lambda c: c.barrier()),
+        ("allreduce_8B", lambda c: c.allreduce(1.0, "sum")),
+        ("allreduce_512KiB", lambda c: c.allreduce(big, "sum")),
+        ("allgather_64B", lambda c: c.allgather(np.full(8, float(c.rank)))),
+    )
+    results: dict[str, dict] = {"ranks": n, "collectives": {}}
+    rows = []
+    for algorithm in ("tree", "ring"):
+        fabric = LocalFabric(n)
+        comms = [
+            Communicator(fabric.channel_set(r), r, n, algorithm=algorithm)
+            for r in range(n)
+        ]
+        warm = [threading.Thread(target=c.barrier) for c in comms]
+        for t in warm:  # warm caches and allocators
+            t.start()
+        for t in warm:
+            t.join()
+        per_alg: dict[str, float] = {}
+        for name, op in cases:
+            secs = timed(comms, op)
+            per_alg[name] = secs
+            rows.append([algorithm, name, f"{secs * 1e6:,.1f} us"])
+        results["collectives"][algorithm] = per_alg
+    print(format_table(
+        ["algorithm", "primitive", "time/op"],
+        rows, title=f"in-process collectives, {n} ranks "
+                    f"({iters} ops averaged, best of {args.repeats})",
+    ))
+
+    # diagnostics overhead: threaded LB channel flow, N = 10
+    shape, blocks, every = (64, 64), (2, 2), 10
+    solid = channel_geometry(shape)
+    params = FluidParams.lattice(2, nu=0.05, gravity=(1e-5, 0.0),
+                                 filter_eps=0.02)
+    fields = {"rho": np.full(shape, 1.0),
+              "u": np.zeros(shape), "v": np.zeros(shape)}
+    per_step = {}
+    for label, diag_every in (("base", 0), ("diag", every)):
+        decomp = Decomposition(shape, blocks, periodic=(True, False),
+                               solid=solid)
+        sim = ThreadedSimulation(LBMethod(params, 2), decomp, fields,
+                                 solid, diag_every=diag_every)
+        timing = time_stepper(sim.step, steps=max(args.steps, 2 * every),
+                              repeats=args.repeats)
+        per_step[label] = timing.seconds_per_step
+    overhead = 100.0 * (per_step["diag"] / per_step["base"] - 1.0)
+    results["diagnostics_overhead"] = {
+        "grid": list(shape), "blocks": list(blocks), "diag_every": every,
+        "base_seconds_per_step": per_step["base"],
+        "diag_seconds_per_step": per_step["diag"],
+        "overhead_percent": overhead,
+    }
+    print(f"\ndiagnostics overhead (threaded LB {shape[0]}x{shape[1]}, "
+          f"N={every}): {overhead:+.2f}% per step")
+
+    out = Path(args.out or "BENCH_collectives.json")
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -164,6 +270,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.steps < 1 or args.repeats < 1:
         print("bench: --steps and --repeats must be >= 1", file=sys.stderr)
         return 2
+    if args.collectives:
+        return _bench_collectives(args)
 
     results: dict[str, dict] = {}
     rows = []
@@ -214,7 +322,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows, title=f"kernel speeds (§7 protocol, {args.steps}-step "
                     f"average, best of {args.repeats})",
     ))
-    out = Path(args.out)
+    out = Path(args.out or "BENCH_kernels.json")
     out.write_text(json.dumps(results, indent=1) + "\n")
     print(f"results written to {out}")
     return 0
@@ -287,7 +395,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="steps per timed window (paper: 20)")
     p.add_argument("--repeats", type=int, default=2,
                    help="windows to time; best is kept (paper: 2)")
-    p.add_argument("--out", default="BENCH_kernels.json")
+    p.add_argument("--collectives", action="store_true",
+                   help="time the collective primitives and the "
+                        "in-flight diagnostics overhead instead")
+    p.add_argument("--ranks", type=int, default=4,
+                   help="rank count for --collectives (default: 4)")
+    p.add_argument("--out", default=None,
+                   help="JSON output (default: BENCH_kernels.json, or "
+                        "BENCH_collectives.json with --collectives)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("figures",

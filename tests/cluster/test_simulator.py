@@ -197,3 +197,68 @@ class TestEq12Identity:
         # hosts 17-20 are slower 720/710 models: utilization now
         # exceeds efficiency (slow hosts are busy, not useful)
         assert r.utilization > r.efficiency + 0.01
+
+
+class TestCollectiveCosting:
+    """In-flight diagnostics charged to the simulated bus (the PR's
+    tree- vs ring-collective traffic patterns)."""
+
+    def _sim(self, **kw):
+        return ClusterSimulation("lb", 2, (2, 2), 50,
+                                 sync_mode=kw.pop("sync_mode", "bsp"), **kw)
+
+    def test_no_diagnostics_no_charges(self):
+        r = self._sim().run(steps=10)
+        assert r.collective_messages == 0
+        assert r.collective_bytes == 0
+        assert r.collective_time == 0.0
+
+    @pytest.mark.parametrize("algorithm", ["tree", "ring"])
+    def test_message_counts_match_pattern(self, algorithm):
+        from repro.net import collective_pattern
+
+        pattern = 2 * collective_pattern("allreduce", algorithm, 4, 16)
+        base = self._sim().run(steps=20)
+        r = self._sim(diag_every=5, collective_algorithm=algorithm)\
+            .run(steps=20)
+        checks = 20 // 5
+        assert r.collective_messages == len(pattern) * checks
+        assert r.collective_bytes == \
+            sum(n for _, _, n in pattern) * checks
+        assert r.bus.messages == base.bus.messages + len(pattern) * checks
+
+    def test_collectives_cost_wall_time(self):
+        base = self._sim().run(steps=20)
+        r = self._sim(diag_every=5).run(steps=20)
+        assert r.collective_time > 0.0
+        assert r.elapsed > base.elapsed
+
+    def test_tree_cheaper_than_ring(self):
+        """The binomial tree moves fewer frames than the ring for a
+        4-rank small-payload allreduce, so it costs less bus time."""
+        tree = self._sim(diag_every=5, collective_algorithm="tree")\
+            .run(steps=20)
+        ring = self._sim(diag_every=5, collective_algorithm="ring")\
+            .run(steps=20)
+        assert tree.collective_messages < ring.collective_messages
+        assert tree.collective_time < ring.collective_time
+
+    def test_denser_checks_cost_more(self):
+        sparse = self._sim(diag_every=10).run(steps=20)
+        dense = self._sim(diag_every=2).run(steps=20)
+        assert dense.collective_messages > sparse.collective_messages
+        assert dense.elapsed > sparse.elapsed
+
+    def test_loose_sync_rejected(self):
+        with pytest.raises(ValueError, match="loose"):
+            self._sim(sync_mode="loose", diag_every=5)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="collective algorithm"):
+            self._sim(collective_algorithm="hypercube")
+
+    def test_determinism_with_diagnostics(self):
+        a = self._sim(diag_every=5).run(steps=20)
+        b = self._sim(diag_every=5).run(steps=20)
+        assert a.elapsed == b.elapsed
+        assert a.collective_time == b.collective_time

@@ -127,3 +127,102 @@ class TestSaveTurns:
         turns = SaveTurns(tmp_path, step=5)
         with pytest.raises(TimeoutError):
             turns.wait_turn(1, timeout=0.1, poll=0.02)
+
+
+class TestMalformedRecords:
+    """Garbled sync-file lines warn loudly and never shadow good ones."""
+
+    def test_malformed_line_warns(self, tmp_path):
+        from repro.distrib import SyncFileWarning
+
+        sf = SyncFiles(tmp_path, epoch=0)
+        sf.write_step(0, 10)
+        with open(sf.steps_path, "a") as f:
+            f.write("1 12\n0 not-a-number\n")
+        with pytest.warns(SyncFileWarning, match="malformed sync record"):
+            steps = sf.wait_sync_step(2, timeout=1.0)
+        # the garbled line did not erase rank 0's last complete record
+        assert steps == 13
+
+    def test_wrong_field_count_warns(self, tmp_path):
+        from repro.distrib import SyncFileWarning
+
+        sf = SyncFiles(tmp_path, epoch=0)
+        sf.write_step(0, 5)
+        with open(sf.steps_path, "a") as f:
+            f.write("0 6 extra-field\n")
+        with pytest.warns(SyncFileWarning, match="expected 2 fields"):
+            assert sf.wait_sync_step(1, timeout=1.0) == 6
+
+    def test_later_complete_record_overrides(self, tmp_path):
+        sf = SyncFiles(tmp_path, epoch=0)
+        sf.write_step(0, 5)
+        sf.write_step(0, 9)  # rank re-announces after a restart
+        assert sf.wait_sync_step(1, timeout=1.0) == 10
+
+    def test_blank_lines_ignored_silently(self, tmp_path):
+        import warnings as _warnings
+
+        sf = SyncFiles(tmp_path, epoch=0)
+        sf.write_step(0, 3)
+        with open(sf.steps_path, "a") as f:
+            f.write("\n   \n")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert sf.wait_sync_step(1, timeout=1.0) == 4
+
+
+class TestMessageSaveTurns:
+    """The token-passing save barrier (satellite of the collectives PR)."""
+
+    def test_rank_ordered_saving(self, tmp_path):
+        import numpy as np  # noqa: F401
+
+        from repro.distrib import MessageSaveTurns
+        from repro.net import Communicator, LocalFabric
+
+        n = 4
+        fabric = LocalFabric(n)
+        order = []
+        lock = threading.Lock()
+        errors = []
+
+        def saver(rank):
+            comm = Communicator(fabric.channel_set(rank), rank, n)
+            turns = MessageSaveTurns(comm, tmp_path, step=20)
+            try:
+                turns.wait_turn(rank, timeout=10.0)
+                with lock:
+                    order.append(rank)
+                turns.finish_turn(rank, n)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=saver, args=(r,))
+            for r in reversed(range(n))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert order == list(range(n))
+        assert SaveTurns.latest_complete_step(tmp_path) == 20
+
+    def test_marker_only_after_last(self, tmp_path):
+        from repro.distrib import MessageSaveTurns
+        from repro.net import Communicator, LocalFabric
+
+        fabric = LocalFabric(2)
+        c0 = Communicator(fabric.channel_set(0), 0, 2)
+        turns0 = MessageSaveTurns(c0, tmp_path, step=7)
+        turns0.wait_turn(0)
+        turns0.finish_turn(0, 2)
+        assert SaveTurns.latest_complete_step(tmp_path) is None
+
+        c1 = Communicator(fabric.channel_set(1), 1, 2)
+        turns1 = MessageSaveTurns(c1, tmp_path, step=7)
+        turns1.wait_turn(1, timeout=5.0)
+        turns1.finish_turn(1, 2)
+        assert SaveTurns.latest_complete_step(tmp_path) == 7

@@ -86,6 +86,33 @@ class TestBench:
             assert entry["seconds_per_step"] > 0
             assert entry["fluid_nodes"] > 0
 
+    def test_collectives_mode(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_collectives.json"
+        rc = main(["bench", "--collectives", "--steps", "2",
+                   "--repeats", "1", "--ranks", "3", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "in-process collectives" in text
+        assert "diagnostics overhead" in text
+        data = json.loads(out.read_text())
+        assert data["ranks"] == 3
+        for algorithm in ("tree", "ring"):
+            timings = data["collectives"][algorithm]
+            assert set(timings) == {
+                "barrier", "allreduce_8B", "allreduce_512KiB",
+                "allgather_64B",
+            }
+            assert all(t > 0 for t in timings.values())
+        overhead = data["diagnostics_overhead"]
+        assert overhead["diag_every"] == 10
+        assert overhead["base_seconds_per_step"] > 0
+        assert overhead["diag_seconds_per_step"] > 0
+
+    def test_rejects_bad_counts(self, capsys):
+        assert main(["bench", "--steps", "0"]) == 2
+
 
 class TestParsing:
     def test_missing_command(self, capsys):

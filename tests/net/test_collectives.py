@@ -1,0 +1,300 @@
+"""Collectives: schedule correctness, determinism, and all three backends.
+
+The ISSUE acceptance bar: allreduce(sum/max) across 2-8 ranks matches the
+serial reduction bit-for-bit for float64 scalars — and to <= 1e-12 for
+chunked arrays — under TCP, UDP with loss injection, and the in-process
+backend, for both the binomial-tree and ring algorithms.
+"""
+
+import functools
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    ChannelSet,
+    Communicator,
+    LocalFabric,
+    PortRegistry,
+    UdpChannelSet,
+    build_schedule,
+    collective_pattern,
+    drive_all,
+)
+
+UDP_LOSS = float(os.environ.get("REPRO_UDP_LOSS", "0.05"))
+
+ALGORITHMS = ("tree", "ring")
+
+
+def _serial_fold(parts, ufunc):
+    """Rank-ordered fold — the bitwise reference for every reduction."""
+    return functools.reduce(ufunc, parts)
+
+
+# ----------------------------------------------------------------------
+# pure schedules (no sockets, no threads): drive_all round-robin
+# ----------------------------------------------------------------------
+class TestSchedules:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_allgather(self, algorithm, n):
+        payloads = [f"rank{r}".encode() for r in range(n)]
+        gens = {
+            r: build_schedule("allgather", algorithm, r, n, payloads[r])
+            for r in range(n)
+        }
+        results = drive_all(gens)
+        for r in range(n):
+            assert results[r] == payloads
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_broadcast(self, algorithm, root):
+        n = 5
+        gens = {
+            r: build_schedule(
+                "broadcast", algorithm, r, n,
+                b"the word" if r == root else None, root=root,
+            )
+            for r in range(n)
+        }
+        results = drive_all(gens)
+        assert all(results[r] == b"the word" for r in range(n))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_barrier_completes(self, algorithm):
+        n = 6
+        gens = {
+            r: build_schedule("barrier", algorithm, r, n, b"")
+            for r in range(n)
+        }
+        drive_all(gens)  # must not deadlock
+
+    def test_pattern_counts_tree(self):
+        # binomial tree: n-1 up + n-1 down for an allreduce of a small
+        # payload (gather + broadcast)
+        msgs = collective_pattern("allreduce", "tree", 4, 16)
+        assert len(msgs) == 6
+        assert all(nbytes >= 16 for _, _, nbytes in msgs)
+
+    def test_pattern_counts_ring(self):
+        # ring allgather: (n-1) rounds of n messages for the gather,
+        # then the fold is local — 12 messages at n = 4
+        msgs = collective_pattern("allreduce", "ring", 4, 16)
+        assert len(msgs) == 12
+
+    def test_pattern_is_deterministic(self):
+        a = collective_pattern("allreduce", "tree", 8, 64)
+        b = collective_pattern("allreduce", "tree", 8, 64)
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# live Communicator over all three backends
+# ----------------------------------------------------------------------
+def _run_ranks(n, fn):
+    """Run ``fn(rank)`` on one thread per rank; return results by rank."""
+    results = [None] * n
+    errors = []
+
+    def run(r):
+        try:
+            results[r] = fn(r)
+        except Exception as exc:
+            errors.append((r, exc))
+
+    threads = [threading.Thread(target=run, args=(r,)) for r in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    return results
+
+
+def _with_comms(backend, n, tmp_path, algorithm, fn, chunk_bytes=1 << 18):
+    """Call ``fn(comm)`` per rank over the requested transport.
+
+    TCP and UDP ranks start with only their ring neighbours connected —
+    tree collectives must establish the missing links on demand through
+    the port registry.
+    """
+    if backend == "local":
+        fabric = LocalFabric(n)
+
+        def worker(r):
+            comm = Communicator(
+                fabric.channel_set(r), r, n,
+                algorithm=algorithm, chunk_bytes=chunk_bytes,
+            )
+            return fn(comm)
+
+        return _run_ranks(n, worker)
+
+    reg = PortRegistry(tmp_path / "ports.txt")
+
+    def worker(r):
+        nbrs = {(r - 1) % n, (r + 1) % n} - {r}
+        if backend == "tcp":
+            cs = ChannelSet(r, nbrs, reg)
+        else:
+            cs = UdpChannelSet(
+                r, nbrs, reg, rto=0.02,
+                loss_rate=UDP_LOSS, loss_seed=11,
+            )
+        cs.open(0, timeout=15.0)
+        try:
+            comm = Communicator(
+                cs, r, n, algorithm=algorithm,
+                chunk_bytes=chunk_bytes, timeout=60.0, link_timeout=15.0,
+            )
+            return fn(comm)
+        finally:
+            if backend == "udp":
+                # every collective already completed; do not let a lost
+                # final ACK stretch the flush
+                cs.close(flush_timeout=1.0)
+            else:
+                cs.close()
+
+    return _run_ranks(n, worker)
+
+
+BACKEND_RANKS = [
+    ("local", 2), ("local", 3), ("local", 5), ("local", 8),
+    ("tcp", 2), ("tcp", 4), ("tcp", 8),
+    ("udp", 2), ("udp", 4),
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("backend,n", BACKEND_RANKS)
+class TestAllreduceEverywhere:
+    def test_scalar_bitwise(self, backend, n, tmp_path, algorithm):
+        """Scalar sum and max equal the serial fold bit for bit."""
+        values = [np.float64((-1.0) ** r * np.pi / (r + 1)) for r in range(n)]
+        want_sum = _serial_fold(values, np.add)
+        want_max = _serial_fold(values, np.maximum)
+
+        def fn(comm):
+            s = comm.allreduce(values[comm.rank], "sum")
+            m = comm.allreduce(values[comm.rank], "max")
+            return s, m
+
+        for s, m in _with_comms(backend, n, tmp_path, algorithm, fn):
+            # equality of float64 bit patterns, not approximate
+            assert np.float64(s).tobytes() == want_sum.tobytes()
+            assert np.float64(m).tobytes() == want_max.tobytes()
+
+    def test_chunked_array(self, backend, n, tmp_path, algorithm):
+        """Arrays above the chunk size combine to <= 1e-12, same on all
+        ranks."""
+        size = 600  # 4800 B at chunk_bytes=1024 -> several chunks
+        rng = np.random.default_rng(42)
+        values = [rng.standard_normal(size) for _ in range(n)]
+        want = _serial_fold(values, np.add)
+
+        def fn(comm):
+            return comm.allreduce(values[comm.rank], "sum")
+
+        results = _with_comms(
+            backend, n, tmp_path, algorithm, fn, chunk_bytes=1024
+        )
+        for out in results:
+            np.testing.assert_allclose(out, want, rtol=0, atol=1e-12)
+        for out in results[1:]:
+            # whatever rounding the chunked combine produces, every rank
+            # must hold the identical bytes
+            np.testing.assert_array_equal(out, results[0])
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_mixed_primitives_tcp(tmp_path, algorithm):
+    """barrier / broadcast / allgather / reduce interleave on one set of
+    channels (sequence numbers keep the frames apart)."""
+    n = 4
+
+    def fn(comm):
+        comm.barrier()
+        arr = comm.broadcast(
+            np.arange(5.0) if comm.rank == 1 else None, root=1
+        )
+        gathered = comm.allgather(np.float64(comm.rank))
+        total = comm.reduce(np.float64(comm.rank), "sum", root=2)
+        comm.barrier()
+        return arr, gathered, total
+
+    results = _with_comms("tcp", n, tmp_path, algorithm, fn)
+    for rank, (arr, gathered, total) in enumerate(results):
+        np.testing.assert_array_equal(arr, np.arange(5.0))
+        assert [float(g) for g in gathered] == [0.0, 1.0, 2.0, 3.0]
+        if rank == 2:
+            assert float(total) == 6.0
+        else:
+            assert total is None
+
+
+def test_algorithms_agree_bitwise(tmp_path):
+    """Tree and ring allreduce produce identical bytes (both fold the
+    rank-ordered allgather for small payloads)."""
+    n = 5
+    values = [np.float64(1.0 / 3.0 ** r) for r in range(n)]
+    outs = {}
+    for algorithm in ALGORITHMS:
+        def fn(comm):
+            return comm.allreduce(values[comm.rank], "sum")
+
+        outs[algorithm] = _with_comms("local", n, tmp_path, algorithm, fn)
+    assert [np.float64(v).tobytes() for v in outs["tree"]] == \
+           [np.float64(v).tobytes() for v in outs["ring"]]
+
+
+def test_on_demand_links_really_missing(tmp_path):
+    """A tree collective at n = 8 needs pairs (0,4), (0,2)... that a
+    ring-neighbour topology does not have; ensure_links must build
+    exactly those."""
+    n = 8
+    reg = PortRegistry(tmp_path / "ports.txt")
+    extra_links = {}
+
+    def worker(r):
+        nbrs = {(r - 1) % n, (r + 1) % n}
+        cs = ChannelSet(r, nbrs, reg)
+        cs.open(0, timeout=15.0)
+        try:
+            comm = Communicator(cs, r, n, algorithm="tree")
+            out = comm.allreduce(np.float64(r), "sum")
+            extra_links[r] = sorted(
+                p for p in range(n)
+                if p != r and cs.has_link(p) and p not in nbrs
+            )
+            return out
+        finally:
+            cs.close()
+
+    results = _run_ranks(n, worker)
+    assert all(float(v) == float(sum(range(n))) for v in results)
+    # rank 0 is the tree root: it talked to 2 and 4 beyond its ring
+    # neighbours 1 and 7
+    assert extra_links[0] == [2, 4]
+
+
+def test_token_send_recv(tmp_path):
+    """Point-to-point tokens (the message save-barrier currency)."""
+    n = 3
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send_token(1, step=7, payload=b"go")
+            return b""
+        got = comm.recv_token(comm.rank - 1, step=7)
+        if comm.rank < n - 1:
+            comm.send_token(comm.rank + 1, step=7, payload=got)
+        return got
+
+    results = _with_comms("local", n, tmp_path, "tree", fn)
+    assert results[1] == b"go"
+    assert results[2] == b"go"

@@ -11,13 +11,17 @@ Run:  python examples/cluster_efficiency.py [--steps 30]
 """
 
 import argparse
+import tempfile
 
+import repro
 from repro.core import EfficiencyModel, paper_m_table
+from repro.distrib import ProblemSpec, RunSettings
 from repro.harness import (
     format_table,
     sweep_2d_grain,
     sweep_processors,
 )
+from repro.trace import format_breakdown_table
 
 
 def main() -> None:
@@ -64,6 +68,27 @@ def main() -> None:
         title="\nEfficiency vs processors, fixed grain per processor "
               "(fig. 9 vs fig. 13)",
     ))
+
+    # one sweep point in detail: the same simulated run through the
+    # unified facade, with per-rank spans on the simulated clock
+    print("\ntracing one point (LB 5x4, side 150) through repro.run...")
+    side, blocks = 150, (5, 4)
+    spec = ProblemSpec(
+        method="lb",
+        grid_shape=(blocks[0] * side, blocks[1] * side),
+        blocks=blocks,
+        periodic=(True, False),
+        geometry={"kind": "open"},
+    )
+    with tempfile.TemporaryDirectory() as td:
+        point = repro.run(spec, backend="simulated",
+                          settings=RunSettings(steps=args.steps,
+                                               trace=True),
+                          workdir=td)
+        print(format_breakdown_table(point.trace_summary))
+    print(f"trace utilization f = {point.utilization:.3f}  vs  "
+          f"simulator's eq. 8 f = "
+          f"{point.sim.compute_time_total / (point.sim.processors * point.sim.elapsed):.3f}")
 
     n80 = model.grain_for_efficiency(0.80, m=4, p=20, ndim=2)
     n80_3d = model.grain_for_efficiency(0.80, m=2, p=20, ndim=3)

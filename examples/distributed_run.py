@@ -21,13 +21,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import Decomposition, Simulation
+import repro
 from repro.distrib import (
     DistributedRun,
     ProblemSpec,
     RunSettings,
     initial_fields,
 )
+from repro.trace import format_breakdown_table, summarize
 
 
 def main() -> None:
@@ -49,25 +50,24 @@ def main() -> None:
     )
     fields = initial_fields(spec, "rest")
 
-    # serial reference
-    solid, _, _ = spec.build_geometry()
-    serial = Simulation(
-        spec.build_method(),
-        Decomposition(spec.grid_shape, (1, 1), periodic=spec.periodic,
-                      solid=solid),
-        fields,
-        solid,
+    # serial reference, through the same facade the library documents
+    serial = repro.run(
+        ProblemSpec(method=spec.method, grid_shape=spec.grid_shape,
+                    blocks=(1, 1), periodic=spec.periodic,
+                    params=spec.params, geometry=spec.geometry),
+        backend="serial", steps=args.steps, fields=fields,
     )
-    serial.step(args.steps)
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="skordos-")
     run_dir = Path(workdir) / "run"
     print(f"work directory: {run_dir}")
 
+    # DistributedRun (not repro.run) because the demo needs the live
+    # monitor and host registry mid-run; every rank traces itself
     run = DistributedRun(
         spec, fields, run_dir,
         RunSettings(steps=args.steps, save_every=max(args.steps // 2, 10),
-                    run_timeout=300),
+                    run_timeout=300, trace=True),
     )
     monitor = run.start()
     print(f"submitted {run.decomp.n_active} workers "
@@ -89,12 +89,17 @@ def main() -> None:
     print(f"run complete: {monitor.migrations} migration(s), "
           f"{monitor.restarts} restart(s)")
     ok = all(
-        np.array_equal(out[name], serial.global_field(name))
-        for name in serial.method.field_names
+        np.array_equal(out[name], serial.fields[name])
+        for name in serial.fields
     )
     print(f"distributed result == serial result, bit for bit: {ok}")
     for line in (run_dir / "logs" / "monitor.log").read_text().splitlines():
         print("  monitor:", line)
+
+    print("\nwhere each rank spent its time (migration pause included):")
+    print(format_breakdown_table(summarize(run_dir)))
+    print(f"merged Chrome trace (open in Perfetto): "
+          f"{run_dir / 'trace' / 'trace.json'}")
     assert ok
 
 

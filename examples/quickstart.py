@@ -8,37 +8,36 @@ lattice Boltzmann method on the same grid, serial and decomposed —
 demonstrating the core property of the system: the decomposition is
 bit-for-bit invisible to the physics.
 
+Everything goes through the unified entry point: one
+:class:`~repro.distrib.ProblemSpec` describes the problem, and
+``repro.run(spec, backend=...)`` marches it serially or with one
+thread per subregion.  The decomposed run traces itself, so the
+example ends with the paper's §7 compute/communicate table.
+
 Run:  python examples/quickstart.py [--ny 19] [--steps 4000]
 """
 
 import argparse
+import tempfile
 
 import numpy as np
 
-from repro.core import Decomposition, Simulation
-from repro.fluids import (
-    FDMethod,
-    FluidParams,
-    LBMethod,
-    channel_geometry,
-    poiseuille_profile,
-)
+import repro
+from repro.distrib import ProblemSpec, RunSettings
+from repro.fluids import poiseuille_profile
+from repro.trace import format_breakdown_table
 
 
-def build_channel(method_cls, shape, blocks, nu, g):
-    """Assemble a periodic channel simulation (the §4.1 initialization
-    and decomposition programs, in-process)."""
-    params = FluidParams.lattice(2, nu=nu, gravity=(g, 0.0))
-    solid = channel_geometry(shape)
-    decomp = Decomposition(
-        shape, blocks, periodic=(True, False), solid=solid
+def channel_spec(method, shape, blocks, nu, g):
+    """The §4.1 problem description all programs reconstruct from."""
+    return ProblemSpec(
+        method=method,
+        grid_shape=shape,
+        blocks=blocks,
+        periodic=(True, False),
+        params={"nu": nu, "gravity": (g, 0.0)},
+        geometry={"kind": "channel"},
     )
-    fields = {
-        "rho": np.ones(shape),
-        "u": np.zeros(shape),
-        "v": np.zeros(shape),
-    }
-    return Simulation(method_cls(params, 2), decomp, fields, solid)
 
 
 def main() -> None:
@@ -53,23 +52,30 @@ def main() -> None:
     print(f"channel {shape}, nu={args.nu}, g={args.force}, "
           f"{args.steps} steps\n")
 
-    for method_cls, name in ((FDMethod, "finite differences"),
-                             (LBMethod, "lattice Boltzmann")):
-        serial = build_channel(method_cls, shape, (1, 1), args.nu,
-                               args.force)
-        parallel = build_channel(method_cls, shape, (2, 2), args.nu,
-                                 args.force)
-        serial.step(args.steps)
-        parallel.step(args.steps)
+    traced = None
+    for method, name in (("fd", "finite differences"),
+                         ("lb", "lattice Boltzmann")):
+        serial = repro.run(
+            channel_spec(method, shape, (1, 1), args.nu, args.force),
+            backend="serial", steps=args.steps,
+        )
+        with tempfile.TemporaryDirectory() as td:
+            traced = repro.run(
+                channel_spec(method, shape, (2, 2), args.nu, args.force),
+                backend="threaded",
+                settings=RunSettings(steps=args.steps, trace=True),
+                workdir=td,
+            )
+            table = format_breakdown_table(traced.trace_summary)
 
-        u_serial = serial.global_field("u")
-        u_parallel = parallel.global_field("u")
+        u_serial = serial.fields["u"]
+        u_parallel = traced.fields["u"]
         bitwise = np.array_equal(u_serial, u_parallel)
 
         # exact solution: FD pins the wall on the solid node, LB's
         # bounce-back wall sits halfway between fluid and solid node
         y = np.arange(args.ny, dtype=float)
-        if method_cls is LBMethod:
+        if method == "lb":
             exact = poiseuille_profile(y - 0.5, args.ny - 2.0,
                                        args.force, args.nu)
         else:
@@ -83,12 +89,16 @@ def main() -> None:
         print(f"  centerline velocity  {mid.max():.3e} "
               f"(exact {exact.max():.3e})")
         print(f"  max relative error   {err:.2e}")
-        print(f"  serial == (2x2) decomposed bitwise: {bitwise}")
+        print(f"  serial == (2x2) threaded bitwise: {bitwise}")
         profile = "  profile: " + " ".join(
             f"{v / exact.max():.2f}" for v in mid[:: max(args.ny // 10, 1)]
         )
         print(profile + "\n")
         assert bitwise, "decomposition must be invisible to the physics"
+
+    print("where the decomposed run spent its time "
+          "(repro.trace, last method):")
+    print(table)
 
 
 if __name__ == "__main__":

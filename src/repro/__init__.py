@@ -5,11 +5,17 @@ workstations: domain-decomposed explicit finite differences and lattice
 Boltzmann solvers, a TCP/IP-distributed runtime with automatic process
 migration, a discrete-event cluster simulator reproducing the paper's
 efficiency measurements, and the theoretical efficiency model.
+
+The one-call entry point is :func:`repro.run`, which marches a
+:class:`~repro.distrib.ProblemSpec` on any of the four backends and
+returns a :class:`repro.RunResult`; :mod:`repro.trace` is the
+phase-level tracing layer shared by all of them.
 """
 
-from . import cluster, core, distrib, fluids, harness, net, viz
+from . import cluster, core, distrib, fluids, harness, net, trace, viz
+from .facade import BACKENDS, RunResult, run
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
@@ -18,6 +24,10 @@ __all__ = [
     "distrib",
     "cluster",
     "harness",
+    "trace",
     "viz",
+    "run",
+    "RunResult",
+    "BACKENDS",
     "__version__",
 ]

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.decomposition import Decomposition
 from ..core.stencil import star_stencil
+from ..trace import NULL_TRACER, Tracer
 from .calibration import (
     bytes_per_boundary_node,
     MESSAGES_PER_STEP,
@@ -122,7 +123,7 @@ class _SimProc:
     __slots__ = (
         "rank", "host", "n_nodes", "neighbors", "msg_bytes",
         "step", "phase", "arrived", "waiting", "compute_time",
-        "step_done_times", "paused_at",
+        "step_done_times", "paused_at", "wait_since",
     )
 
     def __init__(self, rank: int, host: SimHost, n_nodes: int,
@@ -139,6 +140,7 @@ class _SimProc:
         self.compute_time = 0.0
         self.step_done_times: list[float] = []
         self.paused_at: float | None = None
+        self.wait_since = 0.0
 
 
 class ClusterSimulation:
@@ -174,6 +176,12 @@ class ClusterSimulation:
         ablation showing what a switched network (or communication/
         computation overlap) would buy, cf. the paper's conclusion
         about Ethernet switches.
+    trace_dir:
+        When set, every simulated rank streams its spans (on the
+        *simulated* clock) to ``trace-<rank>.jsonl`` under this
+        directory and :meth:`run` merges them into ``trace.json`` —
+        the same format the live runtimes produce, so simulated and
+        measured timelines compare in the same viewer.
     """
 
     def __init__(
@@ -187,6 +195,7 @@ class ClusterSimulation:
         sync_mode: str = "bsp",
         diag_every: int = 0,
         collective_algorithm: str = "tree",
+        trace_dir=None,
     ) -> None:
         if method not in ("fd", "lb"):
             raise ValueError(f"unknown method {method!r}")
@@ -257,6 +266,31 @@ class ClusterSimulation:
             self.procs.append(
                 _SimProc(rank, host, blk.n_nodes, neighbor_ranks, msg_bytes)
             )
+
+        # span tracing on the *simulated* clock: the same stream format
+        # the live runtimes emit, with ``sim=True`` zero origins, so a
+        # simulated and a measured run of one problem merge and compare
+        # in the same viewer and the same report.
+        self.trace_dir = None
+        nphases = len(self.fractions)
+        self._compute_names = tuple(f"compute:{i}" for i in range(nphases))
+        self._exchange_names = tuple(
+            f"exchange:{i}" for i in range(nphases)
+        )
+        self._wait_names = tuple(f"wait:{i}" for i in range(nphases))
+        if trace_dir is not None:
+            from pathlib import Path
+
+            self.trace_dir = Path(trace_dir)
+            self.tracers: list = [
+                Tracer(
+                    self.trace_dir / f"trace-{r:04d}.jsonl",
+                    rank=r, sim=True,
+                )
+                for r in range(self.n_procs)
+            ]
+        else:
+            self.tracers = [NULL_TRACER] * self.n_procs
 
         # migration machinery
         self.migrations: list[MigrationEvent] = []
@@ -364,6 +398,14 @@ class ClusterSimulation:
             self.queue.schedule(monitor_poll, self._monitor_tick)
         self.queue.run()
 
+        if self.trace_dir is not None:
+            for tr in self.tracers:
+                tr.close()
+            from ..trace import write_chrome_trace
+
+            write_chrome_trace(self.trace_dir,
+                               self.trace_dir / "trace.json")
+
         done = [p.step_done_times[-1] for p in self.procs]
         elapsed = max(done)
         start_idx = steps - measure_last
@@ -399,6 +441,9 @@ class ClusterSimulation:
     ) -> None:
         duration = fraction * self._t_calc(proc, t)
         proc.compute_time += duration
+        self.tracers[proc.rank].add_span(
+            self._compute_names[proc.phase], t, duration, step=proc.step
+        )
         self.queue.schedule(
             t + duration, lambda now, p=proc: self._compute_done(p, now)
         )
@@ -431,6 +476,11 @@ class ClusterSimulation:
             src=proc.host.name,
             dst=self.procs[nb].host.name,
         )
+        # blocking send: the sender is occupied until the bus clears
+        tracer = self.tracers[proc.rank]
+        tracer.add_span(self._exchange_names[phase], t, finish - t,
+                        step=step)
+        tracer.count(nb, proc.msg_bytes[nb])
         self.queue.schedule(
             finish,
             lambda now, p=proc, i=idx + 1: self._send_next(p, i, now),
@@ -442,6 +492,10 @@ class ClusterSimulation:
         proc.arrived[key] = proc.arrived.get(key, 0) + 1
         if proc.waiting == key and proc.arrived[key] >= len(proc.neighbors):
             proc.waiting = None
+            self.tracers[dst].add_span(
+                self._wait_names[phase], proc.wait_since,
+                t - proc.wait_since, step=step,
+            )
             self._advance_phase(proc, t)
 
     def _wait_or_advance(self, proc: _SimProc, t: float) -> None:
@@ -450,6 +504,7 @@ class ClusterSimulation:
             self._advance_phase(proc, t)
         else:
             proc.waiting = key
+            proc.wait_since = t
 
     def _advance_phase(self, proc: _SimProc, t: float) -> None:
         proc.arrived.pop((proc.step, proc.phase), None)
@@ -461,6 +516,9 @@ class ClusterSimulation:
             final = 1.0 - sum(self.fractions)
             duration = final * self._t_calc(proc, t)
             proc.compute_time += duration
+            self.tracers[proc.rank].add_span(
+                "finalize:0", t, duration, step=proc.step
+            )
             self.queue.schedule(
                 t + duration, lambda now, p=proc: self._step_done(p, now)
             )
@@ -477,6 +535,14 @@ class ClusterSimulation:
             # cycle together (or service a pending migration).
             self._barrier_count = 0
             self._barrier_step += 1
+            if self.trace_dir is not None:
+                # processes that finished early idle at the BSP barrier
+                for p in self.procs:
+                    t0 = p.step_done_times[-1]
+                    if t > t0:
+                        self.tracers[p.rank].add_span(
+                            "barrier:step", t0, t - t0, step=p.step - 1
+                        )
             resume = t
             if self.diag_every > 0 and \
                     self._barrier_step % self.diag_every == 0:
@@ -525,6 +591,14 @@ class ClusterSimulation:
             self.collective_messages += 1
             self.collective_bytes += nbytes
         self.collective_time += finish - t
+        if finish > t and self.trace_dir is not None:
+            # the next cycle opens only once the collective clears: the
+            # whole group is occupied for its duration
+            for p in self.procs:
+                self.tracers[p.rank].add_span(
+                    "collective:diag", t, finish - t,
+                    step=self._barrier_step,
+                )
         return finish
 
     # ------------------------------------------------------------------
@@ -621,6 +695,11 @@ class ClusterSimulation:
             self._sync = None
             resume = t + cost
             for proc in self.procs:
+                if proc.paused_at is not None:
+                    self.tracers[proc.rank].add_span(
+                        "migration:pause", proc.paused_at,
+                        resume - proc.paused_at, step=proc.step,
+                    )
                 proc.paused_at = None
                 if proc.step < self._steps_target:
                     self.queue.schedule(
@@ -650,6 +729,11 @@ class ClusterSimulation:
             )
         self._sync = None
         for proc in self.procs:
+            if proc.paused_at is not None:
+                self.tracers[proc.rank].add_span(
+                    "migration:pause", proc.paused_at,
+                    resume - proc.paused_at, step=proc.step,
+                )
             proc.paused_at = None
             if proc.step < self._steps_target:
                 self.queue.schedule(

@@ -27,6 +27,7 @@ from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..trace import NULL_TRACER
 from .decomposition import Decomposition
 from .exchange import LocalExchanger
 from .subregion import SubregionState, assemble_global, make_subregions
@@ -89,6 +90,11 @@ class Simulation:
         from the macroscopic state, may be omitted).
     solid:
         Optional global solid-wall mask.
+    tracer:
+        A :class:`repro.trace.Tracer` recording one span per compute
+        phase, ghost exchange and finalize; defaults to the no-op
+        :data:`~repro.trace.NULL_TRACER` (span names are precomputed so
+        the disabled path stays allocation-free).
     """
 
     def __init__(
@@ -97,9 +103,17 @@ class Simulation:
         decomp: Decomposition,
         global_fields: Mapping[str, np.ndarray],
         solid: np.ndarray | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.method = method
         self.decomp = decomp
+        self.tracer = tracer
+        self._compute_names = tuple(
+            f"compute:{i}" for i in range(len(method.exchange_phases))
+        )
+        self._exchange_names = tuple(
+            f"exchange:{i}" for i in range(len(method.exchange_phases))
+        )
         self.subs = make_subregions(decomp, method.pad, global_fields, solid)
         if not self.subs:
             raise ValueError("decomposition has no active subregions")
@@ -118,14 +132,24 @@ class Simulation:
     def step(self, n: int = 1) -> None:
         """Advance every subregion ``n`` integration steps."""
         method = self.method
+        tracer = self.tracer
+        compute_names = self._compute_names
+        exchange_names = self._exchange_names
         for _ in range(n):
+            step_no = self.subs[0].step
             for phase, fields in enumerate(method.exchange_phases):
+                t0 = tracer.begin()
                 for sub in self.subs:
                     method.compute_phase(sub, phase)
+                tracer.end(compute_names[phase], t0, step=step_no)
+                t0 = tracer.begin()
                 self.exchanger.exchange(fields)
+                tracer.end(exchange_names[phase], t0, step=step_no)
+            t0 = tracer.begin()
             for sub in self.subs:
                 method.finalize_step(sub)
                 sub.step += 1
+            tracer.end("finalize:0", t0, step=step_no)
 
     def global_field(self, name: str, fill: float = 0.0) -> np.ndarray:
         """Reassemble a global array from the subregion interiors."""

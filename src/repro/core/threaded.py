@@ -31,6 +31,7 @@ from typing import Mapping
 import numpy as np
 
 from ..net.collectives import Communicator
+from ..trace import NULL_TRACER
 from .decomposition import Decomposition
 from .exchange import LocalExchanger
 from .runner import ExplicitMethod
@@ -56,9 +57,16 @@ class ThreadedSimulation:
         diag_every: int = 0,
         diag_algorithm: str = "tree",
         diag_vmax: float = 0.0,
+        tracer=NULL_TRACER,
     ) -> None:
         self.method = method
         self.decomp = decomp
+        self.tracer = tracer
+        nphases = len(method.exchange_phases)
+        self._compute_names = tuple(f"compute:{i}" for i in range(nphases))
+        self._exchange_names = tuple(f"exchange:{i}" for i in range(nphases))
+        # non-exchanging threads spend the same interval at the barrier
+        self._wait_names = tuple(f"wait:{i}" for i in range(nphases))
         self.subs = make_subregions(decomp, method.pad, global_fields, solid)
         if not self.subs:
             raise ValueError("decomposition has no active subregions")
@@ -86,7 +94,7 @@ class ThreadedSimulation:
                 GlobalDiagnostics(
                     Communicator(
                         fabric.channel_set(i), i, len(self.subs),
-                        algorithm=diag_algorithm,
+                        algorithm=diag_algorithm, tracer=tracer,
                     ),
                     every=diag_every,
                     vmax=diag_vmax,
@@ -102,10 +110,18 @@ class ThreadedSimulation:
     def _worker(self, idx: int, n_steps: int) -> None:
         method = self.method
         sub = self.subs[idx]
+        tracer = self.tracer
+        compute_names = self._compute_names
+        sync_names = self._exchange_names if idx == 0 else self._wait_names
         try:
             for _ in range(n_steps):
+                step_no = sub.step
                 for phase, fields in enumerate(method.exchange_phases):
+                    t0 = tracer.begin()
                     method.compute_phase(sub, phase)
+                    tracer.end(compute_names[phase], t0, step=step_no,
+                               tid=idx)
+                    t0 = tracer.begin()
                     self._barrier.wait()
                     if idx == 0:
                         # one thread runs the exchange: strips are
@@ -113,7 +129,11 @@ class ThreadedSimulation:
                         # the kernels
                         self.exchanger.exchange(fields)
                     self._barrier.wait()
+                    tracer.end(sync_names[phase], t0, step=step_no,
+                               tid=idx)
+                t0 = tracer.begin()
                 method.finalize_step(sub)
+                tracer.end("finalize:0", t0, step=step_no, tid=idx)
                 sub.step += 1
                 if self._diags is not None:
                     # The collective itself synchronizes the threads;
@@ -133,11 +153,21 @@ class ThreadedSimulation:
             # degenerate case: no point spawning a thread
             method = self.method
             sub = self.subs[0]
+            tracer = self.tracer
             for _ in range(n):
+                step_no = sub.step
                 for phase, fields in enumerate(method.exchange_phases):
+                    t0 = tracer.begin()
                     method.compute_phase(sub, phase)
+                    tracer.end(self._compute_names[phase], t0,
+                               step=step_no)
+                    t0 = tracer.begin()
                     self.exchanger.exchange(fields)
+                    tracer.end(self._exchange_names[phase], t0,
+                               step=step_no)
+                t0 = tracer.begin()
                 method.finalize_step(sub)
+                tracer.end("finalize:0", t0, step=step_no)
                 sub.step += 1
                 if self._diags is not None:
                     rec = self._diags[0].maybe_check(sub)

@@ -90,7 +90,7 @@ class Monitor:
     def log(self, msg: str) -> None:
         """Append a line to the monitor log."""
         with open(self._log_path, "a") as fh:
-            fh.write(f"{time.time():.3f} {msg}\n")
+            fh.write(f"{time.time():.3f} {msg}\n")  # wall stamp
 
     # ------------------------------------------------------------------
     # public controls
@@ -175,6 +175,22 @@ class Monitor:
 
             time.sleep(self.poll)
         self.log("all workers done")
+        self._merge_traces()
+
+    def _merge_traces(self) -> None:
+        """Merge the ranks' trace streams into one Chrome trace JSON.
+
+        Runs after completion when the workers traced themselves
+        (``trace/trace-*.jsonl`` exists); the merged ``trace/trace.json``
+        loads directly in ``chrome://tracing`` / Perfetto.
+        """
+        trace_dir = self.workdir / "trace"
+        if not any(trace_dir.glob("trace-*.jsonl")):
+            return
+        from ..trace import write_chrome_trace
+
+        out = write_chrome_trace(trace_dir, trace_dir / "trace.json")
+        self.log(f"merged trace written to {out}")
 
     # ------------------------------------------------------------------
     # migration sequence (§5.1)

@@ -22,6 +22,7 @@ from .decompose import decompose_problem
 from .dumpfile import dump_path, load_dump
 from .hostdb import HostDB, HostInfo, paper_cluster
 from .monitor import Monitor
+from .settings import WorkerKnobs, worker_knob_names
 from .spec import ProblemSpec
 from .submit import submit_all
 
@@ -29,50 +30,31 @@ __all__ = ["RunSettings", "DistributedRun", "run_distributed"]
 
 
 @dataclass
-class RunSettings:
-    """Knobs of a distributed run (worker + monitor configuration)."""
+class RunSettings(WorkerKnobs):
+    """Knobs of a distributed run (worker + monitor configuration).
+
+    Every knob a worker sees is inherited from
+    :class:`~repro.distrib.settings.WorkerKnobs` — the same base
+    :class:`~repro.distrib.worker.WorkerConfig` extends — so a knob
+    added there reaches the workers without any copying here.  The
+    fields declared below are the monitor's own.
+    """
 
     steps: int
-    save_every: int = 0
-    save_gap: float = 0.0
-    hb_every: int = 1
-    strict_order: bool = False
-    transport: str = "tcp"  # or "udp" (App. D)
-    open_timeout: float = 30.0
-    recv_timeout: float = 60.0
-    sync_timeout: float = 60.0
     monitor_poll: float = 0.02
     stall_timeout: float = 60.0
     run_timeout: float = 300.0
-    diag_every: int = 0        # in-flight global diagnostics period
-    diag_vmax: float = 0.0     # CFL/Mach abort threshold (0 = c_s)
-    diag_algorithm: str = "tree"   # "tree" or "ring" collectives
-    save_barrier: str = "file"     # "file" (App. B) or "message"
-    udp_loss: float = 0.0      # App. D datagram loss injection
-    nan_step: int = 0          # test knob: poison a value at this step
-    nan_rank: int = 0          # ... on this rank
     hosts: list[HostInfo] = field(default_factory=paper_cluster)
 
     def worker_base_cfg(self) -> dict:
-        """The WorkerConfig fields shared by every rank."""
-        return dict(
-            steps_total=self.steps,
-            save_every=self.save_every,
-            save_gap=self.save_gap,
-            hb_every=self.hb_every,
-            strict_order=self.strict_order,
-            transport=self.transport,
-            open_timeout=self.open_timeout,
-            recv_timeout=self.recv_timeout,
-            sync_timeout=self.sync_timeout,
-            diag_every=self.diag_every,
-            diag_vmax=self.diag_vmax,
-            diag_algorithm=self.diag_algorithm,
-            save_barrier=self.save_barrier,
-            udp_loss=self.udp_loss,
-            nan_step=self.nan_step,
-            nan_rank=self.nan_rank,
-        )
+        """The WorkerConfig fields shared by every rank.
+
+        Derived from the :class:`WorkerKnobs` field list, so the set of
+        forwarded knobs cannot drift from the worker's declaration.
+        """
+        base = {name: getattr(self, name) for name in worker_knob_names()}
+        base["steps_total"] = self.steps
+        return base
 
 
 class DistributedRun:
@@ -146,7 +128,12 @@ def run_distributed(
     workdir: str | Path,
     settings: RunSettings,
 ) -> dict[str, np.ndarray]:
-    """Run to completion and return the reassembled global state."""
+    """Run to completion and return the reassembled global state.
+
+    Thin historical wrapper; prefer ``repro.run(spec,
+    backend="distributed", settings=...)``, which also returns the
+    diagnostics records and the merged trace.
+    """
     run = DistributedRun(spec, global_fields, workdir, settings)
     run.start()
     run.wait()

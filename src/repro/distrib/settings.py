@@ -1,0 +1,64 @@
+"""The knobs shared by the run settings and every worker's config.
+
+:class:`~repro.distrib.orchestrator.RunSettings` (what the user sets on
+a run) and :class:`~repro.distrib.worker.WorkerConfig` (what the submit
+program hands each rank) used to duplicate fifteen field declarations,
+with ``RunSettings.worker_base_cfg()`` hand-copying each one across —
+so a knob added to one side could silently never reach the workers.
+Both now inherit :class:`WorkerKnobs`; the base config is *derived*
+from the dataclass fields (:func:`worker_knob_names`), making the
+omission impossible by construction.
+
+All knob fields are keyword-only so the subclasses keep their own
+positional signatures (``WorkerConfig(workdir, rank, host, ...)``,
+``RunSettings(steps, ...)``): Python places keyword-only dataclass
+fields after the subclass' positional ones regardless of inheritance
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["WorkerKnobs", "worker_knob_names"]
+
+
+@dataclass(kw_only=True)
+class WorkerKnobs:
+    """Runtime knobs every rank of a run shares.
+
+    The fields travel verbatim from
+    :class:`~repro.distrib.orchestrator.RunSettings` into each rank's
+    :class:`~repro.distrib.worker.WorkerConfig` (see
+    :meth:`~repro.distrib.orchestrator.RunSettings.worker_base_cfg`).
+    """
+
+    save_every: int = 0        # checkpoint period in steps (0 = never)
+    save_gap: float = 0.0      # §5.2 free time slot between savers
+    hb_every: int = 1          # heartbeat period in steps
+    strict_order: bool = False  # App. C ablation
+    transport: str = "tcp"     # "tcp" (paper's choice) or "udp" (App. D)
+    niceness: int = 10         # §5.1: low runtime priority (UNIX "nice")
+    #  so the regular user's interactive tasks "receive the full
+    #  attention of the processor immediately"
+    step_delay: float = 0.0    # test/emulation knob: extra seconds per
+    #  step, emulating a busy or slow host so App. A un-synchronization
+    #  and first-come-first-served buffering can be exercised for real
+    open_timeout: float = 30.0
+    recv_timeout: float = 60.0
+    sync_timeout: float = 60.0
+    diag_every: int = 0        # global-diagnostics period (0 = off)
+    diag_vmax: float = 0.0     # max-|V| abort threshold (0 = c_s default)
+    diag_algorithm: str = "tree"   # collective algorithm: tree or ring
+    save_barrier: str = "file"     # "file" (App. B default) or "message"
+    udp_loss: float = 0.0      # injected datagram loss rate (App. D knob)
+    trace: bool = False        # stream per-rank trace-<rank>.jsonl
+    #  spans/counters (repro.trace) from every runtime phase
+    nan_step: int = 0          # test/emulation knob: poison one value at
+    nan_rank: int = 0          # this step on this rank, as a blown-up
+    #  kernel would, to exercise the diagnosed-abort path
+
+
+def worker_knob_names() -> tuple[str, ...]:
+    """Names of every shared knob, in declaration order."""
+    return tuple(f.name for f in fields(WorkerKnobs))

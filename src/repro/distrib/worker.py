@@ -43,6 +43,7 @@ from ..net.collectives import Communicator
 from ..net.portfile import PortRegistry
 from ..net.transport import SocketExchanger
 from ..net.udp import UdpChannelSet
+from ..trace import NULL_TRACER, Tracer
 from .diagnostics import (
     DEFAULT_VMAX,
     DiagnosticsFailure,
@@ -50,6 +51,7 @@ from .diagnostics import (
     GlobalDiagnostics,
 )
 from .dumpfile import dump_path, load_dump, save_dump
+from .settings import WorkerKnobs
 from .spec import ProblemSpec
 from .sync import MessageSaveTurns, SaveTurns, SyncFiles
 
@@ -72,8 +74,15 @@ EXIT_DIAGNOSTIC = 76
 
 
 @dataclass
-class WorkerConfig:
-    """Runtime configuration handed to a worker by the submit program."""
+class WorkerConfig(WorkerKnobs):
+    """Runtime configuration handed to a worker by the submit program.
+
+    The per-rank identity fields live here; every run-wide knob
+    (checkpoint period, transport, timeouts, ...) is inherited from
+    :class:`~repro.distrib.settings.WorkerKnobs`, the single
+    declaration shared with
+    :class:`~repro.distrib.orchestrator.RunSettings`.
+    """
 
     workdir: str
     rank: int
@@ -81,28 +90,6 @@ class WorkerConfig:
     steps_total: int
     generation: int = 0
     dump_in: str = ""          # dump file to restore from
-    save_every: int = 0        # checkpoint period in steps (0 = never)
-    save_gap: float = 0.0      # §5.2 free time slot between savers
-    hb_every: int = 1          # heartbeat period in steps
-    strict_order: bool = False  # App. C ablation
-    transport: str = "tcp"     # "tcp" (paper's choice) or "udp" (App. D)
-    niceness: int = 10         # §5.1: low runtime priority (UNIX "nice")
-    #  so the regular user's interactive tasks "receive the full
-    #  attention of the processor immediately"
-    step_delay: float = 0.0    # test/emulation knob: extra seconds per
-    #  step, emulating a busy or slow host so App. A un-synchronization
-    #  and first-come-first-served buffering can be exercised for real
-    open_timeout: float = 30.0
-    recv_timeout: float = 60.0
-    sync_timeout: float = 60.0
-    diag_every: int = 0        # global-diagnostics period (0 = off)
-    diag_vmax: float = 0.0     # max-|V| abort threshold (0 = c_s default)
-    diag_algorithm: str = "tree"   # collective algorithm: tree or ring
-    save_barrier: str = "file"     # "file" (App. B default) or "message"
-    udp_loss: float = 0.0      # injected datagram loss rate (App. D knob)
-    nan_step: int = 0          # test/emulation knob: poison one value at
-    nan_rank: int = 0          # this step on this rank, as a blown-up
-    #  kernel would, to exercise the diagnosed-abort path
 
     def to_json(self) -> str:
         """Serialize to JSON for the worker command line."""
@@ -160,6 +147,25 @@ class Worker:
                 self.rank, neighbor_ranks, self.registry,
                 loss_rate=cfg.udp_loss,
             )
+        self.tracer = NULL_TRACER
+        if cfg.trace:
+            # A rank restarted after migrating away must not truncate
+            # the trace its previous incarnation streamed.
+            gen = f".g{cfg.generation}" if cfg.generation else ""
+            self.tracer = Tracer(
+                self.workdir / "trace"
+                / f"trace-{self.rank:04d}{gen}.jsonl",
+                rank=self.rank,
+            )
+            self.channels.tracer = self.tracer
+        self._compute_names = tuple(
+            f"compute:{i}"
+            for i in range(len(self.method.exchange_phases))
+        )
+        self._exchange_names = tuple(
+            f"exchange:{i}"
+            for i in range(len(self.method.exchange_phases))
+        )
         self.exchanger = SocketExchanger(
             self.sub,
             self.plan,
@@ -180,6 +186,7 @@ class Worker:
                 algorithm=cfg.diag_algorithm,
                 timeout=cfg.recv_timeout,
                 link_timeout=cfg.open_timeout,
+                tracer=self.tracer,
             )
         if cfg.diag_every > 0:
             self.diag = GlobalDiagnostics(
@@ -200,7 +207,7 @@ class Worker:
     def log(self, msg: str) -> None:
         """Append a line to this worker's log file."""
         with open(self._log_path, "a") as fh:
-            fh.write(f"{time.time():.3f} step={self.sub.step} {msg}\n")
+            fh.write(f"{time.time():.3f} step={self.sub.step} {msg}\n")  # wall stamp
 
     def _request_path(self, epoch: int) -> Path:
         return self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
@@ -259,16 +266,25 @@ class Worker:
             return EXIT_DONE
         finally:
             self.channels.close()
+            self.tracer.close()
 
     def _step_once(self) -> None:
         method = self.method
         sub = self.sub
+        tracer = self.tracer
+        step_no = sub.step
         if self.cfg.step_delay > 0.0:
             time.sleep(self.cfg.step_delay)
         for phase, fields in enumerate(method.exchange_phases):
+            t0 = tracer.begin()
             method.compute_phase(sub, phase)
+            tracer.end(self._compute_names[phase], t0, step=step_no)
+            t0 = tracer.begin()
             self.exchanger.exchange(fields, phase)
+            tracer.end(self._exchange_names[phase], t0, step=step_no)
+        t0 = tracer.begin()
         method.finalize_step(sub)
+        tracer.end("finalize:0", t0, step=step_no)
         sub.step += 1
         if (
             self.cfg.nan_step > 0
@@ -287,9 +303,11 @@ class Worker:
     def _heartbeat(self) -> None:
         if self.sub.step % max(self.cfg.hb_every, 1):
             return
+        t0 = self.tracer.begin()
         hb = self.workdir / "hb" / f"rank{self.rank:04d}.txt"
         hb.parent.mkdir(parents=True, exist_ok=True)
-        hb.write_text(f"{self.sub.step} {time.time():.3f}\n")
+        hb.write_text(f"{self.sub.step} {time.time():.3f}\n")  # wall stamp
+        self.tracer.end("heartbeat:0", t0, step=self.sub.step)
 
     def _maybe_checkpoint(self) -> None:
         every = self.cfg.save_every
@@ -299,7 +317,10 @@ class Worker:
             turns = MessageSaveTurns(self.comm, self.workdir, self.sub.step)
         else:
             turns = SaveTurns(self.workdir, self.sub.step)
+        t0 = self.tracer.begin()
         turns.wait_turn(self.rank, gap=self.cfg.save_gap)
+        self.tracer.end("checkpoint:turn", t0, step=self.sub.step)
+        t0 = self.tracer.begin()
         save_dump(
             self.sub,
             dump_path(
@@ -308,6 +329,7 @@ class Worker:
                 tag=f"ckpt{self.sub.step:09d}",
             ),
         )
+        self.tracer.end("checkpoint:write", t0, step=self.sub.step)
         turns.finish_turn(self.rank, self.n_ranks)
         self.log(f"checkpoint at step {self.sub.step}")
 
@@ -339,9 +361,11 @@ class Worker:
         epoch = self._sync_epoch
         assert epoch is not None
         sf = SyncFiles(self.workdir, epoch)
+        t0 = self.tracer.begin()
         t_sync = sf.wait_sync_step(
             self.n_ranks, timeout=self.cfg.sync_timeout
         )
+        self.tracer.end("migration:sync", t0, step=self.sub.step)
         self.log(f"sync epoch {epoch}: target step {t_sync}")
         if self.sub.step > t_sync:  # pragma: no cover - invariant guard
             raise RuntimeError(
@@ -351,7 +375,9 @@ class Worker:
         while self.sub.step < t_sync:
             self._step_once()
         sf.mark_reached(self.rank, self.sub.step)
+        t0 = self.tracer.begin()
         sf.wait_all_reached(self.n_ranks, timeout=self.cfg.sync_timeout)
+        self.tracer.end("migration:reach", t0, step=self.sub.step)
 
         request = json.loads(self._request_path(epoch).read_text())
         migrating = set(request["ranks"])
@@ -371,8 +397,11 @@ class Worker:
         )
         marker.touch()
         self.log("paused for migration")
+        self.tracer.flush()  # the pause may end in a kill
+        t0 = self.tracer.begin()
         os.kill(os.getpid(), signal.SIGSTOP)
         # --- resumed by the monitoring program ---
+        self.tracer.end("migration:pause", t0, step=self.sub.step)
         self.generation = epoch + 1
         self._sync_epoch = None
         self.channels.open(self.generation, timeout=self.cfg.open_timeout)

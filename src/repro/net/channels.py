@@ -25,6 +25,7 @@ import socket
 import time
 from typing import Iterable, Mapping
 
+from ..trace import NULL_TRACER
 from .portfile import PortRegistry
 from .protocol import (
     MSG_DATA,
@@ -62,6 +63,9 @@ class ChannelSet:
         self._listener: socket.socket | None = None
         self._inbox: dict[tuple, bytes] = {}
         self._hung_up: set[int] = set()
+        #: per-peer byte/message accounting (assign a live
+        #: :class:`repro.trace.Tracer` to record channel traffic)
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -228,6 +232,7 @@ class ChannelSet:
             side=side,
         )
         send_all(self._socks[to], frame)
+        self.tracer.count(to, len(payload))
 
     def recv_data(
         self,
@@ -283,6 +288,7 @@ class ChannelSet:
                     raise ProtocolError(
                         f"unexpected mid-run frame type {header.msg_type}"
                     )
+                self.tracer.count(header.sender, len(payload), sent=False)
                 key = header.key()
                 if key in missing:
                     out[key] = payload

@@ -41,6 +41,8 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from ..trace import NULL_TRACER
+
 __all__ = [
     "COLLECTIVE_PHASE",
     "TOKEN_PHASE",
@@ -428,6 +430,7 @@ class Communicator:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         timeout: float = 60.0,
         link_timeout: float = 30.0,
+        tracer=NULL_TRACER,
     ) -> None:
         if algorithm not in ("tree", "ring"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -440,6 +443,9 @@ class Communicator:
         self.chunk_bytes = chunk_bytes
         self.timeout = timeout
         self.link_timeout = link_timeout
+        #: span tracer; each public collective records one
+        #: ``collective:<kind>`` span per schedule driven
+        self.tracer = tracer
         #: sequence number of the next collective operation; assignable
         #: (workers pin it to the integration step before each sync
         #: point so it survives migration).
@@ -450,10 +456,11 @@ class Communicator:
         if not self.channels.has_link(peer):
             self.channels.ensure_links({peer}, timeout=self.link_timeout)
 
-    def _drive(self, gen):
+    def _drive(self, gen, name: str = "collective:op"):
         """Execute one schedule generator against the channel set."""
         seq = self.seq
         self.seq += 1
+        t0 = self.tracer.begin()
         try:
             eff = next(gen)
             while True:
@@ -475,6 +482,8 @@ class Communicator:
                     eff = gen.send(got[key])
         except StopIteration as stop:
             return stop.value
+        finally:
+            self.tracer.end(name, t0)
 
     def _schedule(self, kind, payload, root=0, op=None):
         return build_schedule(
@@ -500,7 +509,7 @@ class Communicator:
         """Block until every rank of the group has entered."""
         if self.n == 1:
             return
-        self._drive(self._schedule("barrier", b""))
+        self._drive(self._schedule("barrier", b""), "barrier:all")
 
     def broadcast(self, value=None, root: int = 0) -> np.ndarray:
         """Distribute the root's float64 array to every rank.
@@ -517,7 +526,8 @@ class Communicator:
         else:
             arr = None
             header = None
-        header = self._drive(self._schedule("broadcast", header, root=root))
+        header = self._drive(self._schedule("broadcast", header, root=root),
+                             "collective:broadcast")
         shape = tuple(np.frombuffer(_unpack_blocks(header)[0], np.int64))
         if arr is None:
             arr = np.empty(shape)
@@ -525,7 +535,8 @@ class Communicator:
         out = []
         for seg in self._segments(flat):
             data = seg.tobytes() if self.rank == root else None
-            data = self._drive(self._schedule("broadcast", data, root=root))
+            data = self._drive(self._schedule("broadcast", data, root=root),
+                               "collective:broadcast")
             out.append(np.frombuffer(data, np.float64))
         if not out:
             return np.empty(shape)
@@ -540,7 +551,8 @@ class Communicator:
         arr = np.asarray(value, dtype=np.float64)
         if self.n == 1:
             return [arr.copy()]
-        blocks = self._drive(self._schedule("allgather", arr.tobytes()))
+        blocks = self._drive(self._schedule("allgather", arr.tobytes()),
+                             "collective:allgather")
         out = []
         for b in blocks:
             a = np.frombuffer(b, np.float64)
@@ -563,11 +575,14 @@ class Communicator:
         if arr.nbytes <= self.chunk_bytes:
             if self.algorithm == "tree":
                 blocks = self._drive(
-                    self._schedule("gather", arr.tobytes(), root=root)
+                    self._schedule("gather", arr.tobytes(), root=root),
+                    "collective:reduce",
                 )
             else:
-                blocks = self._drive(self._schedule("allgather",
-                                                    arr.tobytes()))
+                blocks = self._drive(
+                    self._schedule("allgather", arr.tobytes()),
+                    "collective:reduce",
+                )
                 if self.rank != root:
                     return None
             if blocks is None:
@@ -580,7 +595,8 @@ class Communicator:
         for seg in self._segments(arr.ravel()):
             kind = ("reduce_array" if self.algorithm == "tree"
                     else "allreduce_array")
-            res = self._drive(self._schedule(kind, seg, root=root, op=ufunc))
+            res = self._drive(self._schedule(kind, seg, root=root, op=ufunc),
+                              "collective:reduce")
             if self.rank == root:
                 pieces.append(np.asarray(res).ravel())
         if self.rank != root:
@@ -603,14 +619,17 @@ class Communicator:
             out = arr.copy()
             return float(out) if scalar else out
         if arr.nbytes <= self.chunk_bytes:
-            blocks = self._drive(self._schedule("allgather", arr.tobytes()))
+            blocks = self._drive(self._schedule("allgather", arr.tobytes()),
+                                 "collective:allreduce")
             parts = [np.frombuffer(b, np.float64).reshape(arr.shape)
                      for b in blocks]
             out = self._fold(parts, ufunc)
             return float(out) if scalar else out
         pieces = [
             np.asarray(
-                self._drive(self._schedule("allreduce_array", seg, op=ufunc))
+                self._drive(self._schedule("allreduce_array", seg,
+                                           op=ufunc),
+                            "collective:allreduce")
             ).ravel()
             for seg in self._segments(arr.ravel())
         ]
@@ -619,13 +638,18 @@ class Communicator:
     # -- point-to-point tokens (message-based save turns) --------------
     def send_token(self, to: int, step: int, payload: bytes = b"") -> None:
         """Send a step-keyed token to one peer (no sequence state)."""
+        t0 = self.tracer.begin()
         self._ensure(to)
         self.channels.send_data(
             to, payload, step=step, phase=TOKEN_PHASE, axis=0, side=0
         )
+        self.tracer.end("token:send", t0, step=step)
 
     def recv_token(self, frm: int, step: int) -> bytes:
         """Receive the step-keyed token from one peer."""
+        t0 = self.tracer.begin()
         self._ensure(frm)
         key = (step, TOKEN_PHASE, 0, 0, frm)
-        return self.channels.recv_data({key}, timeout=self.timeout)[key]
+        out = self.channels.recv_data({key}, timeout=self.timeout)[key]
+        self.tracer.end("token:recv", t0, step=step)
+        return out

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import threading
 
+from ..trace import NULL_TRACER
+
 __all__ = ["LocalFabric", "LocalChannelSet"]
 
 
@@ -74,6 +76,9 @@ class LocalChannelSet:
                              f"{fabric.n_ranks}")
         self.fabric = fabric
         self.rank = rank
+        #: per-peer byte/message accounting (assign a live
+        #: :class:`repro.trace.Tracer` to record fabric traffic)
+        self.tracer = NULL_TRACER
 
     def has_link(self, rank: int) -> bool:
         """All in-process ranks are reachable."""
@@ -88,12 +93,18 @@ class LocalChannelSet:
     def send_data(self, to: int, payload: bytes, step: int, phase: int,
                   axis: int, side: int) -> None:
         """Deposit ``payload`` in ``to``'s mailbox under the wire key."""
+        self.tracer.count(to, len(payload))
         self.fabric.put(to, (step, phase, axis, side, self.rank),
                         bytes(payload))
 
     def recv_data(self, keys, timeout: float = 30.0, **_ignored) -> dict:
         """Block until all ``(step, phase, axis, side, sender)`` keys arrive."""
-        return self.fabric.take(self.rank, set(keys), timeout)
+        out = self.fabric.take(self.rank, set(keys), timeout)
+        tracer = self.tracer
+        if tracer.enabled:
+            for key, payload in out.items():
+                tracer.count(key[4], len(payload), sent=False)
+        return out
 
     def close(self) -> None:
         """Nothing to release (interface parity with the socket sets)."""

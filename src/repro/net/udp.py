@@ -37,6 +37,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..trace import NULL_TRACER
 from .portfile import PortRegistry
 from .protocol import ProtocolError
 
@@ -94,6 +95,9 @@ class UdpChannelSet:
         self.retransmissions = 0
         self.duplicates_dropped = 0
         self.datagrams_lost = 0  # injected losses
+        #: per-peer byte/message accounting (assign a live
+        #: :class:`repro.trace.Tracer` to record channel traffic)
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -171,6 +175,7 @@ class UdpChannelSet:
     ) -> None:
         """Fragment, sequence and transmit one boundary-strip frame."""
         addr = self._addrs[to]
+        self.tracer.count(to, len(payload))
         nfrags = max(1, -(-len(payload) // _MTU_PAYLOAD))
         if nfrags > 0xFFFF:
             raise ValueError(f"payload of {len(payload)} bytes too large")
@@ -230,9 +235,9 @@ class UdpChannelSet:
         frags[frag_idx] = chunk
         self._nfrags[key] = nfrags
         if len(frags) == nfrags:
-            self._inbox[key] = b"".join(
-                frags[i] for i in range(nfrags)
-            )
+            whole = b"".join(frags[i] for i in range(nfrags))
+            self._inbox[key] = whole
+            self.tracer.count(sender, len(whole), sent=False)
             del self._frags[key]
             del self._nfrags[key]
 

@@ -260,6 +260,146 @@ def _bench_collectives(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Print the §7 T_comp/T_comm table for a traced run."""
+    from ..trace import (
+        format_breakdown_table,
+        summarize,
+        write_chrome_trace,
+        write_trace_bench,
+    )
+
+    where = args.run[0] if len(args.run) == 1 else args.run
+    try:
+        summary = summarize(where)
+    except FileNotFoundError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
+    print(format_breakdown_table(summary))
+    dropped = sum(r.dropped_spans for r in summary.ranks)
+    if dropped:
+        print(f"warning: {dropped} spans dropped (trace buffer full); "
+              f"the table underestimates the traced time")
+    out = write_trace_bench(summary, args.out or "BENCH_trace.json")
+    print(f"summary written to {out}")
+    if args.chrome:
+        path = write_chrome_trace(where, args.chrome)
+        print(f"chrome trace written to {path} "
+              f"(load in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _bench_trace(args: argparse.Namespace) -> int:
+    """Measure what tracing costs the serial kernel loop per step.
+
+    Times the same 128x128 FD channel flow three ways: a *bare* loop
+    calling the kernels with no tracer calls at all, the instrumented
+    loop with the :data:`~repro.trace.NULL_TRACER` gate (how every
+    runtime runs by default), and with a live
+    :class:`~repro.trace.Tracer` streaming to disk.  The null-gated
+    path must stay within ``--max-overhead`` percent of bare — the
+    instrumentation is built to be left compiled in; the enabled cost
+    is reported alongside the §7 table of the traced window.
+    """
+    import json
+
+    from ..core import Decomposition, Simulation
+    from ..fluids import FDMethod, FluidParams, channel_geometry
+    from ..harness import time_stepper
+    from ..trace import (
+        Tracer,
+        format_breakdown_table,
+        summarize,
+        write_chrome_trace,
+        write_trace_bench,
+    )
+
+    shape, blocks = (128, 128), (2, 2)
+    solid = channel_geometry(shape)
+    params = FluidParams.lattice(2, nu=0.05, gravity=(1e-5, 0.0),
+                                 filter_eps=0.02)
+    fields = {"rho": np.full(shape, 1.0),
+              "u": np.zeros(shape), "v": np.zeros(shape)}
+    trace_dir = Path(args.trace_dir or "trace_bench")
+    trace_dir.mkdir(parents=True, exist_ok=True)
+
+    def build(tracer=None):
+        decomp = Decomposition(shape, blocks, periodic=(True, False),
+                               solid=solid)
+        if tracer is None:
+            return Simulation(FDMethod(params, 2), decomp, fields, solid)
+        return Simulation(FDMethod(params, 2), decomp, fields, solid,
+                          tracer=tracer)
+
+    per_step: dict[str, float] = {}
+
+    # the same cycle Simulation.step runs, minus every tracer call
+    bare = build()
+    method, subs, exchanger = bare.method, bare.subs, bare.exchanger
+
+    def bare_step(n: int = 1) -> None:
+        for _ in range(n):
+            for phase, fnames in enumerate(method.exchange_phases):
+                for sub in subs:
+                    method.compute_phase(sub, phase)
+                exchanger.exchange(fnames)
+            for sub in subs:
+                method.finalize_step(sub)
+                sub.step += 1
+
+    per_step["bare"] = time_stepper(
+        bare_step, steps=args.steps, repeats=args.repeats
+    ).seconds_per_step
+    per_step["disabled"] = time_stepper(
+        build().step, steps=args.steps, repeats=args.repeats
+    ).seconds_per_step
+    tracer = Tracer(trace_dir / "trace-0000.jsonl", rank=0)
+    per_step["enabled"] = time_stepper(
+        build(tracer).step, steps=args.steps, repeats=args.repeats
+    ).seconds_per_step
+    tracer.close()
+
+    disabled_overhead = 100.0 * (
+        per_step["disabled"] / per_step["bare"] - 1.0
+    )
+    enabled_overhead = 100.0 * (
+        per_step["enabled"] / per_step["bare"] - 1.0
+    )
+    print(f"tracing overhead (serial FD {shape[0]}x{shape[1]}, "
+          f"{args.steps}-step windows, best of {args.repeats}):")
+    print(f"  bare loop       {per_step['bare'] * 1e3:9.3f} ms/step")
+    print(f"  null-gated      {per_step['disabled'] * 1e3:9.3f} ms/step "
+          f"({disabled_overhead:+.2f}%)")
+    print(f"  tracing to disk {per_step['enabled'] * 1e3:9.3f} ms/step "
+          f"({enabled_overhead:+.2f}%)")
+
+    summary = summarize(trace_dir)
+    print(format_breakdown_table(summary))
+    chrome = write_chrome_trace(trace_dir, trace_dir / "trace.json")
+    out = write_trace_bench(
+        summary,
+        args.out or "BENCH_trace.json",
+        extra={
+            "grid": list(shape),
+            "blocks": list(blocks),
+            "bare_seconds_per_step": per_step["bare"],
+            "disabled_seconds_per_step": per_step["disabled"],
+            "enabled_seconds_per_step": per_step["enabled"],
+            "disabled_overhead_percent": disabled_overhead,
+            "enabled_overhead_percent": enabled_overhead,
+            "max_overhead_percent": args.max_overhead,
+            "chrome_trace": str(chrome),
+        },
+    )
+    print(f"results written to {out}; merged trace at {chrome}")
+    if disabled_overhead > args.max_overhead:
+        print(f"bench: null-gated overhead {disabled_overhead:.2f}% "
+              f"exceeds --max-overhead {args.max_overhead:.1f}%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -272,6 +412,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if args.collectives:
         return _bench_collectives(args)
+    if args.trace:
+        return _bench_trace(args)
 
     results: dict[str, dict] = {}
     rows = []
@@ -398,12 +540,35 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--collectives", action="store_true",
                    help="time the collective primitives and the "
                         "in-flight diagnostics overhead instead")
+    p.add_argument("--trace", action="store_true",
+                   help="measure the tracing layer's per-step overhead "
+                        "instead (writes BENCH_trace.json + a merged "
+                        "Chrome trace)")
+    p.add_argument("--trace-dir", default=None,
+                   help="where --trace writes its streams "
+                        "(default: trace_bench/)")
+    p.add_argument("--max-overhead", type=float, default=3.0,
+                   help="fail --trace if the enabled tracer costs more "
+                        "than this percent per step (default: 3)")
     p.add_argument("--ranks", type=int, default=4,
                    help="rank count for --collectives (default: 4)")
     p.add_argument("--out", default=None,
-                   help="JSON output (default: BENCH_kernels.json, or "
-                        "BENCH_collectives.json with --collectives)")
+                   help="JSON output (default: BENCH_kernels.json, "
+                        "BENCH_collectives.json with --collectives, or "
+                        "BENCH_trace.json with --trace)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("trace",
+                       help="§7 T_comp/T_comm breakdown of a traced run")
+    p.add_argument("run", nargs="+",
+                   help="run workdir, trace/ directory, or "
+                        "trace-*.jsonl files")
+    p.add_argument("--out", default=None,
+                   help="summary JSON (default: BENCH_trace.json)")
+    p.add_argument("--chrome", default=None,
+                   help="also write the merged Chrome trace-event JSON "
+                        "here (loads in Perfetto)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("figures",
                        help="regenerate benchmarks/results/*.txt")

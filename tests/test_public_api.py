@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.distrib",
     "repro.cluster",
     "repro.harness",
+    "repro.trace",
     "repro.viz",
     "repro.tools",
 ]
@@ -65,6 +66,68 @@ def test_version():
     import repro
 
     assert repro.__version__
+
+
+def test_facade_exports():
+    """The unified entry point is importable from the top level."""
+    import repro
+
+    assert callable(repro.run)
+    assert inspect.isclass(repro.RunResult)
+    assert repro.BACKENDS == ("serial", "threaded", "distributed",
+                              "simulated")
+    for name in ("run", "RunResult", "trace"):
+        assert name in repro.__all__, name
+
+
+def test_trace_exports():
+    """The tracing layer's contract surface."""
+    from repro import trace
+
+    for name in ("NullTracer", "Tracer", "NULL_TRACER", "span_category",
+                 "merge_traces", "write_chrome_trace", "summarize",
+                 "TraceSummary", "format_breakdown_table"):
+        assert name in trace.__all__, name
+    assert trace.NULL_TRACER.enabled is False
+
+
+@pytest.mark.slow
+def test_distributed_trace_round_trip(tmp_path):
+    """A real 4-rank run's per-rank streams merge into valid Chrome
+    trace-event JSON: one pid lane per rank, complete events with
+    microsecond timestamps, and a consistent §7 summary."""
+    import json
+
+    import repro
+    from repro.distrib import ProblemSpec, RunSettings
+
+    spec = ProblemSpec(
+        method="fd",
+        grid_shape=(32, 24),
+        blocks=(2, 2),
+        periodic=(True, False),
+        params={"nu": 0.1, "gravity": (1e-5, 0.0), "filter_eps": 0.02},
+        geometry={"kind": "channel"},
+    )
+    r = repro.run(spec, "distributed",
+                  RunSettings(steps=8, trace=True),
+                  workdir=tmp_path / "run")
+    data = json.loads(r.trace_path.read_text())
+    assert set(data) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert data["otherData"]["ranks"] == 4
+    events = data["traceEvents"]
+    pids = {e["pid"] for e in events}
+    assert pids == {0, 1, 2, 3}
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete, "no complete events in the merged trace"
+    for e in complete:
+        assert e["dur"] >= 0 and "ts" in e and "name" in e
+    # every rank contributed compute and exchange spans for every step
+    for pid in pids:
+        names = {e["name"] for e in complete if e["pid"] == pid}
+        assert "compute:0" in names and "exchange:0" in names
+    assert r.trace_summary.n_ranks == 4
+    assert all(bd.steps == 8 for bd in r.trace_summary.ranks)
 
 
 def test_no_accidental_numpy_reexport():

@@ -3,8 +3,9 @@
 Parallel simulation of subsonic fluid dynamics on a cluster of
 workstations: domain-decomposed explicit finite differences and lattice
 Boltzmann solvers, a TCP/IP-distributed runtime with automatic process
-migration, a discrete-event cluster simulator reproducing the paper's
-efficiency measurements, and the theoretical efficiency model.
+migration and adaptive load rebalancing (:mod:`repro.balance`), a
+discrete-event cluster simulator reproducing the paper's efficiency
+measurements, and the theoretical efficiency model.
 
 The one-call entry point is :func:`repro.run`, which marches a
 :class:`~repro.distrib.ProblemSpec` on any of the four backends and
@@ -12,10 +13,11 @@ returns a :class:`repro.RunResult`; :mod:`repro.trace` is the
 phase-level tracing layer shared by all of them.
 """
 
-from . import cluster, core, distrib, fluids, harness, net, trace, viz
+from . import balance, cluster, core, distrib, fluids, harness, net, \
+    trace, viz
 from .facade import BACKENDS, RunResult, run
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",
@@ -23,6 +25,7 @@ __all__ = [
     "net",
     "distrib",
     "cluster",
+    "balance",
     "harness",
     "trace",
     "viz",

@@ -1,0 +1,158 @@
+"""The rebalance planner: one go/no-go policy for simulator and runtime.
+
+The §1.1 "dynamic allocation of processor workload" baseline needs a
+decision rule: *when* is re-cutting the domain worth a global pause?
+This module is that rule, and it is deliberately the **only**
+implementation — the discrete-event cluster simulator
+(:meth:`repro.cluster.ClusterSimulation.run` with
+``policy="rebalance"``) and the live monitoring program
+(:class:`repro.distrib.Monitor` with ``policy="rebalance"``) both call
+:meth:`RebalancePlanner.propose`, so a policy tuned in simulation is
+the policy the real runtime executes.
+
+The decision has three gates:
+
+1. **imbalance threshold** — the proportional shares implied by the
+   current effective speeds must differ from the current shares by more
+   than ``threshold`` (relative, per rank); tiny load wiggles never
+   trigger a pause;
+2. **hysteresis/cooldown** — at least ``cooldown`` seconds must have
+   passed since the last committed rebalance;
+3. **amortization** — the projected saving over the remaining steps,
+   ``(max_i c_i/s_i - max_i n_i/s_i) * steps_remaining``, must repay
+   ``min_gain`` times the :func:`repro.cluster.allocation
+   .repartition_cost` of moving the node state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.allocation import proportional_shares, repartition_cost
+
+__all__ = ["BalancePolicy", "RebalancePlan", "RebalancePlanner"]
+
+
+@dataclass(frozen=True)
+class BalancePolicy:
+    """Tunable knobs of the rebalance decision.
+
+    ``state_bytes_per_node`` and ``bandwidth`` parameterize the
+    repartition cost model; ``min_share`` keeps every resized slab at
+    least that many nodes thick (the live runtime passes the ghost pad
+    so the exchange plan of the thinnest slab still closes).
+    """
+
+    threshold: float = 0.05      # relative share change that triggers
+    cooldown: float = 0.0        # seconds between committed rebalances
+    min_gain: float = 1.0        # projected saving must repay this
+    #  multiple of the repartition cost
+    min_share: int = 1           # thinnest slab allowed, in nodes
+    state_bytes_per_node: float = 72.0
+    bandwidth: float = 1.25e6    # network model for the cost term
+    fixed_overhead: float = 1.0  # seconds of pause independent of data
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """A proposed re-division of nodes, with its predicted economics."""
+
+    shares: tuple[int, ...]       # new nodes per rank
+    current: tuple[int, ...]      # nodes per rank today
+    imbalance: float              # max relative share change
+    step_seconds_now: float       # modeled slowest-rank step time
+    step_seconds_new: float       # ... after adopting ``shares``
+    cost: float                   # repartition pause, seconds
+    steps_remaining: int
+
+    @property
+    def projected_saving(self) -> float:
+        """Seconds the remaining steps are predicted to get back."""
+        return (
+            (self.step_seconds_now - self.step_seconds_new)
+            * self.steps_remaining
+        )
+
+
+class RebalancePlanner:
+    """Stateful decision maker shared by simulator and live monitor.
+
+    Call :meth:`propose` with the current effective speeds; when it
+    returns a plan *and the caller executes it*, report that with
+    :meth:`commit` so the cooldown clock starts.
+    """
+
+    def __init__(self, policy: BalancePolicy | None = None) -> None:
+        """Create a planner driven by ``policy`` (defaults throughout)."""
+        self.policy = policy or BalancePolicy()
+        self.last_commit: float | None = None
+        self.history: list[RebalancePlan] = []
+
+    def propose(
+        self,
+        speeds: list[float],
+        current: list[int],
+        steps_remaining: int,
+        now: float | None = None,
+        force: bool = False,
+    ) -> RebalancePlan | None:
+        """Propose a rebalance, or ``None`` when not worth it.
+
+        ``speeds`` are per-rank effective processing rates (nodes per
+        second — any consistent unit works for the threshold, but the
+        amortization gate reads them as absolute); ``current`` the
+        nodes each rank owns; ``now`` the caller's clock (simulated
+        seconds or ``time.monotonic()``), used only for the cooldown.
+        ``force=True`` skips threshold, cooldown and amortization (a
+        test hook / operator override) but still returns ``None`` when
+        the shares would not change.
+        """
+        if len(speeds) != len(current):
+            raise ValueError("speeds and current shares must align")
+        if steps_remaining <= 0:
+            return None
+        pol = self.policy
+        if (
+            not force
+            and now is not None
+            and self.last_commit is not None
+            and now - self.last_commit < pol.cooldown
+        ):
+            return None
+        shares = proportional_shares(
+            sum(current), list(speeds), minimum=pol.min_share
+        )
+        if tuple(shares) == tuple(current):
+            return None
+        imbalance = max(
+            abs(s - c) / max(c, 1) for s, c in zip(shares, current)
+        )
+        if not force and imbalance <= pol.threshold:
+            return None
+        step_now = max(c / s for c, s in zip(current, speeds))
+        step_new = max(n / s for n, s in zip(shares, speeds))
+        cost = repartition_cost(
+            list(current),
+            shares,
+            pol.state_bytes_per_node,
+            pol.bandwidth,
+            fixed_overhead=pol.fixed_overhead,
+        )
+        plan = RebalancePlan(
+            shares=tuple(shares),
+            current=tuple(current),
+            imbalance=imbalance,
+            step_seconds_now=step_now,
+            step_seconds_new=step_new,
+            cost=cost,
+            steps_remaining=int(steps_remaining),
+        )
+        if not force and plan.projected_saving < pol.min_gain * cost:
+            return None
+        return plan
+
+    def commit(self, now: float, plan: RebalancePlan | None = None) -> None:
+        """Record that a proposed plan was executed at time ``now``."""
+        self.last_commit = now
+        if plan is not None:
+            self.history.append(plan)

@@ -1,0 +1,124 @@
+"""Re-cutting a running problem's global state into weighted blocks.
+
+The live half of the rebalance epoch: after every worker has dumped its
+subregion at the agreed sync step and exited, the monitoring program
+calls :func:`recut_problem` to
+
+1. reassemble the global fields from the per-rank dumps (including the
+   method-private LB populations, which the dumps carry in full),
+2. build a new *weighted* chain decomposition whose slab sizes are the
+   planner's shares,
+3. cut fresh per-rank dumps from the assembled state (ghosts filled
+   from true global values, bit-identical to what exchanges would
+   produce), and
+4. rewrite ``spec.json`` with the integer shares as axis-0 weights, so
+   every restarted worker reconstructs the same decomposition.
+
+Because the shares are integers summing to the axis extent,
+:func:`repro.cluster.allocation.proportional_shares` reproduces them
+exactly and the monitor-side and worker-side decompositions cannot
+drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from ..core.decomposition import Decomposition
+from ..core.subregion import assemble_global, make_subregions
+from ..distrib.dumpfile import dump_path, load_dumps, save_dump
+from ..distrib.spec import ProblemSpec
+
+__all__ = ["RecutError", "check_rebalanceable", "recut_problem"]
+
+
+class RecutError(RuntimeError):
+    """The dumped state could not be re-cut into the requested blocks."""
+
+
+def check_rebalanceable(decomp: Decomposition) -> None:
+    """Raise :class:`RecutError` unless ``decomp`` supports re-cutting.
+
+    Rebalancing resizes the slabs of a chain decomposition (blocks
+    ``(P, 1[, 1])``) in which every block is active; re-cutting around
+    inactive (all-solid) blocks would need the unsaved solid-region
+    state to rebuild their neighbours' ghosts.
+    """
+    if any(b != 1 for b in decomp.blocks[1:]):
+        raise RecutError(
+            "rebalancing resizes slabs of a chain decomposition; "
+            f"use blocks=(P, 1[, 1]), got {decomp.blocks}"
+        )
+    if decomp.n_active != decomp.n_blocks:
+        raise RecutError(
+            "rebalancing needs every block active; "
+            f"{decomp.n_blocks - decomp.n_active} block(s) are solid"
+        )
+
+
+def recut_problem(
+    workdir: str | Path,
+    shares: list[int],
+    *,
+    in_tag: str,
+    out_tag: str,
+) -> Decomposition:
+    """Re-cut the dumped global state into new axis-0 slab shares.
+
+    Reads every rank's ``<in_tag>`` dump under ``workdir/dumps``,
+    writes one ``<out_tag>`` dump per rank of the new decomposition,
+    rewrites ``workdir/spec.json`` with the shares as weights, and
+    returns the new decomposition.  The dumps must all sit at the same
+    step (the sync protocol guarantees it); anything else raises
+    :class:`RecutError`.
+    """
+    workdir = Path(workdir)
+    spec = ProblemSpec.load(workdir / "spec.json")
+    old = spec.build_decomposition()
+    check_rebalanceable(old)
+    if len(shares) != old.n_active:
+        raise RecutError(
+            f"{len(shares)} shares for {old.n_active} ranks"
+        )
+    if sum(shares) != old.grid_shape[0]:
+        raise RecutError(
+            f"shares {shares} do not sum to axis extent "
+            f"{old.grid_shape[0]}"
+        )
+
+    subs = load_dumps(workdir / "dumps", old.n_active, tag=in_tag)
+    steps = {sub.step for sub in subs}
+    if len(steps) != 1:
+        raise RecutError(f"dumps '{in_tag}' at different steps: {steps}")
+    step = steps.pop()
+
+    method = spec.build_method()
+    solid, _, _ = spec.build_geometry()
+    fields = {
+        name: assemble_global(old, subs, name)
+        for name in subs[0].field_names()
+    }
+    extra = dict(subs[0].extra)
+
+    weights = (tuple(int(s) for s in shares),) + (None,) * (old.ndim - 1)
+    new_spec = replace(spec, weights=weights)
+    new = new_spec.build_decomposition()
+    if new.n_active != old.n_active:
+        raise RecutError(
+            f"re-cut changed the active-rank count "
+            f"({old.n_active} -> {new.n_active})"
+        )
+    if new.n_active_nodes != old.n_active_nodes:  # pragma: no cover
+        raise RecutError("re-cut changed the active node count")
+
+    for sub in make_subregions(new, method.pad, fields, solid):
+        sub.step = step
+        sub.extra.update(extra)
+        method.init_subregion(sub)
+        save_dump(
+            sub,
+            dump_path(workdir / "dumps", sub.block.rank, tag=out_tag),
+        )
+    new_spec.save(workdir / "spec.json")
+    return new

@@ -23,22 +23,31 @@ from __future__ import annotations
 __all__ = ["proportional_shares", "repartition_cost"]
 
 
-def proportional_shares(total: int, speeds: list[float]) -> list[int]:
+def proportional_shares(
+    total: int, speeds: list[float], minimum: int = 1
+) -> list[int]:
     """Split ``total`` nodes in proportion to processor speeds.
 
     Largest-remainder rounding: deterministic, sums exactly to
-    ``total``, and every processor keeps at least one node.
+    ``total``, and every processor keeps at least ``minimum`` nodes
+    (one by default; the live rebalancer passes the ghost pad so every
+    resized slab still fits an exchange plan).  Integer weights that
+    already sum to ``total`` round-trip unchanged, which is what lets a
+    re-cut decomposition be reconstructed exactly from its recorded
+    shares.
     """
-    if total < len(speeds):
+    if minimum < 1:
+        raise ValueError(f"minimum share must be >= 1, got {minimum}")
+    if total < len(speeds) * minimum:
         raise ValueError(
-            f"cannot give {len(speeds)} processors at least one node "
-            f"out of {total}"
+            f"cannot give {len(speeds)} processors at least {minimum} "
+            f"node(s) out of {total}"
         )
     if any(s <= 0 for s in speeds):
         raise ValueError("speeds must be positive")
     weight = sum(speeds)
     raw = [total * s / weight for s in speeds]
-    shares = [max(int(r), 1) for r in raw]
+    shares = [max(int(r), minimum) for r in raw]
     remainders = [r - int(r) for r in raw]
     # hand out the remaining nodes to the largest remainders
     leftover = total - sum(shares)
@@ -53,7 +62,7 @@ def proportional_shares(total: int, speeds: list[float]) -> list[int]:
     while leftover < 0:
         # rounding pushed us over; take back from the largest shares
         j = max(range(len(shares)), key=lambda k: shares[k])
-        if shares[j] > 1:
+        if shares[j] > minimum:
             shares[j] -= 1
             leftover += 1
     return shares

@@ -97,6 +97,7 @@ class SimResult:
     bus: BusStats
     compute_time_total: float
     migrations: list[MigrationEvent] = field(default_factory=list)
+    rebalances: list[tuple[float, list[int]]] = field(default_factory=list)
     collective_messages: int = 0   # diagnostics-collective frames
     collective_bytes: int = 0      # ... and their payload bytes
     collective_time: float = 0.0   # bus time the collectives occupied
@@ -300,8 +301,8 @@ class ClusterSimulation:
         self._migration_cost = 30.0
         self._load_limit = 1.5
         self._policy = "migrate"
-        self._rebalance_threshold = 0.05
         self._state_bytes_per_node = 72.0
+        self.planner = None   # RebalancePlanner under policy="rebalance"
         self.rebalances: list[tuple[float, list[int]]] = []
         # BSP barrier bookkeeping
         self._barrier_step = 0
@@ -352,6 +353,7 @@ class ClusterSimulation:
         policy: str = "migrate",
         rebalance_threshold: float = 0.05,
         state_bytes_per_node: float = 72.0,
+        planner=None,
     ) -> SimResult:
         """Simulate ``steps`` integration steps and measure performance.
 
@@ -370,6 +372,17 @@ class ClusterSimulation:
           to current host speeds whenever shares shift by more than
           ``rebalance_threshold``, charging the network for the moved
           node state (``state_bytes_per_node`` bytes each).
+
+        The rebalance decision is delegated to a
+        :class:`~repro.balance.RebalancePlanner` — the exact class the
+        live :class:`~repro.distrib.Monitor` runs, so a policy tuned in
+        simulation is the policy the runtime executes.  Pass
+        ``planner`` to supply a configured one (cooldown, amortization
+        gate, ...); by default one is built from
+        ``rebalance_threshold`` / ``state_bytes_per_node`` with no
+        cooldown and a saving-must-be-nonnegative gate, matching the
+        historical simulator behaviour.  The planner used is exposed as
+        ``self.planner``.
         """
         if steps <= 0:
             raise ValueError("steps must be positive")
@@ -388,8 +401,20 @@ class ClusterSimulation:
         self._migration_cost = migration_cost
         self._load_limit = load_limit
         self._policy = policy
-        self._rebalance_threshold = rebalance_threshold
         self._state_bytes_per_node = state_bytes_per_node
+        self.planner = None
+        if policy == "rebalance":
+            # Imported lazily: repro.balance imports this package at
+            # module load, so a top-level import here would be circular.
+            from ..balance.planner import BalancePolicy, RebalancePlanner
+
+            self.planner = planner or RebalancePlanner(BalancePolicy(
+                threshold=rebalance_threshold,
+                cooldown=0.0,
+                min_gain=0.0,
+                state_bytes_per_node=state_bytes_per_node,
+                bandwidth=self.bus.bandwidth,
+            ))
         self.rebalances: list[tuple[float, list[int]]] = []
 
         for proc in self.procs:
@@ -424,6 +449,7 @@ class ClusterSimulation:
             bus=self.bus.stats,
             compute_time_total=sum(p.compute_time for p in self.procs),
             migrations=list(self.migrations),
+            rebalances=list(self.rebalances),
             collective_messages=self.collective_messages,
             collective_bytes=self.collective_bytes,
             collective_time=self.collective_time,
@@ -637,28 +663,35 @@ class ClusterSimulation:
             self.queue.schedule(t + self._monitor_poll, self._monitor_tick)
 
     def _consider_rebalance(self, t: float) -> None:
-        """§1.1 baseline: resize slabs in proportion to host speeds."""
-        from .allocation import proportional_shares
+        """§1.1 baseline: resize slabs in proportion to host speeds.
 
+        The go/no-go question is put to the shared
+        :class:`~repro.balance.RebalancePlanner` — the same object the
+        live monitoring program consults.
+        """
         if all(p.step >= self._steps_target for p in self.procs):
             return
         speeds = [
             p.host.speed(self.method, self.ndim, t) for p in self.procs
         ]
-        total = sum(p.n_nodes for p in self.procs)
-        shares = proportional_shares(total, speeds)
-        old = [p.n_nodes for p in self.procs]
-        change = max(
-            abs(n - o) / max(o, 1) for n, o in zip(shares, old)
+        steps_remaining = self._steps_target - max(
+            p.step for p in self.procs
         )
-        if change <= self._rebalance_threshold:
+        plan = self.planner.propose(
+            speeds,
+            [p.n_nodes for p in self.procs],
+            steps_remaining=steps_remaining,
+            now=t,
+        )
+        if plan is None:
             return
         sync_step = max(p.step for p in self.procs) + 1
         sync_step = min(sync_step, self._steps_target)
         self._sync = {
             "step": sync_step,
             "action": "rebalance",
-            "shares": shares,
+            "plan": plan,
+            "shares": list(plan.shares),
             "paused": 0,
             "requested_at": t,
         }
@@ -681,23 +714,18 @@ class ClusterSimulation:
         sync = self._sync
         assert sync is not None
         if sync.get("action") == "rebalance":
-            from .allocation import repartition_cost
-
+            plan = sync["plan"]
             shares = sync["shares"]
-            old = [p.n_nodes for p in self.procs]
-            cost = repartition_cost(
-                old, shares, self._state_bytes_per_node,
-                self.bus.bandwidth,
-            )
             for proc, n in zip(self.procs, shares):
                 proc.n_nodes = n
             self.rebalances.append((t, list(shares)))
+            self.planner.commit(t, plan)
             self._sync = None
-            resume = t + cost
+            resume = t + plan.cost
             for proc in self.procs:
                 if proc.paused_at is not None:
                     self.tracers[proc.rank].add_span(
-                        "migration:pause", proc.paused_at,
+                        "balance:pause", proc.paused_at,
                         resume - proc.paused_at, step=proc.step,
                     )
                 proc.paused_at = None

@@ -43,6 +43,29 @@ def _split_extent(n: int, parts: int) -> list[tuple[int, int]]:
     return ranges
 
 
+def _weighted_extent(
+    n: int, weights: Sequence[float]
+) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into contiguous ranges proportional to weights.
+
+    The sizes come from the same largest-remainder division the cluster
+    allocator uses (:func:`repro.cluster.allocation.proportional_shares`),
+    so a decomposition cut from measured host speeds and the one
+    reconstructed from the resulting integer shares are identical.
+    """
+    # Imported lazily: repro.cluster imports this module at package
+    # init, so a module-level import here would be circular.
+    from ..cluster.allocation import proportional_shares
+
+    sizes = proportional_shares(n, [float(w) for w in weights])
+    ranges = []
+    start = 0
+    for size in sizes:
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
 @dataclass(frozen=True)
 class Block:
     """One subregion of the decomposition.
@@ -100,6 +123,14 @@ class Decomposition:
     solid:
         Optional global boolean mask of solid-wall nodes; blocks whose
         nodes are all solid become inactive (fig. 2).
+    weights:
+        Optional per-axis block weights for *non-uniform* extents: one
+        entry per axis, each either ``None`` (uniform split on that
+        axis) or a sequence of ``blocks[d]`` positive weights.  Block
+        sizes follow the weights by largest-remainder rounding, which
+        is how the adaptive load balancer (:mod:`repro.balance`) gives
+        fast hosts bigger slabs.  Integer weights summing to the axis
+        extent are honoured exactly.
     """
 
     def __init__(
@@ -109,6 +140,7 @@ class Decomposition:
         *,
         periodic: Sequence[bool] | None = None,
         solid: np.ndarray | None = None,
+        weights: Sequence[Sequence[float] | None] | None = None,
     ) -> None:
         self.grid_shape = tuple(int(n) for n in grid_shape)
         self.blocks = tuple(int(b) for b in blocks)
@@ -126,8 +158,29 @@ class Decomposition:
         if len(self.periodic) != self.ndim:
             raise ValueError("periodic must have one entry per axis")
 
+        if weights is None:
+            weights = (None,) * self.ndim
+        if len(weights) != self.ndim:
+            raise ValueError("weights must have one entry per axis")
+        norm: list[tuple[float, ...] | None] = []
+        for d, w in enumerate(weights):
+            if w is None:
+                norm.append(None)
+                continue
+            w = tuple(float(x) for x in w)
+            if len(w) != self.blocks[d]:
+                raise ValueError(
+                    f"axis {d} has {self.blocks[d]} blocks but "
+                    f"{len(w)} weights"
+                )
+            if any(x <= 0 for x in w):
+                raise ValueError("block weights must be positive")
+            norm.append(w)
+        self.weights: tuple[tuple[float, ...] | None, ...] = tuple(norm)
+
         self._ranges = [
-            _split_extent(n, b) for n, b in zip(self.grid_shape, self.blocks)
+            _split_extent(n, b) if w is None else _weighted_extent(n, w)
+            for n, b, w in zip(self.grid_shape, self.blocks, self.weights)
         ]
 
         if solid is not None and solid.shape != self.grid_shape:

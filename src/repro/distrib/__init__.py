@@ -17,7 +17,7 @@ from .diagnostics import (
     local_partials,
     serial_diagnostics,
 )
-from .dumpfile import dump_path, load_dump, save_dump
+from .dumpfile import dump_path, load_dump, load_dumps, save_dump
 from .hostdb import (
     IDLE_USER_MINUTES,
     MIGRATE_LOAD_LIMIT,
@@ -36,6 +36,7 @@ from .worker import (
     EXIT_DIAGNOSTIC,
     EXIT_DONE,
     EXIT_MIGRATED,
+    EXIT_REBALANCED,
     Worker,
     WorkerConfig,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "dump_path",
     "save_dump",
     "load_dump",
+    "load_dumps",
     "HostDB",
     "HostInfo",
     "paper_cluster",
@@ -69,6 +71,7 @@ __all__ = [
     "EXIT_DONE",
     "EXIT_MIGRATED",
     "EXIT_DIAGNOSTIC",
+    "EXIT_REBALANCED",
     "DiagRecord",
     "DiagnosticsLog",
     "DiagnosticsFailure",

@@ -28,7 +28,7 @@ import numpy as np
 from ..core.decomposition import Block
 from ..core.subregion import SubregionState
 
-__all__ = ["save_dump", "load_dump", "dump_path"]
+__all__ = ["save_dump", "load_dump", "load_dumps", "dump_path"]
 
 _FIELD_PREFIX = "field__"
 
@@ -60,6 +60,20 @@ def save_dump(sub: SubregionState, path: str | Path) -> None:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+
+
+def load_dumps(
+    directory: str | Path, n_ranks: int, tag: str = "state"
+) -> list[SubregionState]:
+    """Load one tag's dump for every rank, in dense-rank order.
+
+    The unit the rebalance coordinator consumes: all ranks of one
+    epoch, ready for :func:`repro.core.subregion.assemble_global`.
+    """
+    return [
+        load_dump(dump_path(directory, rank, tag=tag))
+        for rank in range(n_ranks)
+    ]
 
 
 def load_dump(path: str | Path) -> SubregionState:

@@ -18,7 +18,14 @@ The monitor owns the control plane of a distributed run:
   the others to stop themselves, restart the migrator from its dump on
   a freshly selected host, then SIGCONT the waiting processes;
 * on a worker crash or stall, kills the run and restarts everything
-  from the last *complete* staggered checkpoint.
+  from the last *complete* staggered checkpoint;
+* with ``policy="rebalance"``, feeds heartbeat compute times and host
+  load averages into a :class:`~repro.balance.LoadEstimator` and asks
+  the shared :class:`~repro.balance.RebalancePlanner` whether resizing
+  the slabs pays for itself; an approved plan runs a *rebalance epoch*
+  — every worker dumps at a sync step and exits, the global state is
+  re-cut into weighted blocks, and the group restarts under the next
+  generation.
 """
 
 from __future__ import annotations
@@ -28,15 +35,25 @@ import os
 import signal
 import subprocess
 import time
+from dataclasses import replace
 from pathlib import Path
 
+from ..balance.estimator import LoadEstimator
+from ..balance.planner import BalancePolicy, RebalancePlanner
 from ..net.portfile import PortRegistry
 from .diagnostics import DiagnosticsLog
 from .dumpfile import dump_path
 from .hostdb import MIGRATE_LOAD_LIMIT, HostDB
+from .spec import ProblemSpec
 from .submit import spawn_worker
 from .sync import SaveTurns
-from .worker import EXIT_DIAGNOSTIC, EXIT_DONE, EXIT_MIGRATED, WorkerConfig
+from .worker import (
+    EXIT_DIAGNOSTIC,
+    EXIT_DONE,
+    EXIT_MIGRATED,
+    EXIT_REBALANCED,
+    WorkerConfig,
+)
 
 __all__ = ["Monitor", "MonitorError"]
 
@@ -69,7 +86,11 @@ class Monitor:
         load_limit: float = MIGRATE_LOAD_LIMIT,
         stall_timeout: float = 60.0,
         max_restarts: int = 2,
+        policy: str = "migrate",
+        balance: BalancePolicy | None = None,
     ) -> None:
+        if policy not in ("migrate", "rebalance"):
+            raise ValueError(f"unknown policy {policy!r}")
         self.workdir = Path(workdir)
         self.hostdb = hostdb
         self.procs = dict(procs)
@@ -78,11 +99,47 @@ class Monitor:
         self.load_limit = load_limit
         self.stall_timeout = stall_timeout
         self.max_restarts = max_restarts
+        self.policy = policy
         self.generation = 0
         self.migrations = 0
+        self.rebalances = 0
         self.restarts = 0
         self._done: set[int] = set()
         self._forced: list[int] = []
+        self._forced_rebalance = False
+        self.planner: RebalancePlanner | None = None
+        self.estimator: LoadEstimator | None = None
+        if policy == "rebalance":
+            # Imported lazily: repro.balance.recut imports this package
+            # at module load, so a top-level import would be circular.
+            from ..balance.recut import check_rebalanceable
+
+            spec = ProblemSpec.load(self.workdir / "spec.json")
+            decomp = spec.build_decomposition()
+            check_rebalanceable(decomp)
+            pol = balance or BalancePolicy()
+            pad = spec.build_method().pad
+            # The live planner works in axis-0 *rows* (slab thickness):
+            # that is the unit the weighted decomposition cuts, and —
+            # the cross-section being constant along a chain — speeds
+            # in rows/second keep every planner formula consistent.
+            # Scale the per-node cost model to per-row accordingly, and
+            # keep the thinnest slab at least one ghost halo thick so
+            # the exchange plan of that rank still closes.
+            per_row = decomp.n_active_nodes / decomp.grid_shape[0]
+            pol = replace(
+                pol,
+                min_share=max(pol.min_share, pad),
+                state_bytes_per_node=pol.state_bytes_per_node * per_row,
+            )
+            self.planner = RebalancePlanner(pol)
+            self._rows = [
+                b.hi[0] - b.lo[0]
+                for b in sorted(
+                    decomp.active_blocks(), key=lambda b: b.rank
+                )
+            ]
+            self.estimator = LoadEstimator(self._rows)
         self._diag_log = DiagnosticsLog.for_workdir(self.workdir)
         self._log_path = self.workdir / "logs" / "monitor.log"
         self._log_path.parent.mkdir(parents=True, exist_ok=True)
@@ -98,6 +155,15 @@ class Monitor:
     def request_migration(self, rank: int) -> None:
         """Ask for a migration of ``rank`` at the next opportunity."""
         self._forced.append(rank)
+
+    def request_rebalance(self) -> None:
+        """Ask for a rebalance at the next opportunity (skips the
+        planner's threshold/cooldown/amortization gates, not the
+        shares-would-not-change check).  Requires ``policy="rebalance"``.
+        """
+        if self.planner is None:
+            raise MonitorError('request_rebalance needs policy="rebalance"')
+        self._forced_rebalance = True
 
     # ------------------------------------------------------------------
     # main loop
@@ -142,18 +208,27 @@ class Monitor:
                 continue
 
             # 2. migration triggers: forced requests, user wish files,
-            #    overloaded hosts (five-minute load > 1.5, §5.1).
+            #    overloaded hosts (five-minute load > 1.5, §5.1).  Under
+            #    the "rebalance" policy an overloaded host is answered
+            #    by resizing slabs (below), not by leaving it.
             want = set(self._forced)
             self._forced.clear()
             for wish in (self.workdir / "sync").glob("wish_rank*"):
                 want.add(int(wish.name[len("wish_rank"):]))
                 wish.unlink()
-            for host in self.hostdb.overloaded(self.load_limit):
-                if host.rank is not None:
-                    want.add(host.rank)
+            if self.policy == "migrate":
+                for host in self.hostdb.overloaded(self.load_limit):
+                    if host.rank is not None:
+                        want.add(host.rank)
             want -= self._done
             if want:
                 self._migrate(sorted(want))
+                last_progress = time.monotonic()
+                continue
+
+            # 2b. rebalance trigger: feed the load estimator and ask the
+            #     shared planner whether a re-cut pays for itself.
+            if self.planner is not None and self._maybe_rebalance():
                 last_progress = time.monotonic()
                 continue
 
@@ -285,6 +360,151 @@ class Monitor:
         self.generation = epoch + 1
         self.migrations += 1
 
+    # ------------------------------------------------------------------
+    # rebalance epochs (adaptive load balancing)
+    # ------------------------------------------------------------------
+    def _maybe_rebalance(self) -> bool:
+        """Feed the estimator and run one planner decision.
+
+        Returns True when a rebalance epoch was executed.  Only
+        meaningful with every rank still running: a re-cut needs the
+        complete global state, so a group with finished ranks (or a
+        crash being handled) never rebalances.
+        """
+        assert self.planner is not None and self.estimator is not None
+        est = self.estimator
+        for rank, (step, wall, comp) in (
+            self._read_heartbeat_records().items()
+        ):
+            est.observe_heartbeat(rank, step, wall, comp)
+        for host in self.hostdb.hosts():
+            if host.rank is not None:
+                est.observe_load(host.rank, host.load5)
+        if self._done:
+            self._forced_rebalance = False
+            return False
+        if est.min_step() is None:
+            # An epoch needs the whole group up and past step 0: until
+            # every rank has heartbeated, "speeds" are just host loads
+            # and the sync protocol has nobody to answer the signal.
+            return False
+        force = self._forced_rebalance
+        self._forced_rebalance = False
+        steps_total = int(self.base_cfg.get("steps_total", 0))
+        plan = self.planner.propose(
+            est.speeds(),
+            list(self._rows),
+            steps_remaining=steps_total - (est.min_step() or 0),
+            now=time.monotonic(),
+            force=force,
+        )
+        if plan is None:
+            return False
+        self._rebalance(plan)
+        return True
+
+    def _rebalance(self, plan) -> None:
+        """Execute one rebalance epoch (modeled on the migration epoch).
+
+        Publish the request, SIGUSR2 every worker; they synchronize to
+        a common step, dump (tag ``balance<epoch>``) and exit
+        :data:`EXIT_REBALANCED`.  Re-cut the assembled state into the
+        plan's weighted slabs (``recut<epoch>`` dumps + rewritten
+        spec.json), then restart the whole group under the bumped
+        generation — the same channel-reopen path a migration uses.
+        """
+        epoch = self.generation
+        shares = list(plan.shares)
+        self.log(
+            f"rebalance epoch {epoch}: rows {list(plan.current)} -> "
+            f"{shares} (imbalance {plan.imbalance:.3f}, "
+            f"cost {plan.cost:.2f}s, "
+            f"saving {plan.projected_saving:.2f}s)"
+        )
+        running = {
+            r: p for r, p in self.procs.items()
+            if r not in self._done and p.poll() is None
+        }
+        if len(running) != len(self.procs):  # pragma: no cover - raced
+            self.log("rebalance abandoned: not every rank is running")
+            return
+        transport = self.base_cfg.get("transport", "tcp")
+        registry = PortRegistry(self.workdir / f"ports_{transport}.txt")
+        try:
+            registry.wait_for(
+                epoch, set(running), timeout=self.stall_timeout
+            )
+        except TimeoutError as exc:
+            self._kill_all()
+            raise MonitorError(
+                f"rebalance epoch {epoch} aborted: {exc}"
+            ) from exc
+
+        request = self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
+        request.parent.mkdir(parents=True, exist_ok=True)
+        request.write_text(json.dumps({
+            "action": "rebalance",
+            "ranks": sorted(running),
+            "shares": shares,
+        }))
+        for proc in running.values():
+            proc.send_signal(signal.SIGUSR2)
+
+        sync_deadline = time.monotonic() + self.stall_timeout
+        for rank, proc in running.items():
+            while proc.poll() is None:
+                if time.monotonic() > sync_deadline:
+                    self._kill_all()
+                    raise MonitorError(
+                        f"rank {rank} never left during rebalance "
+                        f"epoch {epoch}"
+                    )
+                time.sleep(self.poll)
+            if proc.returncode != EXIT_REBALANCED:
+                self._kill_all()
+                raise MonitorError(
+                    f"rank {rank} exited {proc.returncode} instead of "
+                    f"rebalancing"
+                )
+
+        from ..balance.recut import recut_problem  # lazy: import cycle
+
+        new = recut_problem(
+            self.workdir,
+            shares,
+            in_tag=f"balance{epoch:04d}",
+            out_tag=f"recut{epoch:04d}",
+        )
+        for rank in sorted(running):
+            host = self.hostdb.host_of_rank(rank)
+            cfg = WorkerConfig(
+                workdir=str(self.workdir),
+                rank=rank,
+                host=host.name if host else f"host{rank}",
+                generation=epoch + 1,
+                dump_in=str(
+                    dump_path(
+                        self.workdir / "dumps",
+                        rank,
+                        tag=f"recut{epoch:04d}",
+                    )
+                ),
+                **self.base_cfg,
+            )
+            self.procs[rank] = spawn_worker(cfg)
+        self.generation = epoch + 1
+        self._rows = [
+            b.hi[0] - b.lo[0]
+            for b in sorted(new.active_blocks(), key=lambda b: b.rank)
+        ]
+        self.estimator.set_nodes(self._rows)
+        self.planner.commit(time.monotonic(), plan)
+        self.rebalances += 1
+        self.log(
+            f"rebalance epoch {epoch} complete: generation "
+            f"{self.generation}, slab rows {self._rows}"
+        )
+
     def _diagnostic_failure(self, rank: int) -> None:
         """Stop the run and raise the workers' own diagnosis.
 
@@ -405,14 +625,31 @@ class Monitor:
     # heartbeats
     # ------------------------------------------------------------------
     def _read_heartbeats(self) -> dict[int, int]:
-        out: dict[int, int] = {}
+        return {
+            rank: step
+            for rank, (step, _, _) in self._read_heartbeat_records().items()
+        }
+
+    def _read_heartbeat_records(
+        self,
+    ) -> dict[int, tuple[int, float, float | None]]:
+        """Per-rank ``(step, wall stamp, compute s/step)`` heartbeats.
+
+        The third field is absent in heartbeats written before the
+        first completed step (and in pre-existing files), hence
+        optional.
+        """
+        out: dict[int, tuple[int, float, float | None]] = {}
         hb_dir = self.workdir / "hb"
         if not hb_dir.exists():
             return out
         for path in hb_dir.glob("rank*.txt"):
             try:
-                step = int(path.read_text().split()[0])
+                parts = path.read_text().split()
+                step = int(parts[0])
+                wall = float(parts[1])
+                comp = float(parts[2]) if len(parts) > 2 else None
             except (ValueError, IndexError, OSError):
                 continue
-            out[int(path.stem[len("rank"):])] = step
+            out[int(path.stem[len("rank"):])] = (step, wall, comp)
         return out

@@ -17,6 +17,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..balance.planner import BalancePolicy
 from ..core.subregion import assemble_global
 from .decompose import decompose_problem
 from .dumpfile import dump_path, load_dump
@@ -45,6 +46,24 @@ class RunSettings(WorkerKnobs):
     stall_timeout: float = 60.0
     run_timeout: float = 300.0
     hosts: list[HostInfo] = field(default_factory=paper_cluster)
+    policy: str = "migrate"    # "migrate" (§5.1) or "rebalance"
+    #  (adaptive load balancing: resize slabs instead of leaving hosts)
+    balance_threshold: float = 0.05
+    balance_cooldown: float = 5.0
+    balance_min_gain: float = 1.0
+    balance_state_bytes: float = 72.0
+    balance_bandwidth: float = 12.5e6   # local disks + loopback move
+    #  dump state far faster than the paper's Ethernet model
+
+    def balance_policy(self) -> BalancePolicy:
+        """The :class:`~repro.balance.BalancePolicy` these knobs select."""
+        return BalancePolicy(
+            threshold=self.balance_threshold,
+            cooldown=self.balance_cooldown,
+            min_gain=self.balance_min_gain,
+            state_bytes_per_node=self.balance_state_bytes,
+            bandwidth=self.balance_bandwidth,
+        )
 
     def worker_base_cfg(self) -> dict:
         """The WorkerConfig fields shared by every rank.
@@ -69,7 +88,9 @@ class DistributedRun:
     ) -> None:
         self.spec = spec
         self.settings = settings
-        self.workdir = Path(workdir)
+        # Workers run with cwd=workdir, so a relative workdir would
+        # make every path in their config resolve against itself.
+        self.workdir = Path(workdir).resolve()
         if self.workdir.exists() and any(self.workdir.iterdir()):
             raise ValueError(f"workdir {self.workdir} is not empty")
         self.workdir.mkdir(parents=True, exist_ok=True)
@@ -94,6 +115,8 @@ class DistributedRun:
             self.settings.worker_base_cfg(),
             poll=self.settings.monitor_poll,
             stall_timeout=self.settings.stall_timeout,
+            policy=self.settings.policy,
+            balance=self.settings.balance_policy(),
         )
         return self.monitor
 
@@ -103,17 +126,27 @@ class DistributedRun:
         self.monitor.run(timeout=self.settings.run_timeout)
 
     def collect(self, fill: float = 0.0) -> dict[str, np.ndarray]:
-        """Reassemble the final dumps into global field arrays."""
+        """Reassemble the final dumps into global field arrays.
+
+        The decomposition is reloaded from the workdir's ``spec.json``
+        rather than taken from construction time: a rebalance epoch
+        rewrites the spec with the adopted slab weights, and assembling
+        the re-cut dumps against the stale uniform blocks would
+        misplace every interior.
+        """
+        decomp = ProblemSpec.load(
+            self.workdir / "spec.json"
+        ).build_decomposition()
         subs = [
             load_dump(dump_path(self.workdir / "dumps", rank, tag="final"))
-            for rank in range(self.decomp.n_active)
+            for rank in range(decomp.n_active)
         ]
         steps = {s.step for s in subs}
         if len(steps) != 1:
             raise RuntimeError(f"final dumps at different steps: {steps}")
         names = subs[0].field_names()
         return {
-            name: assemble_global(self.decomp, subs, name, fill)
+            name: assemble_global(decomp, subs, name, fill)
             for name in names
         }
 

@@ -18,7 +18,7 @@ order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 
 __all__ = ["WorkerKnobs", "worker_knob_names"]
 
@@ -44,6 +44,10 @@ class WorkerKnobs:
     step_delay: float = 0.0    # test/emulation knob: extra seconds per
     #  step, emulating a busy or slow host so App. A un-synchronization
     #  and first-come-first-served buffering can be exercised for real
+    step_delays: list[float] = field(default_factory=list)
+    #  per-rank variant of step_delay (indexed by rank, overrides it):
+    #  a *skewed* synthetic load, slowing some ranks so the load
+    #  estimator and rebalance planner see a real imbalance
     open_timeout: float = 30.0
     recv_timeout: float = 60.0
     sync_timeout: float = 60.0

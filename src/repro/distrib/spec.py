@@ -50,6 +50,11 @@ class ProblemSpec:
         ``{"kind": "channel", "wall_nodes": int}`` or
         ``{"kind": "flue_pipe", "variant": ..., "jet_speed": ...,
         "ramp_steps": ...}``.
+    weights:
+        Optional per-axis block weights for a non-uniform decomposition
+        (see :class:`~repro.core.decomposition.Decomposition`); the
+        rebalance coordinator rewrites this field with the adopted
+        integer shares so restarted workers re-cut identically.
     """
 
     method: str
@@ -58,6 +63,7 @@ class ProblemSpec:
     periodic: tuple[bool, ...]
     params: dict[str, Any] = field(default_factory=dict)
     geometry: dict[str, Any] = field(default_factory=lambda: {"kind": "open"})
+    weights: tuple[tuple[float, ...] | None, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("fd", "lb"):
@@ -69,6 +75,12 @@ class ProblemSpec:
         # value (lists decode where tuples were encoded).
         if "gravity" in self.params:
             self.params["gravity"] = tuple(self.params["gravity"])
+        if self.weights is not None:
+            norm = tuple(
+                None if w is None else tuple(float(x) for x in w)
+                for w in self.weights
+            )
+            object.__setattr__(self, "weights", norm)
 
     @property
     def ndim(self) -> int:
@@ -115,7 +127,11 @@ class ProblemSpec:
         """Reconstruct the decomposition (inactive blocks included)."""
         solid, _, _ = self.build_geometry()
         return Decomposition(
-            self.grid_shape, self.blocks, periodic=self.periodic, solid=solid
+            self.grid_shape,
+            self.blocks,
+            periodic=self.periodic,
+            solid=solid,
+            weights=self.weights,
         )
 
     # ------------------------------------------------------------------
@@ -128,6 +144,11 @@ class ProblemSpec:
     @classmethod
     def from_json(cls, text: str) -> "ProblemSpec":
         raw = json.loads(text)
+        weights = raw.get("weights")
+        if weights is not None:
+            weights = tuple(
+                None if w is None else tuple(w) for w in weights
+            )
         return cls(
             method=raw["method"],
             grid_shape=tuple(raw["grid_shape"]),
@@ -135,6 +156,7 @@ class ProblemSpec:
             periodic=tuple(bool(p) for p in raw["periodic"]),
             params=dict(raw.get("params", {})),
             geometry=dict(raw.get("geometry", {"kind": "open"})),
+            weights=weights,
         )
 
     def save(self, path: str | Path) -> None:

@@ -54,14 +54,18 @@ def spawn_worker(cfg: WorkerConfig) -> subprocess.Popen:
     cfg_path.write_text(cfg.to_json())
     log_dir = Path(cfg.workdir) / "logs"
     log_dir.mkdir(parents=True, exist_ok=True)
-    log = open(log_dir / f"rank{cfg.rank:04d}.stdout", "ab")
-    return subprocess.Popen(
-        [sys.executable, "-m", "repro.distrib.worker", str(cfg_path)],
-        stdout=log,
-        stderr=subprocess.STDOUT,
-        cwd=cfg.workdir,
-        env=_worker_env(),
-    )
+    # Popen duplicates the descriptor for the child; closing the
+    # parent's handle here keeps long monitored runs (every migration,
+    # rebalance and restart respawns workers) from accumulating open
+    # files in the submitting process.
+    with open(log_dir / f"rank{cfg.rank:04d}.stdout", "ab") as log:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.distrib.worker", str(cfg_path)],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            cwd=cfg.workdir,
+            env=_worker_env(),
+        )
 
 
 def submit_all(
@@ -74,19 +78,39 @@ def submit_all(
 
     ``base_cfg`` carries the common :class:`WorkerConfig` fields
     (steps_total, save_every, ...); per-rank fields are filled here.
+
+    Submission is all-or-nothing: if spawning any rank fails, the
+    already-started workers are killed and every host assignment made
+    here is rolled back before the error propagates, so the host
+    database never records ranks of a run that does not exist.
     """
     workdir = Path(workdir)
     (workdir / "logs").mkdir(parents=True, exist_ok=True)
     hosts = hostdb.select_free(n_ranks)
     procs: dict[int, subprocess.Popen] = {}
-    for rank, host in enumerate(hosts):
-        hostdb.assign(host.name, rank)
-        cfg = WorkerConfig(
-            workdir=str(workdir),
-            rank=rank,
-            host=host.name,
-            generation=0,
-            **base_cfg,
-        )
-        procs[rank] = spawn_worker(cfg)
+    assigned: list[str] = []
+    try:
+        for rank, host in enumerate(hosts):
+            hostdb.assign(host.name, rank)
+            assigned.append(host.name)
+            cfg = WorkerConfig(
+                workdir=str(workdir),
+                rank=rank,
+                host=host.name,
+                generation=0,
+                **base_cfg,
+            )
+            procs[rank] = spawn_worker(cfg)
+    except BaseException:
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.kill()
+        for proc in procs.values():
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+        for name in assigned:
+            hostdb.assign(name, None)
+        raise
     return procs

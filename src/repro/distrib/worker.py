@@ -61,6 +61,7 @@ __all__ = [
     "EXIT_DONE",
     "EXIT_MIGRATED",
     "EXIT_DIAGNOSTIC",
+    "EXIT_REBALANCED",
     "main",
 ]
 
@@ -71,6 +72,14 @@ EXIT_MIGRATED = 75
 #: NaN/CFL violation (see :mod:`repro.distrib.diagnostics`); there is
 #: no point restarting from the latest checkpoint without intervention.
 EXIT_DIAGNOSTIC = 76
+#: The whole group dumped at a sync step and left for a domain re-cut;
+#: the monitor reassembles the dumps into new weighted blocks and
+#: restarts everyone under the next generation (rebalance epoch).
+EXIT_REBALANCED = 77
+
+#: worker-side smoothing of the per-step compute seconds published in
+#: the heartbeat (the monitor's load estimator smooths again)
+_COMP_ALPHA = 0.2
 
 
 @dataclass
@@ -198,6 +207,15 @@ class Worker:
             )
         self.generation = cfg.generation
         self._sync_epoch: int | None = None
+        # Per-rank synthetic-load override of the shared step_delay knob.
+        self._step_delay = cfg.step_delay
+        if self.rank < len(cfg.step_delays):
+            self._step_delay = float(cfg.step_delays[self.rank])
+        #: EMA of per-step compute seconds (delay + compute + finalize,
+        #: excluding exchanges), published in the heartbeat so the
+        #: monitor's load estimator can see per-rank speed even though
+        #: the BSP lockstep equalizes every rank's step counter.
+        self._comp_ema: float | None = None
         self._log_path = self.workdir / "logs" / f"rank{self.rank:04d}.log"
         self._log_path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -247,9 +265,9 @@ class Worker:
             try:
                 while True:
                     if self._sync_epoch is not None:
-                        migrated = self._sync_protocol()
-                        if migrated:
-                            return EXIT_MIGRATED
+                        rc = self._sync_protocol()
+                        if rc is not None:
+                            return rc
                     if self.sub.step >= self.cfg.steps_total:
                         break
                     self._step_once()
@@ -273,18 +291,29 @@ class Worker:
         sub = self.sub
         tracer = self.tracer
         step_no = sub.step
-        if self.cfg.step_delay > 0.0:
-            time.sleep(self.cfg.step_delay)
+        comp = 0.0
+        if self._step_delay > 0.0:
+            c0 = time.perf_counter()
+            time.sleep(self._step_delay)
+            comp += time.perf_counter() - c0
         for phase, fields in enumerate(method.exchange_phases):
             t0 = tracer.begin()
+            c0 = time.perf_counter()
             method.compute_phase(sub, phase)
+            comp += time.perf_counter() - c0
             tracer.end(self._compute_names[phase], t0, step=step_no)
             t0 = tracer.begin()
             self.exchanger.exchange(fields, phase)
             tracer.end(self._exchange_names[phase], t0, step=step_no)
         t0 = tracer.begin()
+        c0 = time.perf_counter()
         method.finalize_step(sub)
+        comp += time.perf_counter() - c0
         tracer.end("finalize:0", t0, step=step_no)
+        if self._comp_ema is None:
+            self._comp_ema = comp
+        else:
+            self._comp_ema += _COMP_ALPHA * (comp - self._comp_ema)
         sub.step += 1
         if (
             self.cfg.nan_step > 0
@@ -306,7 +335,10 @@ class Worker:
         t0 = self.tracer.begin()
         hb = self.workdir / "hb" / f"rank{self.rank:04d}.txt"
         hb.parent.mkdir(parents=True, exist_ok=True)
-        hb.write_text(f"{self.sub.step} {time.time():.3f}\n")  # wall stamp
+        comp = self._comp_ema if self._comp_ema is not None else 0.0
+        hb.write_text(
+            f"{self.sub.step} {time.time():.3f} {comp:.6e}\n"  # wall stamp
+        )
         self.tracer.end("heartbeat:0", t0, step=self.sub.step)
 
     def _maybe_checkpoint(self) -> None:
@@ -354,18 +386,29 @@ class Worker:
         return EXIT_DIAGNOSTIC
 
     # ------------------------------------------------------------------
-    # migration (§5.1 / App. B)
+    # migration (§5.1 / App. B) and rebalance epochs
     # ------------------------------------------------------------------
-    def _sync_protocol(self) -> bool:
-        """Run the synchronization; return True if *we* migrated away."""
+    def _sync_protocol(self) -> int | None:
+        """Run the synchronization; return an exit code if we leave.
+
+        A migration epoch ends with the migrating ranks dumping and
+        exiting :data:`EXIT_MIGRATED` while everyone else pauses.  A
+        rebalance epoch ends with *every* rank dumping (tag
+        ``balance<epoch>``) and exiting :data:`EXIT_REBALANCED`; the
+        monitor re-cuts the assembled state into new weighted blocks
+        and restarts the whole group under the next generation.
+        """
         epoch = self._sync_epoch
         assert epoch is not None
+        request = json.loads(self._request_path(epoch).read_text())
+        rebalance = request.get("action") == "rebalance"
+        prefix = "balance" if rebalance else "migration"
         sf = SyncFiles(self.workdir, epoch)
         t0 = self.tracer.begin()
         t_sync = sf.wait_sync_step(
             self.n_ranks, timeout=self.cfg.sync_timeout
         )
-        self.tracer.end("migration:sync", t0, step=self.sub.step)
+        self.tracer.end(f"{prefix}:sync", t0, step=self.sub.step)
         self.log(f"sync epoch {epoch}: target step {t_sync}")
         if self.sub.step > t_sync:  # pragma: no cover - invariant guard
             raise RuntimeError(
@@ -377,9 +420,19 @@ class Worker:
         sf.mark_reached(self.rank, self.sub.step)
         t0 = self.tracer.begin()
         sf.wait_all_reached(self.n_ranks, timeout=self.cfg.sync_timeout)
-        self.tracer.end("migration:reach", t0, step=self.sub.step)
+        self.tracer.end(f"{prefix}:reach", t0, step=self.sub.step)
 
-        request = json.loads(self._request_path(epoch).read_text())
+        if rebalance:
+            self.channels.close()
+            t0 = self.tracer.begin()
+            out = dump_path(
+                self.workdir / "dumps", self.rank, tag=f"balance{epoch:04d}"
+            )
+            save_dump(self.sub, out)
+            self.tracer.end("balance:dump", t0, step=self.sub.step)
+            self.log(f"leaving for re-cut (dump {out.name})")
+            return EXIT_REBALANCED
+
         migrating = set(request["ranks"])
         self.channels.close()
         if self.rank in migrating:
@@ -388,7 +441,7 @@ class Worker:
             )
             save_dump(self.sub, out)
             self.log(f"migrating away (dump {out.name})")
-            return True
+            return EXIT_MIGRATED
 
         # Suspend until the monitor has restarted the migrating
         # process(es) on free hosts and sends SIGCONT (§5.1).
@@ -406,7 +459,7 @@ class Worker:
         self._sync_epoch = None
         self.channels.open(self.generation, timeout=self.cfg.open_timeout)
         self.log(f"resumed, generation {self.generation}")
-        return False
+        return None
 
 
 def main(argv: list[str] | None = None) -> int:

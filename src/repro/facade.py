@@ -68,6 +68,8 @@ class RunResult:
     trace_summary: TraceSummary | None = None
     workdir: Path | None = None
     sim: Any = None                     # SimResult of the simulated backend
+    migrations: int = 0                 # §5.1 epochs the run executed
+    rebalances: int = 0                 # rebalance epochs (re-cut domains)
 
     @property
     def timings(self) -> dict[int, dict[str, float]]:
@@ -198,6 +200,7 @@ def _run_distributed(spec, fields, settings, workdir) -> RunResult:
     dist.wait()
     out = dist.collect()
     elapsed = time.perf_counter() - t0
+    mon = dist.monitor
     result = RunResult(
         backend="distributed",
         steps=settings.steps,
@@ -205,6 +208,8 @@ def _run_distributed(spec, fields, settings, workdir) -> RunResult:
         fields=out,
         diagnostics=DiagnosticsLog.for_workdir(workdir).read(),
         workdir=workdir,
+        migrations=mon.migrations if mon is not None else 0,
+        rebalances=mon.rebalances if mon is not None else 0,
     )
     _finish_trace(result, workdir / "trace")
     return result
@@ -231,6 +236,8 @@ def _run_simulated(spec, settings, workdir) -> RunResult:
         fields=None,
         sim=res,
         workdir=Path(workdir) if trace_dir is not None else None,
+        migrations=len(res.migrations),
+        rebalances=len(res.rebalances),
     )
     if trace_dir is not None:
         _finish_trace(result, trace_dir)

@@ -400,6 +400,93 @@ def _bench_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_balance(args: argparse.Namespace) -> int:
+    """Measure what adaptive rebalancing buys on a cramped cluster.
+
+    A four-workstation cluster with *no* spare host — the situation
+    where the paper's migration policy cannot help — under the
+    heterogeneous stochastic user load of
+    :func:`repro.cluster.loadgen.poisson_user_traces` (three of the
+    four hosts receive recurring full-time jobs).  The simulator runs
+    the same computation with the monitor off (``none``) and with
+    ``policy="rebalance"`` — the
+    :class:`~repro.balance.RebalancePlanner` the live runtime uses —
+    and compares steps/second.  Fails unless rebalancing sustains at
+    least ``--min-speedup`` times the baseline rate.
+    """
+    import json
+
+    from ..cluster import ClusterSimulation, paper_sim_cluster
+    from ..cluster.loadgen import poisson_user_traces
+    from ..harness import format_table
+
+    side, blocks, steps, poll = 140, (4, 1), 600, 15.0
+    names = ("hp715-00", "hp715-01", "hp715-02", "hp715-03")
+    busy = poisson_user_traces(
+        ["hp715-01", "hp715-02", "hp715-03"],
+        duration=2.0e6,
+        busy_rate_per_hour=6.0,
+        mean_busy_minutes=45.0,
+        load=2.5,
+        seed=7,
+    )
+
+    results: dict[str, dict] = {
+        "scenario": {
+            "hosts": list(names),
+            "busy_hosts": sorted(busy),
+            "side": side,
+            "blocks": list(blocks),
+            "steps": steps,
+            "monitor_poll": poll,
+        },
+        "policies": {},
+    }
+    rows = []
+    per_policy: dict[str, float] = {}
+    for policy in ("none", "rebalance"):
+        hosts = [
+            h for h in paper_sim_cluster(dict(busy)) if h.name in names
+        ]
+        sim = ClusterSimulation("lb", 2, blocks, side, hosts=hosts)
+        kw = {} if policy == "none" else {
+            "monitor_poll": poll, "policy": policy,
+        }
+        res = sim.run(steps=steps, **kw)
+        rate = steps / res.elapsed
+        per_policy[policy] = rate
+        results["policies"][policy] = {
+            "elapsed_seconds": res.elapsed,
+            "steps_per_second": rate,
+            "efficiency": res.efficiency,
+            "rebalances": len(res.rebalances),
+        }
+        rows.append(
+            [policy, f"{res.elapsed:,.0f} s", f"{rate:.4f}",
+             f"{res.efficiency:.3f}", len(res.rebalances)]
+        )
+    speedup = per_policy["rebalance"] / per_policy["none"]
+    results["speedup"] = speedup
+    results["min_speedup"] = args.min_speedup
+
+    print(format_table(
+        ["policy", "elapsed", "steps/s", "efficiency", "rebalances"],
+        rows,
+        title=f"adaptive rebalancing, cramped 4-host cluster "
+              f"({side}x{side} LB, {steps} steps)",
+    ))
+    print(f"\nsteps/s speedup from rebalancing: {speedup:.2f}x "
+          f"(required: {args.min_speedup:.2f}x)")
+    out = Path(args.out or "BENCH_balance.json")
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    if speedup < args.min_speedup:
+        print(f"bench: rebalance speedup {speedup:.2f}x below "
+              f"--min-speedup {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -414,6 +501,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_collectives(args)
     if args.trace:
         return _bench_trace(args)
+    if args.balance:
+        return _bench_balance(args)
 
     results: dict[str, dict] = {}
     rows = []
@@ -544,6 +633,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="measure the tracing layer's per-step overhead "
                         "instead (writes BENCH_trace.json + a merged "
                         "Chrome trace)")
+    p.add_argument("--balance", action="store_true",
+                   help="measure adaptive rebalancing vs doing nothing "
+                        "on a cramped simulated cluster instead "
+                        "(writes BENCH_balance.json)")
+    p.add_argument("--min-speedup", type=float, default=1.2,
+                   help="fail --balance if rebalancing sustains less "
+                        "than this times the baseline steps/s "
+                        "(default: 1.2)")
     p.add_argument("--trace-dir", default=None,
                    help="where --trace writes its streams "
                         "(default: trace_bench/)")
@@ -554,8 +651,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="rank count for --collectives (default: 4)")
     p.add_argument("--out", default=None,
                    help="JSON output (default: BENCH_kernels.json, "
-                        "BENCH_collectives.json with --collectives, or "
-                        "BENCH_trace.json with --trace)")
+                        "BENCH_collectives.json with --collectives, "
+                        "BENCH_trace.json with --trace, or "
+                        "BENCH_balance.json with --balance)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("trace",

@@ -61,7 +61,8 @@ __all__ = [
 CAT_COMPUTE = "compute"
 #: ... time spent exchanging boundary data / in collectives ...
 CAT_COMM = "comm"
-#: ... and everything else (checkpoints, migration pauses, heartbeats).
+#: ... and everything else (checkpoints, migration and rebalance
+#: pauses, heartbeats).
 CAT_OTHER = "other"
 
 #: span-name prefix (before ``:``) -> category
@@ -74,6 +75,7 @@ _PREFIX_CATEGORY = {
     "token": CAT_COMM,
     "checkpoint": CAT_OTHER,
     "migration": CAT_OTHER,
+    "balance": CAT_OTHER,
     "heartbeat": CAT_OTHER,
     "wait": CAT_COMM,
 }

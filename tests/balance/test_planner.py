@@ -1,0 +1,122 @@
+"""The rebalance planner's three gates and its plan economics."""
+
+import pytest
+
+from repro.balance import BalancePolicy, RebalancePlanner
+from repro.cluster.allocation import repartition_cost
+
+
+def _policy(**kw):
+    defaults = dict(
+        threshold=0.05, cooldown=0.0, min_gain=1.0,
+        state_bytes_per_node=72.0, bandwidth=1.25e6,
+    )
+    defaults.update(kw)
+    return BalancePolicy(**defaults)
+
+
+class TestGates:
+    def test_balanced_speeds_propose_nothing(self):
+        planner = RebalancePlanner(_policy())
+        plan = planner.propose([1.0, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=100)
+        assert plan is None
+
+    def test_skewed_speeds_propose_matching_shares(self):
+        planner = RebalancePlanner(_policy())
+        plan = planner.propose([0.5, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=1000)
+        assert plan is not None
+        assert sum(plan.shares) == 100
+        assert plan.shares[0] == min(plan.shares)
+        assert plan.current == (25, 25, 25, 25)
+
+    def test_threshold_blocks_small_wiggles(self):
+        planner = RebalancePlanner(_policy(threshold=0.2))
+        plan = planner.propose([0.9, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=1000)
+        assert plan is None
+
+    def test_cooldown_blocks_until_elapsed(self):
+        planner = RebalancePlanner(_policy(cooldown=10.0))
+        speeds, current = [0.5, 1.0, 1.0, 1.0], [25, 25, 25, 25]
+        first = planner.propose(speeds, current, 1000, now=0.0)
+        assert first is not None
+        planner.commit(0.0, first)
+        assert planner.propose(speeds, list(first.shares), 1000,
+                               now=5.0) is None
+        # ... even for a fresh imbalance
+        assert planner.propose([1.0, 0.5, 1.0, 1.0], list(first.shares),
+                               1000, now=5.0) is None
+        # after the cooldown the planner answers again
+        assert planner.propose([1.0, 0.5, 1.0, 1.0], list(first.shares),
+                               1000, now=20.0) is not None
+
+    def test_amortization_blocks_short_runs(self):
+        """A rebalance that cannot repay its cost is not proposed."""
+        pol = _policy(min_gain=1.0, fixed_overhead=1000.0)
+        planner = RebalancePlanner(pol)
+        assert planner.propose([0.5, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=1) is None
+        # the same imbalance over many steps amortizes
+        assert planner.propose([0.5, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=10 ** 6) is not None
+
+    def test_no_steps_remaining_never_proposes(self):
+        planner = RebalancePlanner(_policy())
+        assert planner.propose([0.1, 1.0], [50, 50], 0) is None
+        assert planner.propose([0.1, 1.0], [50, 50], -5,
+                               force=True) is None
+
+    def test_force_skips_gates_but_not_identity(self):
+        planner = RebalancePlanner(_policy(threshold=10.0,
+                                           cooldown=1e9,
+                                           min_gain=1e9))
+        planner.commit(0.0)
+        plan = planner.propose([0.5, 1.0], [50, 50], 10, now=1.0,
+                               force=True)
+        assert plan is not None
+        # shares identical to current: nothing to do even when forced
+        assert planner.propose([1.0, 1.0], [50, 50], 10, now=1.0,
+                               force=True) is None
+
+    def test_mismatched_lengths_rejected(self):
+        planner = RebalancePlanner()
+        with pytest.raises(ValueError):
+            planner.propose([1.0, 1.0], [25, 25, 50], 10)
+
+
+class TestPlanEconomics:
+    def test_cost_matches_repartition_cost(self):
+        pol = _policy()
+        planner = RebalancePlanner(pol)
+        plan = planner.propose([0.5, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=1000)
+        expected = repartition_cost(
+            list(plan.current), list(plan.shares),
+            pol.state_bytes_per_node, pol.bandwidth,
+            fixed_overhead=pol.fixed_overhead,
+        )
+        assert plan.cost == pytest.approx(expected)
+
+    def test_projected_saving_is_step_delta_times_steps(self):
+        planner = RebalancePlanner(_policy())
+        plan = planner.propose([0.5, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=1000)
+        delta = plan.step_seconds_now - plan.step_seconds_new
+        assert plan.projected_saving == pytest.approx(delta * 1000)
+        assert plan.step_seconds_now == pytest.approx(25 / 0.5)
+
+    def test_min_share_respected(self):
+        planner = RebalancePlanner(_policy(min_share=5, threshold=0.0))
+        plan = planner.propose([1e-6, 1.0, 1.0, 1.0], [25, 25, 25, 25],
+                               steps_remaining=10 ** 9)
+        assert plan is not None
+        assert min(plan.shares) >= 5
+
+    def test_commit_records_history(self):
+        planner = RebalancePlanner(_policy())
+        plan = planner.propose([0.5, 1.0], [50, 50], 1000, now=3.0)
+        planner.commit(3.0, plan)
+        assert planner.last_commit == 3.0
+        assert planner.history == [plan]

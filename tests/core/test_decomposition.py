@@ -161,6 +161,71 @@ class TestMFactor:
             d.m_factor("median")
 
 
+class TestWeighted:
+    @given(
+        st.integers(16, 120),
+        st.integers(8, 40),
+        st.lists(st.floats(0.1, 10.0), min_size=2, max_size=5),
+    )
+    def test_weighted_blocks_partition_grid(self, nx, ny, weights):
+        """Weights skew slab sizes but never break the tiling."""
+        if nx < len(weights):
+            return
+        d = Decomposition((nx, ny), (len(weights), 1),
+                          weights=(weights, None))
+        cover = np.zeros((nx, ny), dtype=int)
+        for blk in d:
+            cover[blk.slices] += 1
+        assert (cover == 1).all()
+
+    def test_integer_weights_reproduce_exact_extents(self):
+        """Integer weights summing to the axis extent round-trip exactly
+        — the invariant the rebalance runtime relies on for the monitor
+        and worker decompositions to agree."""
+        shares = (6, 15, 15, 12)
+        d = Decomposition((48, 24), (4, 1), weights=(shares, None))
+        rows = [b.hi[0] - b.lo[0]
+                for b in sorted(d.active_blocks(), key=lambda b: b.rank)]
+        assert tuple(rows) == shares
+
+    def test_neighbors_consistent_with_uneven_extents(self):
+        d = Decomposition((48, 24), (4, 1), periodic=(True, False),
+                          weights=((4, 20, 12, 12), None))
+        for blk in d.active_blocks():
+            nbrs = d.neighbors(blk.index, star_stencil(2))
+            assert len(nbrs) == 2  # periodic chain: up + down always
+            for off, nbr in nbrs.items():
+                # adjacency in index space matches adjacency in rows
+                if off == (1, 0) and nbr.lo[0] != 0:
+                    assert nbr.lo[0] == blk.hi[0]
+                if off == (-1, 0) and blk.lo[0] != 0:
+                    assert nbr.hi[0] == blk.lo[0]
+
+    def test_boundary_nodes_uneven_chain(self):
+        d = Decomposition((48, 10), (3, 1), weights=((8, 30, 10), None))
+        # interior slab: two faces of 10 nodes regardless of thickness
+        assert d.boundary_nodes((1, 0)) == 20
+        assert d.boundary_nodes((0, 0)) == 10
+
+    def test_n_active_nodes_invariant_across_recuts(self):
+        base = Decomposition((48, 24), (4, 1))
+        for w in ((12, 12, 12, 12), (6, 15, 15, 12), (1, 1, 1, 45)):
+            d = Decomposition((48, 24), (4, 1), weights=(w, None))
+            assert d.n_active_nodes == base.n_active_nodes
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition((48, 24), (4, 1), weights=((1, 2, 3), None))
+        with pytest.raises(ValueError):
+            Decomposition((48, 24), (4, 1), weights=((1, 1, 1, 1),))
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition((48, 24), (4, 1), weights=((1, 0, 1, 1), None))
+        with pytest.raises(ValueError):
+            Decomposition((48, 24), (4, 1), weights=((1, -2, 1, 1), None))
+
+
 class TestBoundaryNodes:
     def test_chain_interior_block(self):
         d = Decomposition((40, 10), (4, 1))

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.net",
     "repro.distrib",
     "repro.cluster",
+    "repro.balance",
     "repro.harness",
     "repro.trace",
     "repro.viz",

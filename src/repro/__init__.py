@@ -13,11 +13,11 @@ returns a :class:`repro.RunResult`; :mod:`repro.trace` is the
 phase-level tracing layer shared by all of them.
 """
 
-from . import balance, cluster, core, distrib, fluids, harness, net, \
-    trace, viz
+from . import balance, chaos, cluster, core, distrib, fluids, harness, \
+    net, trace, viz
 from .facade import BACKENDS, RunResult, run
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "core",
@@ -26,6 +26,7 @@ __all__ = [
     "distrib",
     "cluster",
     "balance",
+    "chaos",
     "harness",
     "trace",
     "viz",

@@ -28,6 +28,7 @@ from .simulator import (
     ClusterSimulation,
     MigrationEvent,
     NetworkParams,
+    SimFaultEvent,
     SimResult,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "NetworkParams",
     "SimResult",
     "MigrationEvent",
+    "SimFaultEvent",
     "SharedBus",
     "BusStats",
     "SwitchedNetwork",

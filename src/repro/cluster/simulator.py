@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..chaos.plan import HOST_KINDS, MESSAGE_KINDS, PROCESS_KINDS, FaultPlan
 from ..core.decomposition import Decomposition
 from ..core.stencil import star_stencil
 from ..trace import NULL_TRACER, Tracer
@@ -42,7 +43,13 @@ from .ethernet import BusStats, SharedBus
 from .events import EventQueue
 from .machines import LoadTrace, SimHost, paper_sim_cluster
 
-__all__ = ["NetworkParams", "SimResult", "MigrationEvent", "ClusterSimulation"]
+__all__ = [
+    "NetworkParams",
+    "SimResult",
+    "MigrationEvent",
+    "SimFaultEvent",
+    "ClusterSimulation",
+]
 
 #: Fractions of the per-step compute done before each exchange (the rest
 #: after the last exchange: filtering etc.).  FD: velocity update,
@@ -85,6 +92,21 @@ class MigrationEvent:
 
 
 @dataclass
+class SimFaultEvent:
+    """Record of one injected fault in a simulated run.
+
+    ``cost`` is the modeled group pause the fault charged at the BSP
+    barrier (zero for load spikes, whose cost manifests through the
+    slowed host and any migration it triggers).
+    """
+
+    time: float
+    kind: str
+    rank: int
+    cost: float
+
+
+@dataclass
 class SimResult:
     """Outcome of one simulated distributed run."""
 
@@ -98,6 +120,7 @@ class SimResult:
     compute_time_total: float
     migrations: list[MigrationEvent] = field(default_factory=list)
     rebalances: list[tuple[float, list[int]]] = field(default_factory=list)
+    faults: list[SimFaultEvent] = field(default_factory=list)
     collective_messages: int = 0   # diagnostics-collective frames
     collective_bytes: int = 0      # ... and their payload bytes
     collective_time: float = 0.0   # bus time the collectives occupied
@@ -183,6 +206,18 @@ class ClusterSimulation:
         directory and :meth:`run` merges them into ``trace.json`` —
         the same format the live runtimes produce, so simulated and
         measured timelines compare in the same viewer.
+    fault_plan:
+        A :class:`repro.chaos.FaultPlan` — the *same* JSON-serializable
+        plan format the live runtime injects — modeled on simulated
+        time under the **charged-cost convention**: step counters are
+        never rewound (the window math of :meth:`run` indexes
+        ``step_done_times`` positionally), so a worker kill charges the
+        group a restart pause at the BSP barrier, a stall charges the
+        detection timeout on top, a message fault charges the
+        retransmission to the bus, and a load spike rewrites the
+        victim host's load trace (its cost manifests through the
+        slowed host and any §5.1 migration it triggers).  Process and
+        message faults require ``sync_mode="bsp"``.
     """
 
     def __init__(
@@ -197,6 +232,7 @@ class ClusterSimulation:
         diag_every: int = 0,
         collective_algorithm: str = "tree",
         trace_dir=None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if method not in ("fd", "lb"):
             raise ValueError(f"unknown method {method!r}")
@@ -293,6 +329,34 @@ class ClusterSimulation:
         else:
             self.tracers = [NULL_TRACER] * self.n_procs
 
+        # fault injection (repro.chaos, charged-cost model)
+        self.fault_plan = fault_plan
+        self.fault_events: list[SimFaultEvent] = []
+        self._fault_at_step: dict[int, list] = {}
+        self._host_faults: list = []
+        if fault_plan is not None:
+            barrier_kinds = PROCESS_KINDS | MESSAGE_KINDS
+            for f in fault_plan.faults:
+                if f.kind in barrier_kinds:
+                    if sync_mode != "bsp":
+                        raise ValueError(
+                            "process/message faults are charged at the "
+                            "BSP barrier; they cannot be modeled under "
+                            "sync_mode='loose'"
+                        )
+                    if not 0 <= f.rank < self.n_procs:
+                        raise ValueError(
+                            f"fault {f.fault_id} targets rank {f.rank} "
+                            f"of a {self.n_procs}-process run"
+                        )
+                    self._fault_at_step.setdefault(
+                        max(f.step, 1), []
+                    ).append(f)
+                elif f.kind in HOST_KINDS:
+                    self._host_faults.append(f)
+                # dump faults have no simulated analogue (there are no
+                # dump files); the live runtime owns that failure mode
+
         # migration machinery
         self.migrations: list[MigrationEvent] = []
         self._steps_target = 0
@@ -354,6 +418,8 @@ class ClusterSimulation:
         rebalance_threshold: float = 0.05,
         state_bytes_per_node: float = 72.0,
         planner=None,
+        restart_cost: float = 45.0,
+        stall_detect: float = 60.0,
     ) -> SimResult:
         """Simulate ``steps`` integration steps and measure performance.
 
@@ -383,6 +449,12 @@ class ClusterSimulation:
         cooldown and a saving-must-be-nonnegative gate, matching the
         historical simulator behaviour.  The planner used is exposed as
         ``self.planner``.
+
+        With a ``fault_plan``, ``restart_cost`` is the modeled group
+        pause of one checkpoint restart (kill the group, respawn,
+        replay to the checkpointed step — §4.1's "started from the last
+        state"), and ``stall_detect`` is the monitoring program's
+        stall-detection latency charged on top for a SIGSTOP fault.
         """
         if steps <= 0:
             raise ValueError("steps must be positive")
@@ -417,6 +489,19 @@ class ClusterSimulation:
             ))
         self.rebalances: list[tuple[float, list[int]]] = []
 
+        self._restart_cost = restart_cost
+        self._stall_detect = stall_detect
+        self.fault_events = []
+        self._pending_faults = {
+            step: list(faults)
+            for step, faults in self._fault_at_step.items()
+        }
+        for fault in self._host_faults:
+            self.queue.schedule(
+                max(fault.at, 0.0),
+                lambda now, f=fault: self._apply_load_spike(f, now),
+            )
+
         for proc in self.procs:
             self._start_step(proc, 0.0)
         if monitor_poll > 0:
@@ -450,6 +535,7 @@ class ClusterSimulation:
             compute_time_total=sum(p.compute_time for p in self.procs),
             migrations=list(self.migrations),
             rebalances=list(self.rebalances),
+            faults=list(self.fault_events),
             collective_messages=self.collective_messages,
             collective_bytes=self.collective_bytes,
             collective_time=self.collective_time,
@@ -576,6 +662,9 @@ class ClusterSimulation:
                 # this step boundary; the next cycle opens only once
                 # the collective has cleared the bus.
                 resume = self._charge_collectives(t)
+            due = self._pending_faults.pop(self._barrier_step, None)
+            if due:
+                resume = self._charge_faults(due, resume)
             sync = self._sync
             if sync is not None and self._barrier_step >= sync["step"]:
                 for p in self.procs:
@@ -626,6 +715,75 @@ class ClusterSimulation:
                     step=self._barrier_step,
                 )
         return finish
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.chaos, charged-cost model)
+    # ------------------------------------------------------------------
+    def _charge_faults(self, due: list, t: float) -> float:
+        """Charge the group pause of the faults firing at this barrier.
+
+        Step counters are never rewound (the measurement window indexes
+        ``step_done_times`` positionally), so the lost recomputation is
+        *charged as time* instead: a kill pauses the whole group for
+        ``restart_cost`` (kill, respawn, replay to the checkpoint), a
+        stall adds the monitor's ``stall_detect`` latency on top, and a
+        message fault puts the retransmitted strip back on the bus —
+        exactly the recovery the live runtime performs, priced on the
+        simulated clock.
+        """
+        resume = t
+        for fault in due:
+            if fault.kind in PROCESS_KINDS:
+                cost = self._restart_cost
+                if fault.kind == "stop":
+                    cost += self._stall_detect
+                resume += cost
+            else:  # message fault: the strip crosses the wire again
+                proc = self.procs[fault.rank]
+                cost = 0.0
+                if proc.neighbors:
+                    nb = proc.neighbors[0]
+                    finish = self.bus.send(
+                        proc.msg_bytes[nb],
+                        lambda now: None,
+                        src=proc.host.name,
+                        dst=self.procs[nb].host.name,
+                    )
+                    cost = max(finish - t, 0.0)
+                    resume = max(resume, finish)
+            self.fault_events.append(
+                SimFaultEvent(time=t, kind=fault.kind,
+                              rank=fault.rank, cost=cost)
+            )
+            self.tracers[fault.rank].add_span(
+                f"chaos:{fault.kind}", t, cost, step=self._barrier_step
+            )
+        if resume > t and self.trace_dir is not None:
+            for p in self.procs:
+                self.tracers[p.rank].add_span(
+                    "recover:pause", t, resume - t, step=self._barrier_step
+                )
+        return resume
+
+    def _apply_load_spike(self, fault, t: float) -> None:
+        """Rewrite the victim host's load trace with the spike."""
+        proc = self.procs[fault.rank]
+        old = proc.host.trace
+        points = [p for p in old.points if p[0] < t]
+        points.append((t, fault.load))
+        if fault.seconds > 0:
+            end = t + fault.seconds
+            points.append((end, old.load_at(end)))
+            points.extend(p for p in old.points if p[0] > end)
+        proc.host.trace = LoadTrace(points=tuple(points))
+        self.fault_events.append(
+            SimFaultEvent(time=t, kind=fault.kind, rank=fault.rank,
+                          cost=0.0)
+        )
+        self.tracers[fault.rank].add_span(
+            "chaos:load_spike", t, max(fault.seconds, 0.0),
+            step=self.procs[fault.rank].step,
+        )
 
     # ------------------------------------------------------------------
     # monitoring program (§5.1)

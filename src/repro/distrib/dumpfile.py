@@ -15,12 +15,23 @@ Format: a single ``.npz`` holding every padded field array, the solid
 mask, and a JSON-encoded manifest (block geometry, pad, step counter,
 scalar extras).  Writes go to a temporary name followed by an atomic
 rename so a crash mid-save can never corrupt the last good dump.
+
+The atomic rename protects against a *crash mid-save*; it cannot
+protect against the media itself (a failing disk, a truncating NFS
+server).  The manifest therefore records a CRC32 per stored array, and
+:func:`load_dump` refuses a dump whose bytes no longer match with a
+:class:`DumpCorruption` — which is what lets the monitoring program
+fall back to the *previous* complete checkpoint instead of restarting
+into garbage (§4.1).  Dumps written before checksums existed load
+unverified (the manifest has no ``crc32`` entry to check against).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -28,9 +39,24 @@ import numpy as np
 from ..core.decomposition import Block
 from ..core.subregion import SubregionState
 
-__all__ = ["save_dump", "load_dump", "load_dumps", "dump_path"]
+__all__ = [
+    "save_dump",
+    "load_dump",
+    "load_dumps",
+    "dump_path",
+    "verify_dump",
+    "DumpCorruption",
+]
 
 _FIELD_PREFIX = "field__"
+
+
+class DumpCorruption(RuntimeError):
+    """A dump file failed its integrity checks (checksum, structure)."""
+
+    def __init__(self, path: str | Path, detail: str):
+        self.path = Path(path)
+        super().__init__(f"corrupt dump {self.path}: {detail}")
 
 
 def dump_path(directory: str | Path, rank: int, tag: str = "state") -> Path:
@@ -42,6 +68,8 @@ def save_dump(sub: SubregionState, path: str | Path) -> None:
     """Atomically save a subregion's complete state."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {_FIELD_PREFIX + k: v for k, v in sub.fields.items()}
+    arrays["solid"] = sub.solid
     manifest = {
         "index": list(sub.block.index),
         "lo": list(sub.block.lo),
@@ -51,9 +79,13 @@ def save_dump(sub: SubregionState, path: str | Path) -> None:
         "pad": sub.pad,
         "step": sub.step,
         "extra": {k: float(v) for k, v in sub.extra.items()},
+        # Per-record integrity: CRC32 of each array's raw bytes, so a
+        # restart can reject a silently corrupted checkpoint (§4.1).
+        "crc32": {
+            name: zlib.crc32(np.ascontiguousarray(v).tobytes())
+            for name, v in arrays.items()
+        },
     }
-    arrays = {_FIELD_PREFIX + k: v for k, v in sub.fields.items()}
-    arrays["solid"] = sub.solid
     tmp = path.with_suffix(".tmp.npz")
     with open(tmp, "wb") as fh:
         np.savez(fh, manifest=json.dumps(manifest), **arrays)
@@ -82,15 +114,37 @@ def load_dump(path: str | Path) -> SubregionState:
     Method-private ``aux`` arrays (masks, scratch) are *not* stored;
     the worker rebuilds them via ``method.init_subregion`` after the
     restore, exactly like a freshly decomposed subregion.
+
+    Raises :class:`DumpCorruption` when the file is structurally
+    damaged (truncated archive, unreadable member) or an array fails
+    its manifest CRC32.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
-        manifest = json.loads(str(data["manifest"]))
-        fields = {
-            name[len(_FIELD_PREFIX):]: np.ascontiguousarray(data[name])
-            for name in data.files
-            if name.startswith(_FIELD_PREFIX)
-        }
-        solid = np.ascontiguousarray(data["solid"])
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"]))
+            fields = {
+                name[len(_FIELD_PREFIX):]: np.ascontiguousarray(data[name])
+                for name in data.files
+                if name.startswith(_FIELD_PREFIX)
+            }
+            solid = np.ascontiguousarray(data["solid"])
+    except (zipfile.BadZipFile, KeyError, OSError, EOFError,
+            ValueError) as exc:
+        raise DumpCorruption(path, f"unreadable archive: {exc}") from exc
+    checksums = manifest.get("crc32", {})
+    arrays = {_FIELD_PREFIX + k: v for k, v in fields.items()}
+    arrays["solid"] = solid
+    for name, want in checksums.items():
+        if name not in arrays:
+            raise DumpCorruption(path, f"checksummed array {name!r} missing")
+        got = zlib.crc32(arrays[name].tobytes())
+        if got != want:
+            raise DumpCorruption(
+                path,
+                f"array {name!r} CRC32 mismatch "
+                f"(stored {want:#010x}, computed {got:#010x})",
+            )
     block = Block(
         index=tuple(manifest["index"]),
         lo=tuple(manifest["lo"]),
@@ -107,3 +161,12 @@ def load_dump(path: str | Path) -> SubregionState:
     )
     sub.extra.update(manifest.get("extra", {}))
     return sub
+
+
+def verify_dump(path: str | Path) -> None:
+    """Raise :class:`DumpCorruption` unless the dump loads and checks out.
+
+    What the monitoring program runs against every rank's dump of a
+    checkpoint before restarting from it.
+    """
+    load_dump(path)

@@ -40,9 +40,11 @@ from pathlib import Path
 
 from ..balance.estimator import LoadEstimator
 from ..balance.planner import BalancePolicy, RebalancePlanner
+from ..chaos.plan import FaultPlan
 from ..net.portfile import PortRegistry
+from ..trace import NULL_TRACER, Tracer
 from .diagnostics import DiagnosticsLog
-from .dumpfile import dump_path
+from .dumpfile import DumpCorruption, dump_path, verify_dump
 from .hostdb import MIGRATE_LOAD_LIMIT, HostDB
 from .spec import ProblemSpec
 from .submit import spawn_worker
@@ -60,6 +62,10 @@ __all__ = ["Monitor", "MonitorError"]
 
 class MonitorError(RuntimeError):
     """The distributed computation could not be driven to completion."""
+
+
+class _EpochBroken(RuntimeError):
+    """A migration epoch failed mid-sequence (recoverable by restart)."""
 
 
 def _proc_state(pid: int) -> str:
@@ -143,6 +149,29 @@ class Monitor:
         self._diag_log = DiagnosticsLog.for_workdir(self.workdir)
         self._log_path = self.workdir / "logs" / "monitor.log"
         self._log_path.parent.mkdir(parents=True, exist_ok=True)
+        # Host-level faults of the run's chaos plan (load spikes) are
+        # the monitor's to apply: host load is control-plane state the
+        # workers never touch.  On a *traced chaos run* the monitor's
+        # recovery ledger streams to its own trace lane (one past the
+        # last rank); ordinary traced runs keep exactly one lane per
+        # worker rank.
+        self._host_faults = []
+        self._applied_faults: set[str] = set()
+        if base_cfg.get("fault_plan"):
+            plan = FaultPlan.from_json(base_cfg["fault_plan"])
+            self._host_faults = list(plan.host_faults())
+        self.tracer = NULL_TRACER
+        if base_cfg.get("trace") and base_cfg.get("fault_plan"):
+            self.tracer = Tracer(
+                self.workdir / "trace" / "trace-mon.jsonl",
+                rank=len(self.procs),
+            )
+
+    def _ledger(self, name: str) -> None:
+        """One recovery-ledger span (``chaos:``/``recover:`` prefix)."""
+        if self.tracer.enabled:
+            self.tracer.add_span(name, self.tracer.clock(), 0.0)
+            self.tracer.flush()
 
     def log(self, msg: str) -> None:
         """Append a line to the monitor log."""
@@ -170,13 +199,29 @@ class Monitor:
     # ------------------------------------------------------------------
     def run(self, timeout: float = 300.0) -> None:
         """Drive the computation until every worker finished."""
-        deadline = time.monotonic() + timeout
+        start = time.monotonic()
+        deadline = start + timeout
         last_progress = time.monotonic()
         last_steps: dict[int, int] = {}
+        try:
+            self._run_loop(start, deadline, last_progress, last_steps)
+        finally:
+            self.tracer.close()
+        self.log("all workers done")
+        self._merge_traces()
+
+    def _run_loop(
+        self,
+        start: float,
+        deadline: float,
+        last_progress: float,
+        last_steps: dict[int, int],
+    ) -> None:
         while len(self._done) < len(self.procs):
             if time.monotonic() > deadline:
                 self._kill_all()
                 raise MonitorError("distributed run timed out")
+            self._apply_host_faults(time.monotonic() - start)
 
             # 1. exit-code bookkeeping
             crashed = []
@@ -249,8 +294,28 @@ class Monitor:
                 continue
 
             time.sleep(self.poll)
-        self.log("all workers done")
-        self._merge_traces()
+
+    def _apply_host_faults(self, elapsed: float) -> None:
+        """Fire any due load-spike faults from the run's chaos plan."""
+        for fault in self._host_faults:
+            if fault.fault_id in self._applied_faults:
+                continue
+            if elapsed < fault.at:
+                continue
+            self._applied_faults.add(fault.fault_id)
+            host = self.hostdb.host_of_rank(fault.rank)
+            if host is None:
+                self.log(
+                    f"chaos: {fault.fault_id} skipped (rank "
+                    f"{fault.rank} not on any host)"
+                )
+                continue
+            self.hostdb.set_load(host.name, load5=fault.load)
+            self.log(
+                f"chaos: load spike on {host.name} "
+                f"(load5={fault.load:.2f}, rank {fault.rank})"
+            )
+            self._ledger("chaos:load_spike")
 
     def _merge_traces(self) -> None:
         """Merge the ranks' trace streams into one Chrome trace JSON.
@@ -271,9 +336,25 @@ class Monitor:
     # migration sequence (§5.1)
     # ------------------------------------------------------------------
     def _migrate(self, ranks: list[int]) -> None:
+        """One migration epoch; a broken epoch degrades to a restart.
+
+        The happy path is the §5.1 sequence.  When the epoch itself
+        fails — a migrating rank dies instead of dumping, a waiter never
+        pauses, the registry times out — the run is *not* lost: the
+        epoch is abandoned and the whole group restarts from the last
+        verified checkpoint (bounded by ``max_restarts``), exactly as a
+        crash would be handled.
+        """
         epoch = self.generation
         self.log(f"migration epoch {epoch}: ranks {ranks}")
+        try:
+            self._migrate_epoch(epoch, ranks)
+        except _EpochBroken as exc:
+            self.log(f"migration epoch {epoch} broken: {exc}")
+            self._ledger("recover:migration_failed")
+            self._restart_from_checkpoint()
 
+    def _migrate_epoch(self, epoch: int, ranks: list[int]) -> None:
         running = {
             r: p for r, p in self.procs.items()
             if r not in self._done and p.poll() is None
@@ -284,9 +365,12 @@ class Monitor:
         # every running worker is registered for the current generation.
         transport = self.base_cfg.get("transport", "tcp")
         registry = PortRegistry(self.workdir / f"ports_{transport}.txt")
-        registry.wait_for(
-            epoch, set(running), timeout=self.stall_timeout
-        )
+        try:
+            registry.wait_for(
+                epoch, set(running), timeout=self.stall_timeout
+            )
+        except TimeoutError as exc:
+            raise _EpochBroken(f"port registry: {exc}") from exc
 
         request = self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
         request.parent.mkdir(parents=True, exist_ok=True)
@@ -300,14 +384,12 @@ class Monitor:
             proc = running[rank]
             while proc.poll() is None:
                 if time.monotonic() > sync_deadline:
-                    self._kill_all()
-                    raise MonitorError(
+                    raise _EpochBroken(
                         f"rank {rank} never left during epoch {epoch}"
                     )
                 time.sleep(self.poll)
             if proc.returncode != EXIT_MIGRATED:
-                self._kill_all()
-                raise MonitorError(
+                raise _EpochBroken(
                     f"rank {rank} exited {proc.returncode} instead of "
                     f"migrating"
                 )
@@ -320,8 +402,7 @@ class Monitor:
             pid = running[rank].pid
             while not (marker.exists() and _proc_state(pid) == "T"):
                 if time.monotonic() > sync_deadline:
-                    self._kill_all()
-                    raise MonitorError(
+                    raise _EpochBroken(
                         f"rank {rank} never paused during epoch {epoch}"
                     )
                 time.sleep(self.poll)
@@ -359,6 +440,7 @@ class Monitor:
             self.procs[rank].send_signal(signal.SIGCONT)
         self.generation = epoch + 1
         self.migrations += 1
+        self._ledger("recover:migrate")
 
     # ------------------------------------------------------------------
     # rebalance epochs (adaptive load balancing)
@@ -566,6 +648,31 @@ class Monitor:
                 parts.append(f"--- rank {rank} ---\n{evidence}")
         return "\n".join(parts)
 
+    def _select_checkpoint(self) -> str:
+        """The newest complete checkpoint whose dumps all verify.
+
+        Walks the complete checkpoints newest-first, checksumming every
+        rank's dump (:func:`verify_dump`); a corrupted or missing dump
+        disqualifies that step and the walk falls back one checkpoint
+        (§4.1 — restarting into garbage is worse than losing a save
+        interval).  The initial ``state`` dumps are the last resort.
+        """
+        for step in SaveTurns.complete_steps(self.workdir):
+            tag = f"ckpt{step:09d}"
+            try:
+                for rank in self.procs:
+                    verify_dump(
+                        dump_path(self.workdir / "dumps", rank, tag=tag)
+                    )
+            except (DumpCorruption, OSError) as exc:
+                self.log(
+                    f"checkpoint {tag} rejected, falling back one: {exc}"
+                )
+                self._ledger("recover:ckpt_fallback")
+                continue
+            return tag
+        return "state"
+
     def _restart_from_checkpoint(self, crashed: list[int] | None = None) -> None:
         diagnostics = self._worker_diagnostics(crashed)
         if diagnostics:
@@ -580,9 +687,14 @@ class Monitor:
             raise MonitorError(msg)
         self.restarts += 1
         self._kill_all()
-        step = SaveTurns.latest_complete_step(self.workdir)
-        tag = f"ckpt{step:09d}" if step is not None else "state"
+        tag = self._select_checkpoint()
         self.log(f"restarting everything from '{tag}' dumps")
+        self._ledger("recover:ckpt_restart")
+        # The replay re-saves every checkpoint after the restart point;
+        # stale save-turn tokens from the previous incarnation would
+        # make those saves abort.
+        ckpt_step = int(tag[4:]) if tag.startswith("ckpt") else 0
+        SaveTurns.reset_after(self.workdir, ckpt_step)
         # The whole simulation restarts — even ranks that had finished
         # must come back, because the ranks re-running from the
         # checkpoint need their boundary data for the replayed steps.

@@ -61,6 +61,13 @@ class WorkerKnobs:
     nan_step: int = 0          # test/emulation knob: poison one value at
     nan_rank: int = 0          # this step on this rank, as a blown-up
     #  kernel would, to exercise the diagnosed-abort path
+    fault_plan: str = ""       # JSON repro.chaos.FaultPlan: deterministic
+    #  seeded fault injection (worker kills/stalls, frame drops/dups/
+    #  truncations, checkpoint corruption, host-load spikes)
+    reconnect_attempts: int = 5   # TCP link recovery: bounded
+    reconnect_base: float = 0.05  # exponential backoff (base*2^k seconds)
+    hangup_grace: float = 2.0  # receiver-side wait for a hung-up peer
+    #  that still owes data to re-connect before ChannelError
 
 
 def worker_knob_names() -> tuple[str, ...]:

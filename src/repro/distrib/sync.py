@@ -208,8 +208,10 @@ class SaveTurns:
                 / f"ckpt_step{step:09d}_complete")
 
     @staticmethod
-    def latest_complete_step(workdir: str | Path) -> int | None:
-        """Newest step with a complete (restartable) checkpoint."""
+    def complete_steps(workdir: str | Path) -> list[int]:
+        """Every step with a complete (restartable) checkpoint, newest
+        first — the fallback order a restart walks when the newest
+        checkpoint turns out to be corrupt."""
         base = Path(workdir) / "sync"
         steps = []
         for p in base.glob("ckpt_step*_complete"):
@@ -217,7 +219,39 @@ class SaveTurns:
                 steps.append(int(p.name[len("ckpt_step"):-len("_complete")]))
             except ValueError:  # pragma: no cover - foreign file
                 continue
-        return max(steps) if steps else None
+        return sorted(steps, reverse=True)
+
+    @staticmethod
+    def latest_complete_step(workdir: str | Path) -> int | None:
+        """Newest step with a complete (restartable) checkpoint."""
+        steps = SaveTurns.complete_steps(workdir)
+        return steps[0] if steps else None
+
+    @staticmethod
+    def reset_after(workdir: str | Path, step: int) -> None:
+        """Discard save-turn state for every step beyond ``step``.
+
+        A restart replays the run from checkpoint ``step``, so the
+        workers will pass the save token again at every later
+        checkpoint.  Any counter file or completion marker those steps
+        left behind before the crash (including a *complete* save whose
+        dumps later failed checksum verification) would make
+        :meth:`finish_turn` see a token that is already ahead of the
+        replaying rank and abort the whole run — so the monitor clears
+        them before respawning workers.
+        """
+        base = Path(workdir) / "sync"
+        for pattern, prefix, suffix in (
+            ("save_turn_step*.txt", "save_turn_step", ".txt"),
+            ("ckpt_step*_complete", "ckpt_step", "_complete"),
+        ):
+            for p in base.glob(pattern):
+                try:
+                    found = int(p.name[len(prefix):-len(suffix)])
+                except ValueError:  # pragma: no cover - foreign file
+                    continue
+                if found > step:
+                    p.unlink(missing_ok=True)
 
 
 class MessageSaveTurns:

@@ -37,6 +37,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..chaos.inject import ChannelFaultInjector, FiredMarkers, WorkerFaults
+from ..chaos.plan import DUMP_KINDS, MESSAGE_KINDS, PROCESS_KINDS, FaultPlan
 from ..core.exchange import build_plan
 from ..net.channels import ChannelSet
 from ..net.collectives import Communicator
@@ -149,7 +151,10 @@ class Worker:
         )
         if cfg.transport == "tcp":
             self.channels = ChannelSet(
-                self.rank, neighbor_ranks, self.registry
+                self.rank, neighbor_ranks, self.registry,
+                reconnect_attempts=cfg.reconnect_attempts,
+                reconnect_base=cfg.reconnect_base,
+                hangup_grace=cfg.hangup_grace,
             )
         else:
             self.channels = UdpChannelSet(
@@ -218,6 +223,25 @@ class Worker:
         self._comp_ema: float | None = None
         self._log_path = self.workdir / "logs" / f"rank{self.rank:04d}.log"
         self._log_path.parent.mkdir(parents=True, exist_ok=True)
+        # Deterministic fault injection (repro.chaos): process/dump
+        # faults fire from the step loop, message faults hook the
+        # channel send path.  Fired-once markers live in the workdir so
+        # a fault never re-fires after the checkpoint restart it caused.
+        self.faults: WorkerFaults | None = None
+        if cfg.fault_plan:
+            plan = FaultPlan.from_json(cfg.fault_plan)
+            markers = FiredMarkers(self.workdir / "chaos")
+            self.faults = WorkerFaults(
+                plan.for_rank(self.rank, PROCESS_KINDS | DUMP_KINDS),
+                markers,
+                log=self.log,
+                tracer=self.tracer if cfg.trace else None,
+            )
+            msg_faults = plan.for_rank(self.rank, MESSAGE_KINDS)
+            if msg_faults:
+                self.channels.injector = ChannelFaultInjector(
+                    msg_faults, markers, ledger=self._chaos_ledger
+                )
 
     # ------------------------------------------------------------------
     # plumbing
@@ -226,6 +250,16 @@ class Worker:
         """Append a line to this worker's log file."""
         with open(self._log_path, "a") as fh:
             fh.write(f"{time.time():.3f} step={self.sub.step} {msg}\n")  # wall stamp
+
+    def _chaos_ledger(self, fault) -> None:
+        """Record an injected message fault (log + recovery ledger)."""
+        self.log(f"chaos: firing {fault.fault_id}")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add_span(
+                f"chaos:{fault.kind}", tracer.clock(), 0.0,
+                step=self.sub.step,
+            )
 
     def _request_path(self, epoch: int) -> Path:
         return self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
@@ -261,6 +295,15 @@ class Worker:
         self.install_signals()
         self.channels.open(self.generation, timeout=self.cfg.open_timeout)
         self.log(f"channels open, generation {self.generation}")
+        if self.cfg.dump_in:
+            # This incarnation was restored from a dump (checkpoint
+            # restart, migration or rebalance) — ledger the recovery.
+            self.log(f"recovered from {Path(self.cfg.dump_in).name}")
+            if self.tracer.enabled:
+                self.tracer.add_span(
+                    "recover:restart", self.tracer.clock(), 0.0,
+                    step=self.sub.step,
+                )
         try:
             try:
                 while True:
@@ -270,6 +313,8 @@ class Worker:
                             return rc
                     if self.sub.step >= self.cfg.steps_total:
                         break
+                    if self.faults is not None:
+                        self.faults.at_step(self.sub.step)
                     self._step_once()
                     self._heartbeat()
                     self._maybe_checkpoint()
@@ -353,17 +398,17 @@ class Worker:
         turns.wait_turn(self.rank, gap=self.cfg.save_gap)
         self.tracer.end("checkpoint:turn", t0, step=self.sub.step)
         t0 = self.tracer.begin()
-        save_dump(
-            self.sub,
-            dump_path(
-                self.workdir / "dumps",
-                self.rank,
-                tag=f"ckpt{self.sub.step:09d}",
-            ),
+        out = dump_path(
+            self.workdir / "dumps",
+            self.rank,
+            tag=f"ckpt{self.sub.step:09d}",
         )
+        save_dump(self.sub, out)
         self.tracer.end("checkpoint:write", t0, step=self.sub.step)
         turns.finish_turn(self.rank, self.n_ranks)
         self.log(f"checkpoint at step {self.sub.step}")
+        if self.faults is not None:
+            self.faults.after_checkpoint(out, self.sub.step)
 
     def _diagnostic_abort(self, failure: DiagnosticsFailure) -> int:
         """Record a diagnosed global blow-up and exit cleanly.

@@ -8,7 +8,7 @@ with tree and ring algorithms) that runs identically over TCP, UDP and
 the in-process fabric.
 """
 
-from .channels import ChannelSet
+from .channels import ChannelError, ChannelSet
 from .collectives import (
     COLLECTIVE_PHASE,
     DEFAULT_CHUNK_BYTES,
@@ -34,6 +34,7 @@ from .udp import UdpChannelSet
 
 __all__ = [
     "ChannelSet",
+    "ChannelError",
     "UdpChannelSet",
     "LocalFabric",
     "LocalChannelSet",

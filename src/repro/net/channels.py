@@ -16,6 +16,18 @@ caller needs them — this is what lets computation proceed in processes
 that are not delayed.  A ``strict_order`` mode implements the
 alternative the appendix analyses (drain neighbours in a fixed order)
 so its inferior behaviour can be demonstrated.
+
+**Fault hardening.**  Connection-level failures surface as a typed
+:class:`ChannelError` carrying rank, peer and generation — never a raw
+``ConnectionError``/``BrokenPipeError`` without context.  Before one is
+raised, the channel set tries to *recover* the link with bounded
+exponential backoff, keeping the original handshake roles: the higher
+rank re-connects through the registry, the lower rank re-accepts on its
+still-open listener (which is why ``recv_data`` keeps the listener in
+its ``select`` set).  An optional fault injector
+(:mod:`repro.chaos.inject`) hooks the send path to drop, duplicate,
+delay or truncate frames, or break links outright — the failure modes
+the recovery paths are tested against.
 """
 
 from __future__ import annotations
@@ -37,9 +49,28 @@ from .protocol import (
     send_all,
 )
 
-__all__ = ["ChannelSet"]
+__all__ = ["ChannelSet", "ChannelError"]
 
 _SNDBUF = 1 << 20  # generous kernel buffers keep small-strip sends non-blocking
+
+
+class ChannelError(ConnectionError):
+    """A channel to a peer failed beyond recovery.
+
+    Wraps the raw ``ConnectionError``/``BrokenPipeError``/``OSError``
+    the socket layer raises, adding the context a monitor log needs to
+    be actionable: *whose* channel, to *which* peer, under *which*
+    registry generation.
+    """
+
+    def __init__(self, rank: int, peer: int, generation: int, detail: str):
+        self.rank = rank
+        self.peer = peer
+        self.generation = generation
+        super().__init__(
+            f"rank {rank}: channel to peer {peer} "
+            f"(generation {generation}): {detail}"
+        )
 
 
 class ChannelSet:
@@ -51,6 +82,9 @@ class ChannelSet:
         neighbor_ranks: Iterable[int],
         registry: PortRegistry,
         host: str = "127.0.0.1",
+        reconnect_attempts: int = 5,
+        reconnect_base: float = 0.05,
+        hangup_grace: float = 2.0,
     ) -> None:
         self.rank = rank
         self.neighbors = sorted(set(neighbor_ranks))
@@ -59,10 +93,25 @@ class ChannelSet:
         self.registry = registry
         self.host = host
         self.generation = -1
+        #: bounded exponential backoff for link recovery: attempt ``k``
+        #: waits ``reconnect_base * 2**k`` seconds, ``reconnect_attempts``
+        #: attempts total before a :class:`ChannelError` is raised.
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_base = reconnect_base
+        #: how long a receiver waits for a hung-up peer that still owes
+        #: data to re-connect before giving up with a ChannelError.
+        self.hangup_grace = hangup_grace
+        #: successful link recoveries (visible in worker logs/benches)
+        self.reconnects = 0
+        #: optional :class:`repro.chaos.ChannelFaultInjector` hook
+        self.injector = None
         self._socks: dict[int, socket.socket] = {}
         self._listener: socket.socket | None = None
         self._inbox: dict[tuple, bytes] = {}
         self._hung_up: set[int] = set()
+        self._hung_at: dict[int, float] = {}
+        self._attempts: dict[int, int] = {}
+        self._next_try: dict[int, float] = {}
         #: per-peer byte/message accounting (assign a live
         #: :class:`repro.trace.Tracer` to record channel traffic)
         self.tracer = NULL_TRACER
@@ -90,9 +139,14 @@ class ChannelSet:
                 generation, set(lower), timeout=timeout
             )
             for n in lower:
-                s = socket.create_connection(addrs[n], timeout=timeout)
-                self._setup(s)
-                send_all(s, pack_frame(MSG_HELLO, self.rank))
+                try:
+                    s = socket.create_connection(addrs[n], timeout=timeout)
+                    self._setup(s)
+                    send_all(s, pack_frame(MSG_HELLO, self.rank))
+                except OSError as exc:
+                    raise ChannelError(
+                        self.rank, n, generation, f"connect failed: {exc}"
+                    ) from exc
                 self._socks[n] = s
 
         # Accept connections from higher-ranked neighbours.
@@ -203,11 +257,135 @@ class ChannelSet:
                 pass
         self._socks.clear()
         self._hung_up.clear()
+        self._hung_at.clear()
+        self._attempts.clear()
+        self._next_try.clear()
         if self._listener is not None:
             self._listener.close()
             self._listener = None
         # Buffered future-step frames remain valid across a re-open: the
         # sender will not retransmit them.
+
+    # ------------------------------------------------------------------
+    # link recovery (bounded exponential backoff, roles preserved)
+    # ------------------------------------------------------------------
+    def break_link(self, peer: int, drain: bool = True) -> None:
+        """Close the channel to ``peer`` (fault injection / dead link).
+
+        ``drain`` first moves any frames already queued on our side of
+        the socket into the out-of-order inbox, so an *orderly* break
+        loses no data — the paths that close a socket the OS already
+        broke pass ``drain=False``.
+        """
+        sock = self._socks.pop(peer, None)
+        if sock is None:
+            return
+        if drain:
+            self._drain(sock)
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def _drain(self, sock: socket.socket) -> None:
+        """Buffer every frame already readable on a socket."""
+        try:
+            while True:
+                ready, _, _ = select.select([sock], [], [], 0.05)
+                if not ready:
+                    return
+                header, payload = recv_frame(sock)
+                if header.msg_type != MSG_DATA:
+                    continue
+                self._inbox[header.key()] = payload
+                self.tracer.count(header.sender, len(payload), sent=False)
+        except (ProtocolError, OSError):
+            return
+
+    def _adopt(self, peer: int, sock: socket.socket) -> None:
+        """Install a freshly established socket as the live link."""
+        old = self._socks.pop(peer, None)
+        if old is not None:
+            self._drain(old)
+            try:
+                old.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._socks[peer] = sock
+        self._hung_up.discard(peer)
+        self._hung_at.pop(peer, None)
+        self._attempts.pop(peer, None)
+        self._next_try.pop(peer, None)
+
+    def _connect_to(self, peer: int, timeout: float) -> None:
+        """Re-connect to a lower-ranked peer (we keep the connector role)."""
+        addrs = self.registry.wait_for(
+            self.generation, {peer}, timeout=timeout
+        )
+        s = socket.create_connection(addrs[peer], timeout=max(timeout, 0.1))
+        self._setup(s)
+        send_all(s, pack_frame(MSG_HELLO, self.rank))
+        self._adopt(peer, s)
+        self.reconnects += 1
+
+    def _accept_reconnect(self) -> int | None:
+        """Accept one pending connection on the listener (any peer)."""
+        assert self._listener is not None
+        s, _ = self._listener.accept()
+        self._setup(s)
+        try:
+            header, _ = recv_frame(s)
+        except (ProtocolError, OSError):
+            s.close()
+            return None
+        if header.msg_type != MSG_HELLO:
+            s.close()
+            return None
+        self._adopt(header.sender, s)
+        return header.sender
+
+    def _await_reconnect(self, peer: int, wait: float) -> None:
+        """Wait for a higher-ranked peer to re-connect (acceptor role)."""
+        assert self._listener is not None
+        deadline = time.monotonic() + wait
+        while peer not in self._socks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"peer {peer} did not reconnect")
+            ready, _, _ = select.select([self._listener], [], [], remaining)
+            if ready:
+                self._accept_reconnect()
+
+    def _send_frame(self, to: int, data: bytes) -> None:
+        """Transmit one packed frame, recovering the link if needed."""
+        sock = self._socks.get(to)
+        last: Exception | None = None
+        if sock is not None:
+            try:
+                send_all(sock, data)
+                return
+            except OSError as exc:
+                last = exc
+                self.break_link(to, drain=False)
+        delay = self.reconnect_base
+        for _ in range(self.reconnect_attempts):
+            try:
+                if to < self.rank:
+                    self._connect_to(to, timeout=delay)
+                else:
+                    self._await_reconnect(to, wait=delay)
+                send_all(self._socks[to], data)
+                return
+            except (OSError, TimeoutError) as exc:
+                last = exc
+                self.break_link(to, drain=False)
+                time.sleep(delay)
+                delay *= 2
+        raise ChannelError(
+            self.rank, to, self.generation,
+            f"send failed after {self.reconnect_attempts} reconnect "
+            f"attempts: {last!r}",
+        ) from last
 
     # ------------------------------------------------------------------
     # data plane
@@ -222,17 +400,20 @@ class ChannelSet:
         side: int,
     ) -> None:
         """Send one boundary-strip frame to a neighbour."""
-        frame = pack_frame(
-            MSG_DATA,
-            self.rank,
-            payload,
-            step=step,
-            phase=phase,
-            axis=axis,
-            side=side,
-        )
-        send_all(self._socks[to], frame)
-        self.tracer.count(to, len(payload))
+        frames: Iterable[tuple] = ((to, payload, step, phase, axis, side),)
+        if self.injector is not None and self.injector.enabled:
+            frames, breaks = self.injector.filter_send(
+                (to, payload, step, phase, axis, side)
+            )
+            for peer in breaks:
+                self.break_link(peer)
+        for t, pl, st, ph, ax, sd in frames:
+            frame = pack_frame(
+                MSG_DATA, self.rank, pl,
+                step=st, phase=ph, axis=ax, side=sd,
+            )
+            self._send_frame(t, frame)
+            self.tracer.count(t, len(pl))
 
     def recv_data(
         self,
@@ -246,6 +427,13 @@ class ChannelSet:
         default first-come-first-served mode, ``select`` picks whichever
         neighbour has data; in ``strict_order`` mode neighbours are
         drained in ascending rank order (the App. C ablation).
+
+        A peer that hangs up while still owing data is given a chance to
+        re-establish the link (it may have broken the connection on
+        purpose — see :meth:`break_link` — or be re-connecting after a
+        transient error): lower-ranked peers are re-dialled with backoff,
+        higher-ranked peers are awaited on the listener, bounded by
+        ``hangup_grace``; then a :class:`ChannelError` names the peer.
         """
         out: dict[tuple, bytes] = {}
         for key in list(keys):
@@ -253,36 +441,42 @@ class ChannelSet:
                 out[key] = self._inbox.pop(key)
         missing = keys - out.keys()
         deadline = time.monotonic() + timeout
-        by_rank = {s: r for r, s in self._socks.items()}
         while missing:
             # A peer that has finished its run closes its end; that is
             # only an error if we still expect data from it (all frames
             # sent before the close are delivered first by TCP).
-            dead = self._hung_up & {k[4] for k in missing}
-            if dead:
-                raise ProtocolError(
-                    f"rank {self.rank}: neighbours {sorted(dead)} hung up "
-                    f"while {sorted(missing)} still outstanding"
-                )
+            self._recover_hung_up({k[4] for k in missing})
             if strict_order:
                 want = sorted(k[4] for k in missing)[0]
-                socks = [self._socks[want]]
+                socks = (
+                    [self._socks[want]] if want in self._socks else []
+                )
             else:
                 socks = [
                     s for r, s in self._socks.items()
                     if r not in self._hung_up
                 ]
+            # The listener stays in the select set so a peer
+            # re-connecting after a link break is accepted mid-receive.
+            if self._listener is not None:
+                socks.append(self._listener)
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError(
                     f"rank {self.rank}: still waiting for {sorted(missing)}"
                 )
-            ready, _, _ = select.select(socks, [], [], remaining)
+            ready, _, _ = select.select(socks, [], [], min(remaining, 0.25))
+            by_rank = {s: r for r, s in self._socks.items()}
             for s in ready:
+                if s is self._listener:
+                    self._accept_reconnect()
+                    continue
                 try:
                     header, payload = recv_frame(s)
                 except ProtocolError:
-                    self._hung_up.add(by_rank[s])
+                    peer = by_rank[s]
+                    self._hung_up.add(peer)
+                    self._hung_at.setdefault(peer, time.monotonic())
                     continue
                 if header.msg_type != MSG_DATA:
                     raise ProtocolError(
@@ -296,4 +490,42 @@ class ChannelSet:
                 else:
                     # A neighbour running ahead (App. A) — buffer it.
                     self._inbox[key] = payload
+            for key in list(missing):
+                if key in self._inbox:
+                    out[key] = self._inbox.pop(key)
+                    missing.discard(key)
         return out
+
+    def _recover_hung_up(self, owed: set[int]) -> None:
+        """Try to restore hung-up links we still expect data from."""
+        now = time.monotonic()
+        for peer in sorted(self._hung_up & owed):
+            since = self._hung_at.setdefault(peer, now)
+            if peer < self.rank:
+                # Connector role: re-dial with bounded backoff.
+                if now < self._next_try.get(peer, 0.0):
+                    continue
+                tries = self._attempts.get(peer, 0)
+                if tries >= self.reconnect_attempts:
+                    raise ChannelError(
+                        self.rank, peer, self.generation,
+                        f"peer hung up and {tries} reconnect attempts "
+                        f"failed while data is still outstanding",
+                    )
+                self._attempts[peer] = tries + 1
+                self._next_try[peer] = (
+                    now + self.reconnect_base * (2 ** tries)
+                )
+                try:
+                    self._connect_to(peer, timeout=0.5)
+                except (OSError, TimeoutError):
+                    continue
+            elif now - since > self.hangup_grace:
+                # Acceptor role: the listener sits in the select set;
+                # all we can do is bound the wait.
+                raise ChannelError(
+                    self.rank, peer, self.generation,
+                    f"peer hung up and never reconnected within "
+                    f"{self.hangup_grace:.1f}s while data is still "
+                    f"outstanding",
+                )

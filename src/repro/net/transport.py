@@ -131,8 +131,9 @@ class SocketExchanger:
             chunk = payload[offset : offset + nbytes]
             if len(chunk) != nbytes:
                 raise ValueError(
-                    f"strip for field {name!r} truncated: "
-                    f"{len(chunk)}/{nbytes} bytes"
+                    f"strip for field {name!r} from rank "
+                    f"{op.neighbor_rank} at step {self.sub.step} "
+                    f"truncated: {len(chunk)}/{nbytes} bytes"
                 )
             target[...] = np.frombuffer(chunk, dtype=arr.dtype).reshape(
                 target.shape
@@ -140,5 +141,7 @@ class SocketExchanger:
             offset += nbytes
         if offset != len(payload):
             raise ValueError(
-                f"frame has {len(payload) - offset} unexpected trailing bytes"
+                f"frame from rank {op.neighbor_rank} at step "
+                f"{self.sub.step} has {len(payload) - offset} "
+                f"unexpected trailing bytes"
             )

@@ -38,6 +38,7 @@ from typing import Iterable
 import numpy as np
 
 from ..trace import NULL_TRACER
+from .channels import ChannelError
 from .portfile import PortRegistry
 from .protocol import ProtocolError
 
@@ -98,6 +99,11 @@ class UdpChannelSet:
         #: per-peer byte/message accounting (assign a live
         #: :class:`repro.trace.Tracer` to record channel traffic)
         self.tracer = NULL_TRACER
+        #: optional :class:`repro.chaos.ChannelFaultInjector` hook
+        #: (``conn_break`` faults are no-ops here: datagrams have no
+        #: connection to break — the retransmit timer already owns the
+        #: lost-packet failure mode)
+        self.injector = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -174,6 +180,18 @@ class UdpChannelSet:
         side: int,
     ) -> None:
         """Fragment, sequence and transmit one boundary-strip frame."""
+        frames: tuple = ((to, payload, step, phase, axis, side),)
+        if self.injector is not None and self.injector.enabled:
+            frames, _breaks = self.injector.filter_send(
+                (to, payload, step, phase, axis, side)
+            )
+        for t, pl, st, ph, ax, sd in frames:
+            self._send_frame(t, pl, st, ph, ax, sd)
+
+    def _send_frame(
+        self, to: int, payload: bytes,
+        step: int, phase: int, axis: int, side: int,
+    ) -> None:
         addr = self._addrs[to]
         self.tracer.count(to, len(payload))
         nfrags = max(1, -(-len(payload) // _MTU_PAYLOAD))
@@ -188,7 +206,13 @@ class UdpChannelSet:
                 axis, side, seq, idx, nfrags, len(chunk),
             ) + chunk
             self._unacked[seq] = (packet, addr, time.monotonic())
-            self._raw_send(packet, addr)
+            try:
+                self._raw_send(packet, addr)
+            except OSError as exc:
+                raise ChannelError(
+                    self.rank, to, self.generation,
+                    f"datagram send failed: {exc}",
+                ) from exc
             self.datagrams_sent += 1
 
     def _retransmit_due(self) -> None:

@@ -487,6 +487,128 @@ def _bench_balance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_rows(outcomes) -> list[list]:
+    """Result-table rows shared by ``repro chaos`` and ``bench --chaos``."""
+    rows = []
+    for o in outcomes:
+        rows.append([
+            o.scenario, o.seed,
+            o.outcome + ("" if o.passed else " <- FAIL"),
+            o.restarts, o.migrations,
+            f"{o.elapsed:.1f} s", f"{o.recovery_seconds:.1f} s",
+            f"{o.steps_per_second:.1f}",
+        ])
+    return rows
+
+
+def _bench_chaos(args: argparse.Namespace) -> int:
+    """The fault-tolerance acceptance gate (``repro bench --chaos``).
+
+    Runs the canonical seeded fault scenarios through
+    :func:`repro.chaos.runner.sweep` — a fault-free baseline first,
+    then every (scenario, seed) pair — and requires each one to end in
+    a bit-for-bit match against the fault-free serial reference or a
+    clean diagnostic abort.  A hang, a silent divergence, or an
+    unclassified exception fails the gate.  ``--chaos-seeds K`` widens
+    the sweep to seeds ``0..K-1`` (the nightly CI job runs 3).
+    """
+    import json
+    import tempfile
+    from dataclasses import asdict
+
+    from ..chaos import CANONICAL, sweep
+    from ..harness import format_table
+
+    seeds = tuple(range(max(args.chaos_seeds, 1)))
+    workdir = args.chaos_dir or tempfile.mkdtemp(prefix="repro_chaos_")
+    try:
+        outcomes = sweep(
+            workdir, seeds=seeds, scenarios=CANONICAL,
+            steps=args.chaos_steps,
+        )
+    except RuntimeError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 1
+
+    print(format_table(
+        ["scenario", "seed", "outcome", "restarts", "migrations",
+         "elapsed", "recovery", "steps/s"],
+        _chaos_rows(outcomes),
+        title=f"chaos sweep ({len(CANONICAL)} scenarios x "
+              f"{len(seeds)} seed(s) + fault-free baseline, "
+              f"{args.chaos_steps} steps each)",
+    ))
+    failed = [o for o in outcomes if not o.passed]
+    results = {
+        "steps": args.chaos_steps,
+        "scenarios": list(CANONICAL),
+        "seeds": list(seeds),
+        "baseline_seconds": outcomes[0].elapsed,
+        "runs": [asdict(o) for o in outcomes],
+        "passed": not failed,
+    }
+    out = Path(args.out or "BENCH_chaos.json")
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    if failed:
+        names = ", ".join(f"{o.scenario}/s{o.seed}={o.outcome}"
+                          for o in failed)
+        print(f"bench: chaos gate failed: {names}", file=sys.stderr)
+        return 1
+    print(f"chaos gate passed: {len(outcomes) - 1} faulted runs "
+          f"recovered or aborted cleanly")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Build, inspect, or execute one seeded fault plan."""
+    import json
+    from dataclasses import asdict
+
+    from ..chaos import SCENARIOS, FaultPlan, run_scenario
+    from ..harness import format_table
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    if args.scenario is None:
+        print("chaos: a scenario is required (or --list)", file=sys.stderr)
+        return 2
+
+    plan = None
+    if args.plan:
+        plan = FaultPlan.from_json(Path(args.plan).read_text())
+    elif args.scenario != "none":
+        plan = FaultPlan.scenario(
+            args.scenario, args.seed, args.ranks, args.steps,
+            args.save_every,
+        )
+    if args.print_plan:
+        print(plan.to_json() if plan else "{}")
+        return 0
+
+    workdir = Path(args.workdir or f"chaos_{args.scenario}_s{args.seed}")
+    outcome = run_scenario(
+        args.scenario, args.seed, workdir,
+        steps=args.steps, save_every=args.save_every, plan=plan,
+    )
+    print(format_table(
+        ["scenario", "seed", "outcome", "restarts", "migrations",
+         "elapsed", "recovery", "steps/s"],
+        _chaos_rows([outcome]),
+        title=f"chaos run in {workdir}",
+    ))
+    if outcome.detail:
+        print(f"detail: {outcome.detail}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(asdict(outcome), indent=1) + "\n"
+        )
+        print(f"outcome written to {args.json}")
+    return 0 if outcome.passed else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -503,6 +625,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_trace(args)
     if args.balance:
         return _bench_balance(args)
+    if args.chaos:
+        return _bench_chaos(args)
 
     results: dict[str, dict] = {}
     rows = []
@@ -637,6 +761,18 @@ def main(argv: list[str] | None = None) -> int:
                    help="measure adaptive rebalancing vs doing nothing "
                         "on a cramped simulated cluster instead "
                         "(writes BENCH_balance.json)")
+    p.add_argument("--chaos", action="store_true",
+                   help="run the seeded fault-injection acceptance gate "
+                        "instead: every scenario must recover bit-for-bit "
+                        "or abort cleanly (writes BENCH_chaos.json)")
+    p.add_argument("--chaos-seeds", type=int, default=1,
+                   help="seeds per scenario for --chaos (default: 1; "
+                        "the nightly CI sweep runs 3)")
+    p.add_argument("--chaos-steps", type=int, default=40,
+                   help="steps per chaos run (default: 40)")
+    p.add_argument("--chaos-dir", default=None,
+                   help="workdir for --chaos runs (default: a fresh "
+                        "temporary directory)")
     p.add_argument("--min-speedup", type=float, default=1.2,
                    help="fail --balance if rebalancing sustains less "
                         "than this times the baseline steps/s "
@@ -655,6 +791,30 @@ def main(argv: list[str] | None = None) -> int:
                         "BENCH_trace.json with --trace, or "
                         "BENCH_balance.json with --balance)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("chaos",
+                       help="run one seeded fault-injection scenario")
+    p.add_argument("scenario", nargs="?", default=None,
+                   help="scenario name (see --list), or 'none' for a "
+                        "fault-free run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=40)
+    p.add_argument("--save-every", type=int, default=10)
+    p.add_argument("--ranks", type=int, default=2,
+                   help="rank count the generated plan targets "
+                        "(default: 2, the runner's 2x1 decomposition)")
+    p.add_argument("--plan", default=None,
+                   help="run this fault-plan JSON file instead of the "
+                        "scenario's generated plan")
+    p.add_argument("--print-plan", action="store_true",
+                   help="print the plan JSON and exit without running")
+    p.add_argument("--list", action="store_true",
+                   help="list the known scenarios and exit")
+    p.add_argument("--workdir", default=None,
+                   help="run directory (default: chaos_<scenario>_s<seed>)")
+    p.add_argument("--json", default=None,
+                   help="also write the classified outcome as JSON here")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("trace",
                        help="§7 T_comp/T_comm breakdown of a traced run")

@@ -78,6 +78,10 @@ _PREFIX_CATEGORY = {
     "balance": CAT_OTHER,
     "heartbeat": CAT_OTHER,
     "wait": CAT_COMM,
+    # the per-rank recovery ledger: injected faults and the recoveries
+    # they triggered (repro.chaos)
+    "chaos": CAT_OTHER,
+    "recover": CAT_OTHER,
 }
 
 

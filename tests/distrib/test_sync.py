@@ -128,6 +128,21 @@ class TestSaveTurns:
         with pytest.raises(TimeoutError):
             turns.wait_turn(1, timeout=0.1, poll=0.02)
 
+    def test_reset_after_drops_later_state_only(self, tmp_path):
+        for step in (10, 20, 30):
+            t = SaveTurns(tmp_path, step=step)
+            t.wait_turn(0, timeout=1.0)
+            t.finish_turn(0, 1)
+        SaveTurns.reset_after(tmp_path, 10)
+        assert SaveTurns.complete_steps(tmp_path) == [10]
+        assert not (tmp_path / "sync"
+                    / "save_turn_step000000020.txt").exists()
+        # a replayed save at step 20 now starts from a clean token
+        replay = SaveTurns(tmp_path, step=20)
+        replay.wait_turn(0, timeout=1.0)
+        replay.finish_turn(0, 1)
+        assert SaveTurns.latest_complete_step(tmp_path) == 20
+
 
 class TestMalformedRecords:
     """Garbled sync-file lines warn loudly and never shadow good ones."""

@@ -23,12 +23,13 @@ under a bumped generation) reuses the migration-epoch machinery in
 :mod:`repro.distrib.worker` / :mod:`repro.distrib.monitor`.
 """
 
-from .estimator import LoadEstimator
+from .estimator import LoadEstimator, calibrated_speeds
 from .planner import BalancePolicy, RebalancePlan, RebalancePlanner
 from .recut import RecutError, check_rebalanceable, recut_problem
 
 __all__ = [
     "LoadEstimator",
+    "calibrated_speeds",
     "BalancePolicy",
     "RebalancePlan",
     "RebalancePlanner",

@@ -16,7 +16,13 @@ from .inject import (
     corrupt_dump,
 )
 from .plan import KINDS, MESSAGE_KINDS, SCENARIOS, Fault, FaultPlan
-from .runner import CANONICAL, ChaosOutcome, run_scenario, sweep
+from .runner import (
+    CANONICAL,
+    ChaosOutcome,
+    check_recovery_ledger,
+    run_scenario,
+    sweep,
+)
 
 __all__ = [
     "Fault",
@@ -26,6 +32,7 @@ __all__ = [
     "SCENARIOS",
     "CANONICAL",
     "ChaosOutcome",
+    "check_recovery_ledger",
     "run_scenario",
     "sweep",
     "NULL_INJECTOR",

@@ -21,13 +21,14 @@ from pathlib import Path
 
 import numpy as np
 
-from .plan import SCENARIOS, FaultPlan
+from .plan import DUMP_KINDS, PROCESS_KINDS, SCENARIOS, FaultPlan
 
 __all__ = [
     "CANONICAL",
     "ChaosOutcome",
     "chaos_settings",
     "chaos_spec",
+    "check_recovery_ledger",
     "run_scenario",
     "serial_reference",
     "sweep",
@@ -49,7 +50,8 @@ class ChaosOutcome:
 
     scenario: str
     seed: int
-    outcome: str               # match | clean_abort | hang | divergence | error
+    outcome: str               # match | clean_abort | hang | divergence
+                               # | ledger_gap | error
     detail: str = ""
     elapsed: float = 0.0       # wall seconds of the faulted run
     steps: int = 0
@@ -103,8 +105,72 @@ def chaos_settings(steps: int, save_every: int, plan: FaultPlan | None):
         stall_timeout=6.0,
         run_timeout=120.0,
         monitor_poll=0.02,
+        # tracing is on so every injected fault and every recovery
+        # action lands in the span ledger check_recovery_ledger audits
+        trace=plan is not None,
         fault_plan=plan.to_json() if plan is not None else "",
     )
+
+
+def _ledger_spans(workdir: str | Path) -> list[tuple[str, str]]:
+    """All ``chaos:``/``recover:`` spans of a traced run, as
+    ``(prefix, kind)`` pairs, in file order across every rank stream
+    (workers, restarted incarnations, and the monitor's own lane)."""
+    import json
+
+    out: list[tuple[str, str]] = []
+    for path in sorted(Path(workdir).glob("trace/trace-*.jsonl")):
+        for line in path.read_text().splitlines():
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # a crashed rank may leave a torn final line
+            if rec.get("type") != "span":
+                continue
+            name = rec.get("name", "")
+            if name.startswith(("chaos:", "recover:")):
+                prefix, _, kind = name.partition(":")
+                out.append((prefix, kind))
+    return out
+
+
+def check_recovery_ledger(
+    workdir: str | Path, restarts: int = 0
+) -> list[str]:
+    """Shape-check the recovery ledger of one traced chaos run.
+
+    The hardening contract is auditable from the trace alone: every
+    injected fault that takes a process down (``chaos:kill``,
+    ``chaos:stop``) must be answered by a recovery span
+    (``recover:restart`` from the restored incarnation, plus the
+    monitor's ``recover:ckpt_restart``/``recover:migrate``).  Corrupted
+    checkpoints (``dump_*`` kinds) only matter once a restart tries to
+    restore one, so they require a recovery span only when the run
+    restarted.  Message and host faults are self-healing by design —
+    retransmission and load shedding leave no ledger obligation.
+
+    Returns human-readable violations; empty means the ledger is
+    well-formed.  Runs that ended in a classified clean abort are not
+    audited — an abort is the recovery action.
+    """
+    spans = _ledger_spans(workdir)
+    chaos = [kind for prefix, kind in spans if prefix == "chaos"]
+    recovers = [kind for prefix, kind in spans if prefix == "recover"]
+    violations: list[str] = []
+    n_proc = sum(1 for kind in chaos if kind in PROCESS_KINDS)
+    if n_proc and len(recovers) < n_proc:
+        violations.append(
+            f"{n_proc} process fault span(s) "
+            f"({[k for k in chaos if k in PROCESS_KINDS]}) but only "
+            f"{len(recovers)} recover: span(s) {recovers}"
+        )
+    n_dump = sum(1 for kind in chaos if kind in DUMP_KINDS)
+    if n_dump and restarts and not recovers:
+        violations.append(
+            f"{n_dump} checkpoint fault span(s) and {restarts} "
+            f"restart(s) but no recover: span at all"
+        )
+    return violations
 
 
 def serial_reference(spec, steps: int) -> dict[str, np.ndarray]:
@@ -207,6 +273,15 @@ def run_scenario(
     out.recovery_seconds = max(out.elapsed - baseline_elapsed, 0.0)
     out.restarts = mon.restarts
     out.migrations = mon.migrations
+    if out.outcome == "match" and plan is not None:
+        # bit-stable output is necessary but not sufficient: the span
+        # ledger must also show every process fault was answered by a
+        # recovery action (a clean abort *is* the recovery, so only
+        # matches are audited).
+        gaps = check_recovery_ledger(workdir, restarts=out.restarts)
+        if gaps:
+            out.outcome = "ledger_gap"
+            out.detail = "; ".join(gaps)
     return out
 
 

@@ -218,21 +218,51 @@ class LocalExchanger:
             for s in self.subs
         }
 
-    def exchange(self, field_names: Sequence[str]) -> None:
+    def exchange(
+        self,
+        field_names: Sequence[str],
+        axes: Sequence[int] | None = None,
+    ) -> None:
         """Run one full ghost exchange of the named fields.
 
         All subregions advance together, axis by axis: every axis-``d``
         copy reads interior strips (plus ghost columns refreshed by
         earlier passes), so there is no read/write hazard within an
         axis.  The extended sweep (see :func:`sweep_axes`) is used
-        whenever the decomposition has inactive blocks.
+        whenever the decomposition has inactive blocks; ``axes``
+        overrides the sweep (in sweep order) for callers that have
+        already applied a local prefix via :meth:`exchange_local`.
         """
-        extended = self.decomp.n_active < self.decomp.n_blocks
-        for axis in sweep_axes(self.decomp.ndim, extended):
+        if axes is None:
+            extended = self.decomp.n_active < self.decomp.n_blocks
+            axes = sweep_axes(self.decomp.ndim, extended)
+        for axis in axes:
             for sub in self.subs:
                 plan = self.plans[sub.block.rank]
                 for op in plan.ops_for_axis(axis):
                     self._apply(sub, op, field_names)
+
+    def exchange_local(
+        self, rank: int, axes: Sequence[int], field_names: Sequence[str]
+    ) -> None:
+        """Apply one subregion's ghost fills for neighbourless axes.
+
+        Only ``replicate``/``hold`` operations are legal here — they
+        read and write this subregion's own arrays exclusively, so a
+        per-subregion worker thread can run them without synchronizing
+        (the threaded runner uses this to skip the exchange barrier for
+        single-block axes).
+        """
+        sub = self._by_rank[rank]
+        plan = self.plans[rank]
+        for axis in axes:
+            for op in plan.ops_for_axis(axis):
+                if op.kind == "recv":
+                    raise ValueError(
+                        f"axis {axis} has a neighbour exchange; it cannot "
+                        "be applied thread-locally"
+                    )
+                self._apply(sub, op, field_names)
 
     def _apply(
         self, sub: SubregionState, op: EdgeOp, field_names: Sequence[str]

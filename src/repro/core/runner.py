@@ -68,6 +68,25 @@ class ExplicitMethod(Protocol):
         """Finish the step after the last exchange (filtering etc.)."""
 
 
+def _bind_backend(method, backend: str | None) -> None:
+    """Bind a kernel backend onto a method that supports one.
+
+    Runners accept a ``backend`` name so the selection threads from
+    settings/CLI down to the kernels; methods without pluggable kernels
+    (the protocol does not require them) reject a non-default request
+    instead of silently ignoring it.
+    """
+    if not backend:
+        return
+    set_backend = getattr(method, "set_backend", None)
+    if set_backend is None:
+        raise ValueError(
+            f"method {type(method).__name__} does not support kernel "
+            f"backends (requested {backend!r})"
+        )
+    set_backend(backend)
+
+
 class Simulation:
     """Decompose a global initial state and march it in time.
 
@@ -95,6 +114,9 @@ class Simulation:
         phase, ghost exchange and finalize; defaults to the no-op
         :data:`~repro.trace.NULL_TRACER` (span names are precomputed so
         the disabled path stays allocation-free).
+    backend:
+        Optional kernel-backend name bound onto the method via
+        ``method.set_backend`` (see :mod:`repro.fluids.backends`).
     """
 
     def __init__(
@@ -104,7 +126,9 @@ class Simulation:
         global_fields: Mapping[str, np.ndarray],
         solid: np.ndarray | None = None,
         tracer=NULL_TRACER,
+        backend: str | None = None,
     ) -> None:
+        _bind_backend(method, backend)
         self.method = method
         self.decomp = decomp
         self.tracer = tracer

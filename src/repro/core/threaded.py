@@ -3,19 +3,32 @@
 `repro.core.Simulation` steps its subregions sequentially — correct and
 convenient, but not concurrent.  This runner gives each subregion a
 worker *thread* and synchronizes the compute/communicate cycle with
-barriers; NumPy's vectorized kernels release the GIL, so the threads
-genuinely overlap on a multi-core machine.
+barriers; NumPy's vectorized kernels release the GIL for their inner
+loops, and the numba kernel backend (``repro.fluids.backends``) releases
+it outright, so the threads genuinely overlap on a multi-core machine.
+
+The worker threads are **persistent**: the pool is spawned lazily on the
+first multi-subregion ``step()`` and parked on a go-barrier between
+calls, so a timing loop that calls ``step(1)`` repeatedly pays no
+per-call thread creation (spawning threads per step used to make this
+runner *slower* than the serial one).  ``close()`` (or the context
+manager) retires the pool; the threads are daemons, so an unclosed
+simulation never blocks interpreter exit.
 
 The exchange itself remains the single-threaded
 :class:`~repro.core.exchange.LocalExchanger` pass (run by one thread
 between barriers): exchanges copy ghost strips between subregions, and
 racing them against kernels would break the very read/write-hazard
-analysis that guarantees bitwise equality.  The resulting schedule is
+analysis that guarantees bitwise equality.  Axes along which *no*
+subregion has an active neighbour are exempt: their ghost fills are pure
+edge replication on the subregion's own arrays, so each worker applies
+them locally (``exchange_local``) without a barrier — a 1xN block grid
+synchronizes only for the axis that actually communicates.  The
+resulting schedule per phase is
 
 ```
-barrier -> [all threads] compute_phase(k) -> barrier
-        -> [one thread]  exchange(fields_k)            (for each phase)
-barrier -> [all threads] finalize_step   -> barrier
+[all threads] compute_phase(k); local ghost fills (neighbourless axes)
+barrier -> [one thread] exchange(fields_k, communicating axes) -> barrier
 ```
 
 which performs the identical arithmetic to :class:`Simulation` — the
@@ -33,8 +46,8 @@ import numpy as np
 from ..net.collectives import Communicator
 from ..trace import NULL_TRACER
 from .decomposition import Decomposition
-from .exchange import LocalExchanger
-from .runner import ExplicitMethod
+from .exchange import LocalExchanger, sweep_axes
+from .runner import ExplicitMethod, _bind_backend
 from .subregion import assemble_global, make_subregions
 
 __all__ = ["ThreadedSimulation"]
@@ -44,8 +57,8 @@ class ThreadedSimulation:
     """Step a decomposed problem with one thread per subregion.
 
     Same constructor signature and result semantics as
-    :class:`repro.core.Simulation`; ``step(n)`` dispatches the worker
-    threads for ``n`` steps and joins them.
+    :class:`repro.core.Simulation`; ``step(n)`` releases the persistent
+    worker pool for ``n`` steps and waits for it to finish.
     """
 
     def __init__(
@@ -58,7 +71,9 @@ class ThreadedSimulation:
         diag_algorithm: str = "tree",
         diag_vmax: float = 0.0,
         tracer=NULL_TRACER,
+        backend: str | None = None,
     ) -> None:
+        _bind_backend(method, backend)
         self.method = method
         self.decomp = decomp
         self.tracer = tracer
@@ -74,7 +89,33 @@ class ThreadedSimulation:
             method.init_subregion(sub)
         self.exchanger = LocalExchanger(decomp, self.subs)
         self.exchanger.exchange(method.field_names)
-        self._barrier = threading.Barrier(len(self.subs))
+        # Split the axis sweep: the leading axes along which no
+        # subregion receives from a neighbour (single-block axes, or
+        # axes severed by inactive blocks) are pure local replication
+        # and run thread-locally; only the rest needs the serialized
+        # exchange between barriers.
+        extended = decomp.n_active < decomp.n_blocks
+        sweep = sweep_axes(decomp.ndim, extended)
+        has_recv = {
+            axis: any(
+                op.kind == "recv"
+                for plan in self.exchanger.plans.values()
+                for op in plan.ops_for_axis(axis)
+            )
+            for axis in range(decomp.ndim)
+        }
+        n_local = 0
+        while n_local < len(sweep) and not has_recv[sweep[n_local]]:
+            n_local += 1
+        self._local_axes: tuple[int, ...] = sweep[:n_local]
+        self._central_axes: tuple[int, ...] = sweep[n_local:]
+        # persistent pool state (spawned lazily by the first step)
+        self._pool: list[threading.Thread] = []
+        self._go: threading.Barrier | None = None
+        self._done: threading.Barrier | None = None
+        self._inner = threading.Barrier(len(self.subs))
+        self._n_steps = 0
+        self._closing = False
         self._lock = threading.Lock()
         self._errors: list[BaseException] = []
         #: global :class:`~repro.distrib.diagnostics.DiagRecord` samples
@@ -107,50 +148,111 @@ class ThreadedSimulation:
         return self.subs[0].step
 
     # ------------------------------------------------------------------
-    def _worker(self, idx: int, n_steps: int) -> None:
+    # persistent pool
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._pool:
+            return
+        n = len(self.subs)
+        self._go = threading.Barrier(n + 1)
+        self._done = threading.Barrier(n + 1)
+        for i in range(n):
+            t = threading.Thread(
+                target=self._worker_loop,
+                args=(i,),
+                name=f"repro-sub{i}",
+                daemon=True,
+            )
+            t.start()
+            self._pool.append(t)
+
+    def _worker_loop(self, idx: int) -> None:
+        while True:
+            try:
+                self._go.wait()
+            except threading.BrokenBarrierError:
+                return  # pool closed while parked
+            if self._closing:
+                return
+            try:
+                self._run_steps(idx, self._n_steps)
+            except BaseException as exc:
+                with self._lock:
+                    self._errors.append(exc)
+                # wake any siblings blocked on the phase barrier
+                self._inner.abort()
+            try:
+                self._done.wait()
+            except threading.BrokenBarrierError:  # pragma: no cover
+                return
+
+    def close(self) -> None:
+        """Retire the worker pool (idempotent; the pool respawns on the
+        next ``step`` if the simulation is stepped again)."""
+        if not self._pool:
+            return
+        self._closing = True
+        assert self._go is not None
+        self._go.abort()
+        for t in self._pool:
+            t.join(timeout=5.0)
+        self._pool.clear()
+        self._go = None
+        self._done = None
+        self._closing = False
+
+    def __enter__(self) -> "ThreadedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run_steps(self, idx: int, n_steps: int) -> None:
         method = self.method
         sub = self.subs[idx]
+        rank = sub.block.rank
         tracer = self.tracer
         compute_names = self._compute_names
         sync_names = self._exchange_names if idx == 0 else self._wait_names
-        try:
-            for _ in range(n_steps):
-                step_no = sub.step
-                for phase, fields in enumerate(method.exchange_phases):
+        local_axes = self._local_axes
+        central_axes = self._central_axes
+        for _ in range(n_steps):
+            step_no = sub.step
+            for phase, fields in enumerate(method.exchange_phases):
+                t0 = tracer.begin()
+                method.compute_phase(sub, phase)
+                if local_axes:
+                    # neighbourless axes: fill my own ghosts, no sync
+                    self.exchanger.exchange_local(rank, local_axes, fields)
+                tracer.end(compute_names[phase], t0, step=step_no,
+                           tid=idx)
+                if central_axes:
                     t0 = tracer.begin()
-                    method.compute_phase(sub, phase)
-                    tracer.end(compute_names[phase], t0, step=step_no,
-                               tid=idx)
-                    t0 = tracer.begin()
-                    self._barrier.wait()
+                    self._inner.wait()
                     if idx == 0:
                         # one thread runs the exchange: strips are
                         # copies between subregions and must not race
                         # the kernels
-                        self.exchanger.exchange(fields)
-                    self._barrier.wait()
+                        self.exchanger.exchange(fields, axes=central_axes)
+                    self._inner.wait()
                     tracer.end(sync_names[phase], t0, step=step_no,
                                tid=idx)
-                t0 = tracer.begin()
-                method.finalize_step(sub)
-                tracer.end("finalize:0", t0, step=step_no, tid=idx)
-                sub.step += 1
-                if self._diags is not None:
-                    # The collective itself synchronizes the threads;
-                    # every thread reads only its own subregion.
-                    rec = self._diags[idx].maybe_check(sub)
-                    if idx == 0 and rec is not None:
-                        self.diagnostics.append(rec)
-                self._barrier.wait()
-        except BaseException as exc:  # pragma: no cover - surfaced below
-            with self._lock:
-                self._errors.append(exc)
-            self._barrier.abort()
+            t0 = tracer.begin()
+            method.finalize_step(sub)
+            tracer.end("finalize:0", t0, step=step_no, tid=idx)
+            sub.step += 1
+            if self._diags is not None:
+                # The collective itself synchronizes the threads;
+                # every thread reads only its own subregion.
+                rec = self._diags[idx].maybe_check(sub)
+                if idx == 0 and rec is not None:
+                    self.diagnostics.append(rec)
 
     def step(self, n: int = 1) -> None:
         """Advance every subregion ``n`` steps, concurrently."""
         if len(self.subs) == 1:
-            # degenerate case: no point spawning a thread
+            # degenerate case: no point waking a pool
             method = self.method
             sub = self.subs[0]
             tracer = self.tracer
@@ -174,17 +276,17 @@ class ThreadedSimulation:
                     if rec is not None:
                         self.diagnostics.append(rec)
             return
-        self._barrier.reset()
+        self._ensure_pool()
+        assert self._go is not None and self._done is not None
         self._errors.clear()
-        threads = [
-            threading.Thread(target=self._worker, args=(i, n))
-            for i in range(len(self.subs))
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        self._n_steps = n
+        self._go.wait()
+        self._done.wait()
         if self._errors:
+            # the abort that surfaced the error broke the phase barrier;
+            # heal it so the pool can serve another step() after the
+            # caller handles the exception
+            self._inner.reset()
             # Prefer the root cause over the BrokenBarrierErrors that
             # the abort cascades to the other workers.
             for exc in self._errors:

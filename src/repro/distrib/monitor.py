@@ -597,6 +597,15 @@ class Monitor:
         infrastructure fault — no checkpoint restart.
         """
         self.log(f"rank {rank} reported a diagnostic abort")
+        # Every rank learns of the blow-up through the same diagnostic
+        # collective and exits on its own with EXIT_DIAGNOSTIC; give
+        # slow ranks a moment to finish their orderly teardown (log and
+        # trace flushes) before force-killing stragglers.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if all(p.poll() is not None for p in self.procs.values()):
+                break
+            time.sleep(0.05)
         self._kill_all()
         msg = "run aborted on a diagnosed global blow-up"
         failure = self.workdir / "diag_failure.json"

@@ -116,12 +116,21 @@ class ProblemSpec:
             return setup.solid, [setup.inlet], [setup.outlet]
         raise ValueError(f"unknown geometry kind {kind!r}")
 
-    def build_method(self):
-        """Reconstruct the numerical method with its boundary conditions."""
+    def build_method(self, backend: str | None = None):
+        """Reconstruct the numerical method with its boundary conditions.
+
+        ``backend`` optionally names a kernel backend (see
+        :mod:`repro.fluids.backends`); the backend is per-process
+        runtime state, not part of the spec — two ranks of one run may
+        rebuild the same spec with different backends.
+        """
         params = self.build_params()
         _, inlets, outlets = self.build_geometry()
         cls = FDMethod if self.method == "fd" else LBMethod
-        return cls(params, self.ndim, inlets=inlets, outlets=outlets)
+        return cls(
+            params, self.ndim, inlets=inlets, outlets=outlets,
+            backend=backend or None,
+        )
 
     def build_decomposition(self) -> Decomposition:
         """Reconstruct the decomposition (inactive blocks included)."""

@@ -124,7 +124,18 @@ class Worker:
         self.workdir = Path(cfg.workdir)
         self.rank = cfg.rank
         self.spec = ProblemSpec.load(self.workdir / "spec.json")
-        self.method = self.spec.build_method()
+        # Per-rank kernel backend: the per-rank list wins over the
+        # global knob; both live in the shared base cfg, so a monitor
+        # restart rebuilds the identical kernel for this rank.
+        backend = cfg.backend
+        if cfg.backends:
+            if len(cfg.backends) <= self.rank:
+                raise ValueError(
+                    f"backends list has {len(cfg.backends)} entries but "
+                    f"this is rank {self.rank}"
+                )
+            backend = cfg.backends[self.rank]
+        self.method = self.spec.build_method(backend=backend)
         self.decomp = self.spec.build_decomposition()
         self.n_ranks = self.decomp.n_active
 

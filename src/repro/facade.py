@@ -140,7 +140,10 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
     from .core.threaded import ThreadedSimulation
 
     solid, _, _ = spec.build_geometry()
-    method = spec.build_method()
+    # settings.backend names the kernel backend (repro.fluids.backends);
+    # the distributed runtime routes the same knob (or the per-rank
+    # settings.backends list) to each worker via the shared base cfg.
+    method = spec.build_method(backend=settings.backend or None)
     decomp = spec.build_decomposition()
     tracer = NULL_TRACER
     trace_dir = None
@@ -175,6 +178,8 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
         sim.step(n_steps)
         diagnostics = list(getattr(sim, "diagnostics", []))
     elapsed = time.perf_counter() - t0
+    if threaded:
+        sim.close()
     tracer.close()
     result = RunResult(
         backend="threaded" if threaded else "serial",

@@ -20,6 +20,13 @@ from .boundary import (
     PressureOutlet,
     VelocityInlet,
 )
+from .backends import (
+    BackendFallbackWarning,
+    BackendUnavailable,
+    KernelBackend,
+    available_backends,
+    resolve_backend,
+)
 from .fd import FDMethod
 from .filters import FourthOrderFilter
 from .geometry import (
@@ -44,6 +51,11 @@ from .probes import Probe, dominant_frequency, spectrum
 
 __all__ = [
     "FluidParams",
+    "KernelBackend",
+    "BackendUnavailable",
+    "BackendFallbackWarning",
+    "available_backends",
+    "resolve_backend",
     "FDMethod",
     "LBMethod",
     "FourthOrderFilter",

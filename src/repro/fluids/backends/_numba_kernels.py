@@ -1,0 +1,176 @@
+"""Loop-form 2D kernels, written in the numba-compilable subset.
+
+Each function below is plain Python over raw ``float64`` arrays with
+explicit bounds ``(i0, i1, j0, j1)`` into the padded layout — exactly
+the region slices the array kernels use, spelled out as integers.  The
+:mod:`.numba_backend` wrapper compiles them with
+``@njit(parallel=..., fastmath=True, cache=True, nogil=True)``; the
+outer ``prange`` row loop spreads rows over cores and releases the GIL,
+which is what lets ``ThreadedSimulation`` scale past one core.
+
+When numba is absent ``prange`` degrades to ``range`` and the same
+source runs interpreted — catastrophically slow, but numerically the
+same per-node arithmetic, which is how the parity suite exercises these
+kernels on hosts without numba.
+
+Read/write hazards are handled exactly like the array kernels: LB
+streaming bounces through the ``f_scratch`` buffer, the FD velocity
+update writes ``new_u``/``new_v`` before copying back, and the density
+update and filter stage their corrections in a scratch plane so no node
+reads an already-updated neighbour.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only on numba hosts
+    from numba import prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container default
+    prange = range
+    HAVE_NUMBA = False
+
+#: names of the kernel functions the backend compiles
+KERNEL_NAMES = (
+    "lb_relax_2d",
+    "lb_stream_2d",
+    "lb_moments_2d",
+    "fd_velocity_2d",
+    "fd_density_2d",
+    "filter_2d",
+)
+
+
+def lb_relax_2d(f, rho, u, v, fluid, ex, ey, w, a1, a0,
+                omega, cgx, cgy, i0, i1, j0, j1):
+    """BGK collision + Guo forcing, one fused polynomial per population.
+
+    ``delta_k = w_k rho [(4.5 omega eu + A1_k) eu + A0_k - s] - omega f_k``
+    with ``s = 1.5 omega |u|^2 + cgx u + cgy v`` and
+    ``cg = 3 (1 - 1/(2 tau)) g`` — the same Horner form as the numpy
+    kernel, per node.  Solid nodes keep their populations.
+    """
+    q = f.shape[0]
+    c45 = 4.5 * omega
+    c15 = 1.5 * omega
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            uu = u[i, j]
+            vv = v[i, j]
+            s = (uu * uu + vv * vv) * c15 + uu * cgx + vv * cgy
+            r = rho[i, j]
+            fl = fluid[i, j]
+            for k in range(q):
+                eu = ex[k] * uu + ey[k] * vv
+                delta = (((c45 * eu + a1[k]) * eu + a0[k] - s)
+                         * w[k] * r - omega * f[k, i, j])
+                f[k, i, j] += delta * fl
+
+
+def lb_stream_2d(f, scratch, exi, eyi, i0, i1, j0, j1):
+    """Streaming in pull form: ``F_k(x) <- F_k(x - e_k)``."""
+    q = f.shape[0]
+    for k in range(q):
+        di = exi[k]
+        dj = eyi[k]
+        for i in prange(i0, i1):
+            for j in range(j0, j1):
+                scratch[k, i, j] = f[k, i - di, j - dj]
+    for k in range(q):
+        for i in prange(i0, i1):
+            for j in range(j0, j1):
+                f[k, i, j] = scratch[k, i, j]
+
+
+def lb_moments_2d(f, rho, u, v, fluid, ex, ey, gx, gy, i0, i1, j0, j1):
+    """Fluid variables from populations (plus Guo half-force shift)."""
+    q = f.shape[0]
+    hgx = 0.5 * gx
+    hgy = 0.5 * gy
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            r = 0.0
+            mu = 0.0
+            mv = 0.0
+            for k in range(q):
+                fk = f[k, i, j]
+                r += fk
+                mu += ex[k] * fk
+                mv += ey[k] * fk
+            rho[i, j] = r
+            fl = fluid[i, j]
+            u[i, j] = (mu / r + hgx) * fl
+            v[i, j] = (mv / r + hgy) * fl
+
+
+def fd_velocity_2d(u, v, rho, new_u, new_v,
+                   dx, dt, nu, cs2, gx, gy, i0, i1, j0, j1):
+    """Forward-Euler momentum update (eqs. 2-3), two-pass.
+
+    ``new = c + dt (visc - (adv + press) + g)`` with centered first and
+    second differences; the copy-back runs only after every node's new
+    value exists, so the advection stencil never reads an updated
+    neighbour.
+    """
+    h = 0.5 / dx
+    h2 = 1.0 / (dx * dx)
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            uu = u[i, j]
+            vv = v[i, j]
+            pre = cs2 / rho[i, j]
+            adv = (uu * (u[i + 1, j] - u[i - 1, j])
+                   + vv * (u[i, j + 1] - u[i, j - 1])) * h
+            prs = (rho[i + 1, j] - rho[i - 1, j]) * h * pre
+            vis = nu * ((u[i + 1, j] - 2.0 * uu + u[i - 1, j])
+                        + (u[i, j + 1] - 2.0 * uu + u[i, j - 1])) * h2
+            new_u[i, j] = uu + dt * (vis - (adv + prs) + gx)
+            adv = (uu * (v[i + 1, j] - v[i - 1, j])
+                   + vv * (v[i, j + 1] - v[i, j - 1])) * h
+            prs = (rho[i, j + 1] - rho[i, j - 1]) * h * pre
+            vis = nu * ((v[i + 1, j] - 2.0 * vv + v[i - 1, j])
+                        + (v[i, j + 1] - 2.0 * vv + v[i, j - 1])) * h2
+            new_v[i, j] = vv + dt * (vis - (adv + prs) + gy)
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            u[i, j] = new_u[i, j]
+            v[i, j] = new_v[i, j]
+
+
+def fd_density_2d(rho, u, v, div, dx, dt, i0, i1, j0, j1):
+    """Continuity update (eq. 1) with time-(t+dt) velocities, two-pass.
+
+    The divergence of ``rho(t) V(t+dt)`` is staged in ``div`` (region
+    shape) before any density is touched — centered differences read one
+    ring of time-t densities beyond the region.
+    """
+    h = 0.5 / dx
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            dfx = (rho[i + 1, j] * u[i + 1, j]
+                   - rho[i - 1, j] * u[i - 1, j]) * h
+            dfy = (rho[i, j + 1] * v[i, j + 1]
+                   - rho[i, j - 1] * v[i, j - 1]) * h
+            div[i - i0, j - j0] = (dfx + dfy) * dt
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            rho[i, j] -= div[i - i0, j - j0]
+
+
+def filter_2d(a, keep, eps, corr, i0, i1, j0, j1):
+    """Fourth-order numerical-viscosity filter, two-pass.
+
+    ``corr = eps keep (12 a + sum_axis (a[-2] + a[+2] - 4 (a[-1] + a[+1])))``
+    staged over the whole region before subtraction, so a node never
+    reads an already-filtered neighbour (the property that makes local
+    ghost re-filtering reproduce the neighbour's interior filtering).
+    """
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            c = 12.0 * a[i, j]
+            c += a[i - 2, j] + a[i + 2, j] - 4.0 * (a[i - 1, j] + a[i + 1, j])
+            c += a[i, j - 2] + a[i, j + 2] - 4.0 * (a[i, j - 1] + a[i, j + 1])
+            corr[i - i0, j - j0] = c * eps * keep[i, j]
+    for i in prange(i0, i1):
+        for j in range(j0, j1):
+            a[i, j] -= corr[i - i0, j - j0]

@@ -1,0 +1,159 @@
+"""Numba-compiled loop backend: GIL-free multicore kernels.
+
+Wraps the plain-Python 2D kernels of :mod:`._numba_kernels` with
+``@njit(parallel=..., fastmath=True, cache=True, nogil=True)``.  Two
+registry entries share this class:
+
+``numba``
+    ``parallel=True`` — ``prange`` spreads rows over all cores and the
+    compiled code releases the GIL, so ``ThreadedSimulation`` scales.
+``numba-serial``
+    ``parallel=False`` — deterministic single-thread machine code (no
+    thread-count dependence), still GIL-free.
+
+Both factories raise :class:`~repro.fluids.backends.BackendUnavailable`
+when numba is not importable or the method is not 2D; the resolver then
+degrades to ``numpy`` with a one-time warning.  ``mode="python"``
+bypasses the numba requirement and runs the same kernels interpreted —
+orders of magnitude slower, used only by the parity suite to exercise
+the loop arithmetic on hosts without numba.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._kernels import Region, region_shape
+from . import BackendUnavailable, KernelBackend, register_backend
+from . import _numba_kernels as K
+
+__all__ = ["NumbaBackend"]
+
+#: compiled kernels, keyed by (kernel name, parallel flag); shared by
+#: every backend instance so each variant compiles exactly once
+_COMPILED: dict[tuple[str, bool], object] = {}
+
+
+def _compiled(name: str, parallel: bool):
+    key = (name, parallel)
+    fn = _COMPILED.get(key)
+    if fn is None:
+        import numba
+
+        fn = numba.njit(
+            parallel=parallel, fastmath=True, cache=True, nogil=True
+        )(getattr(K, name))
+        _COMPILED[key] = fn
+    return fn
+
+
+def _bounds(region: Region) -> tuple[int, int, int, int]:
+    si, sj = region
+    return si.start, si.stop, sj.start, sj.stop
+
+
+class NumbaBackend(KernelBackend):
+    """Loop kernels compiled per (kernel, parallel) pair on first use."""
+
+    def __init__(self, method, parallel: bool = True,
+                 mode: str = "compiled") -> None:
+        if mode not in ("compiled", "python"):
+            raise ValueError(f"mode must be compiled|python, got {mode!r}")
+        if mode == "compiled" and not K.HAVE_NUMBA:
+            raise BackendUnavailable("numba is not installed")
+        if method.ndim != 2:
+            raise BackendUnavailable(
+                f"numba kernels cover 2D only (method is {method.ndim}D)"
+            )
+        super().__init__(method)
+        self.parallel = bool(parallel)
+        self.mode = mode
+        self.name = "numba" if self.parallel else "numba-serial"
+        g = method.params.gravity
+        self._gx, self._gy = float(g[0]), float(g[1])
+        lat = getattr(method, "lattice", None)
+        if lat is not None:
+            # Flat per-population constants for the loop kernels; the
+            # fused-polynomial coefficients come straight off the
+            # method's precomputed broadcast views.
+            self._ex = lat.e[:, 0].astype(np.float64)
+            self._ey = lat.e[:, 1].astype(np.float64)
+            self._exi = lat.e[:, 0].astype(np.int64)
+            self._eyi = lat.e[:, 1].astype(np.int64)
+            self._w = lat.w.astype(np.float64)
+            self._a1 = np.ascontiguousarray(method._a1_b, dtype=np.float64).ravel()
+            self._a0 = np.ascontiguousarray(method._a0_b, dtype=np.float64).ravel()
+            pref = method._pref
+            self._cgx = 3.0 * pref * self._gx
+            self._cgy = 3.0 * pref * self._gy
+
+    def _fn(self, name: str):
+        if self.mode == "python":
+            return getattr(K, name)
+        return _compiled(name, self.parallel)
+
+    # -- lattice Boltzmann --------------------------------------------
+    def lb_relax(self, sub) -> None:
+        m = self.method
+        i0, i1, j0, j1 = _bounds(sub.interior)
+        self._fn("lb_relax_2d")(
+            sub.fields["f"], sub.fields["rho"],
+            sub.fields["u"], sub.fields["v"], sub.aux["fluid_f"],
+            self._ex, self._ey, self._w, self._a1, self._a0,
+            m._omega, self._cgx, self._cgy, i0, i1, j0, j1,
+        )
+
+    def lb_stream(self, sub, region) -> None:
+        i0, i1, j0, j1 = _bounds(region)
+        self._fn("lb_stream_2d")(
+            sub.fields["f"], sub.aux["f_scratch"],
+            self._exi, self._eyi, i0, i1, j0, j1,
+        )
+
+    def lb_moments(self, sub, region) -> None:
+        i0, i1, j0, j1 = _bounds(region)
+        self._fn("lb_moments_2d")(
+            sub.fields["f"], sub.fields["rho"],
+            sub.fields["u"], sub.fields["v"], sub.aux["fluid_f"],
+            self._ex, self._ey, self._gx, self._gy, i0, i1, j0, j1,
+        )
+
+    # -- finite differences -------------------------------------------
+    def fd_velocity(self, sub) -> None:
+        p = self.method.params
+        i0, i1, j0, j1 = _bounds(sub.interior)
+        self._fn("fd_velocity_2d")(
+            sub.fields["u"], sub.fields["v"], sub.fields["rho"],
+            sub.aux["new_u"], sub.aux["new_v"],
+            p.dx, p.dt, p.nu, p.cs * p.cs, self._gx, self._gy,
+            i0, i1, j0, j1,
+        )
+
+    def fd_density(self, sub) -> None:
+        p = self.method.params
+        region = sub.interior
+        i0, i1, j0, j1 = _bounds(region)
+        div = sub.scratch("nb_div", region_shape(region))
+        self._fn("fd_density_2d")(
+            sub.fields["rho"], sub.fields["u"], sub.fields["v"],
+            div, p.dx, p.dt, i0, i1, j0, j1,
+        )
+
+    # -- shared filter ------------------------------------------------
+    def filter_fields(self, flt, sub, names: Sequence[str], region) -> None:
+        if not flt.enabled:
+            return
+        i0, i1, j0, j1 = _bounds(region)
+        keep = sub.aux["filter_keep"]
+        corr = sub.scratch("nb_corr", region_shape(region))
+        fn = self._fn("filter_2d")
+        for name in names:
+            fn(sub.fields[name], keep, flt.eps, corr, i0, i1, j0, j1)
+
+
+register_backend("numba", lambda method: NumbaBackend(method, parallel=True))
+register_backend(
+    "numba-serial", lambda method: NumbaBackend(method, parallel=False)
+)

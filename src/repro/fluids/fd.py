@@ -31,7 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.subregion import SubregionState
-from ._kernels import central_diff, laplacian, region_shape
+from .backends import KernelBackend, resolve_backend
 from .boundary import (
     PressureOutlet,
     VelocityInlet,
@@ -70,6 +70,7 @@ class FDMethod:
         ndim: int = 2,
         inlets: Sequence[VelocityInlet] = (),
         outlets: Sequence[PressureOutlet] = (),
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if ndim not in (2, 3):
             raise ValueError(f"ndim must be 2 or 3, got {ndim}")
@@ -89,6 +90,22 @@ class FDMethod:
         self.inlets = tuple(inlets)
         self.outlets = tuple(outlets)
         self.filter = FourthOrderFilter(params.filter_eps)
+        self.backend: KernelBackend = None  # type: ignore[assignment]
+        self.set_backend(backend)
+
+    def set_backend(
+        self, backend: str | KernelBackend | None = None
+    ) -> KernelBackend:
+        """Bind a kernel backend (name, instance, or None for default).
+
+        Unavailable backends degrade to ``numpy`` with a one-time
+        warning — see :func:`repro.fluids.backends.resolve_backend`.
+        """
+        if isinstance(backend, KernelBackend):
+            self.backend = backend
+        else:
+            self.backend = resolve_backend(backend, self)
+        return self.backend
 
     # ------------------------------------------------------------------
     # ExplicitMethod protocol
@@ -129,83 +146,28 @@ class FDMethod:
         # no-slip values the serial program holds there.
         enforce_noslip(sub, self.vel_names, g3)
         self._apply_openings(sub, g3)
-        self.filter.apply(sub, self.field_names, g1)
+        self.backend.filter_fields(self.filter, sub, self.field_names, g1)
 
     # ------------------------------------------------------------------
-    # kernels
+    # kernels — hot paths delegate to the pluggable backend (see
+    # repro.fluids.backends; the numpy implementation in
+    # backends/numpy_backend.py is the historical fused kernel, moved
+    # verbatim).  No-slip enforcement stays here: boundary rules are
+    # cheap and backend-independent.
     # ------------------------------------------------------------------
     def _update_velocity(self, sub: SubregionState) -> None:
-        """Forward-Euler momentum update (eqs. 2-3) on the interior.
-
-        All derivative kernels write into per-subregion scratch
-        (allocation-free after the first step); the accumulation order
-        matches the classic form ``c + dt (-adv - press + visc + g)``.
-        """
-        p = self.params
-        region = sub.interior
-        rho = sub.fields["rho"]
-        vels = [sub.fields[n] for n in self.vel_names]
-        vel_mid = [c[region] for c in vels]
-        cs2 = p.cs * p.cs
-        ishape = vel_mid[0].shape
-        acc = sub.scratch("fd_acc", ishape)    # adv + press
-        t1 = sub.scratch("fd_t1", ishape)
-        t2 = sub.scratch("fd_t2", ishape)
-
-        for d, name in enumerate(self.vel_names):
-            c = vels[d]
-            # advection: (V . grad) V_d
-            central_diff(c, region, 0, p.dx, out=acc)
-            acc *= vel_mid[0]
-            for ax in range(1, self.ndim):
-                central_diff(c, region, ax, p.dx, out=t1)
-                t1 *= vel_mid[ax]
-                acc += t1
-            # pressure: (cs^2 / rho) d rho / d x_d
-            central_diff(rho, region, d, p.dx, out=t1)
-            np.divide(cs2, rho[region], out=t2)
-            t1 *= t2
-            acc += t1
-            # viscosity: nu * laplacian(V_d)
-            laplacian(c, region, p.dx, out=t1, scratch=t2)
-            t1 *= p.nu
-            # new = c + dt * (visc - (adv + press) + g)
-            t1 -= acc
-            if p.gravity[d] != 0.0:
-                t1 += p.gravity[d]
-            t1 *= p.dt
-            new = sub.aux["new_" + name][region]
-            np.add(c[region], t1, out=new)
-        for name in self.vel_names:
-            sub.fields[name][region] = sub.aux["new_" + name][region]
-        enforce_noslip(sub, self.vel_names, region)
+        """Forward-Euler momentum update (eqs. 2-3) on the interior."""
+        self.backend.fd_velocity(sub)
+        enforce_noslip(sub, self.vel_names, sub.interior)
 
     def _update_density(self, sub: SubregionState) -> None:
         """Continuity update (eq. 1) with time-(t+dt) velocities."""
-        p = self.params
-        region = sub.interior
         # The freshly exchanged velocity ghosts are no-slip-enforced
         # already, except ghosts held against inactive blocks (and, at
         # step 0, the raw initial condition): enforce over one ring so
-        # the mass fluxes below read clean wall velocities.
-        g1 = sub.grown_interior(1)
-        enforce_noslip(sub, self.vel_names, g1)
-        rho = sub.fields["rho"]
-        # Mass flux rho(t) * V(t+dt), formed over one ring beyond the
-        # interior (all its centered difference reads) instead of the
-        # whole padded array, into reusable scratch.
-        flux = sub.scratch("fd_flux", region_shape(g1))
-        inner = tuple(slice(1, 1 + n) for n in sub.block.shape)
-        div = sub.scratch("fd_div", region_shape(region))
-        term = sub.scratch("fd_term", region_shape(region))
-        for d, name in enumerate(self.vel_names):
-            np.multiply(rho[g1], sub.fields[name][g1], out=flux)
-            target = div if d == 0 else term
-            central_diff(flux, inner, d, p.dx, out=target)
-            if d > 0:
-                div += term
-        div *= p.dt
-        rho[region] -= div
+        # the mass fluxes read clean wall velocities.
+        enforce_noslip(sub, self.vel_names, sub.grown_interior(1))
+        self.backend.fd_density(sub)
 
     def _apply_openings(self, sub: SubregionState, region) -> None:
         """Force inlet velocities and outlet densities (node-wise)."""

@@ -39,7 +39,8 @@ from typing import Sequence
 import numpy as np
 
 from ..core.subregion import SubregionState
-from ._kernels import Region, shift_region
+from ._kernels import Region
+from .backends import KernelBackend, resolve_backend
 from .boundary import PressureOutlet, VelocityInlet, build_wall_aux
 from .filters import FourthOrderFilter
 from .lattices import Lattice, lattice_for
@@ -66,6 +67,7 @@ class LBMethod:
         ndim: int = 2,
         inlets: Sequence[VelocityInlet] = (),
         outlets: Sequence[PressureOutlet] = (),
+        backend: str | KernelBackend | None = None,
     ) -> None:
         if ndim not in (2, 3):
             raise ValueError(f"ndim must be 2 or 3, got {ndim}")
@@ -120,6 +122,22 @@ class LBMethod:
             )
             for d in range(ndim)
         )
+        self.backend: KernelBackend = None  # type: ignore[assignment]
+        self.set_backend(backend)
+
+    def set_backend(
+        self, backend: str | KernelBackend | None = None
+    ) -> KernelBackend:
+        """Bind a kernel backend (name, instance, or None for default).
+
+        Unavailable backends degrade to ``numpy`` with a one-time
+        warning — see :func:`repro.fluids.backends.resolve_backend`.
+        """
+        if isinstance(backend, KernelBackend):
+            self.backend = backend
+        else:
+            self.backend = resolve_backend(backend, self)
+        return self.backend
 
     # ------------------------------------------------------------------
     # equilibrium and forcing
@@ -223,86 +241,24 @@ class LBMethod:
         self._bounce_back(sub, g2)
         self._macro(sub, g2)
         self._apply_openings(sub, g2)
-        self.filter.apply(
-            sub, ("rho",) + self.vel_names, sub.interior
+        self.backend.filter_fields(
+            self.filter, sub, ("rho",) + self.vel_names, sub.interior
         )
 
     # ------------------------------------------------------------------
-    # kernels
+    # kernels — hot paths delegate to the pluggable backend (see
+    # repro.fluids.backends; the numpy implementation in
+    # backends/numpy_backend.py is the historical fused kernel, moved
+    # verbatim).  Bounce-back and openings stay here: boundary rules are
+    # cheap and backend-independent.
     # ------------------------------------------------------------------
     def _relax(self, sub: SubregionState) -> None:
-        """BGK collision + Guo forcing; solid nodes do not collide.
-
-        The relaxation towards equilibrium and the forcing term share
-        every factor (``w_i``, ``rho``, ``e_i . u``), so the whole
-        collision increment collapses into one polynomial per population
-        with coefficients precomputed at construction::
-
-            delta_i = w_i rho [4.5 w eu^2 + A1_i eu + A0_i - s] - w f_i
-            s       = 1.5 w |u|^2 + 3 pref (g . u)
-
-        where ``w = 1/tau``, ``pref = 1 - 1/(2 tau)``,
-        ``A1_i = 3 w + 9 pref (e_i . g)`` and
-        ``A0_i = w + 3 pref (e_i . g)``.  Expanding recovers the textbook
-        ``w (f_eq_i - f_i) + S_i`` with the Guo source
-        ``S_i = pref w_i [3 (e_i - u) + 9 eu e_i] . (rho g)``.  All work
-        lands in per-subregion scratch (allocation-free after step one).
-        """
-        region = sub.interior
-        f = sub.fields["f"]
-        rho = sub.fields["rho"][region]
-        vels = [sub.fields[n][region] for n in self.vel_names]
-        ishape = rho.shape
-        qshape = (self.lattice.q,) + ishape
-        eu = sub.scratch("lb_eu", qshape)
-        delta = sub.scratch("lb_delta", qshape)
-        s = sub.scratch("lb_usq", ishape)
-        tmp = sub.scratch("lb_tmp", ishape)
-        g = self.params.gravity
-        omega = self._omega
-        # eu <- e_i . u (delta doubles as the per-axis scratch)
-        np.multiply(self._e_b[0], vels[0], out=eu)
-        for d in range(1, self.ndim):
-            np.multiply(self._e_b[d], vels[d], out=delta)
-            eu += delta
-        # s <- 1.5 w |u|^2 + 3 pref (g . u)
-        np.multiply(vels[0], vels[0], out=s)
-        for d in range(1, self.ndim):
-            np.multiply(vels[d], vels[d], out=tmp)
-            s += tmp
-        s *= 1.5 * omega
-        for d in range(self.ndim):
-            if g[d] != 0.0:
-                np.multiply(vels[d], 3.0 * self._pref * g[d], out=tmp)
-                s += tmp
-        # delta <- w_i rho ((4.5 w eu + A1) eu + A0 - s)   (Horner form)
-        np.multiply(eu, 4.5 * omega, out=delta)
-        delta += self._a1_b
-        delta *= eu
-        delta += self._a0_b
-        delta -= s
-        delta *= self._w_b
-        delta *= rho
-        # delta -= w f  (eu is dead past the polynomial; reuse it)
-        fview = f[(slice(None),) + region]
-        np.multiply(fview, omega, out=eu)
-        delta -= eu
-        # Solid nodes keep their populations (no collision).
-        delta *= sub.aux["fluid_f"][region]
-        fview += delta
+        """BGK collision + Guo forcing; solid nodes do not collide."""
+        self.backend.lb_relax(sub)
 
     def _shift(self, sub: SubregionState, region: Region) -> None:
         """Streaming in pull form: ``F_i(x) <- F_i(x - e_i)``."""
-        f = sub.fields["f"]
-        scratch = sub.aux["f_scratch"]
-        for i in range(self.lattice.q):
-            src = region
-            for d in range(self.ndim):
-                e = int(self.lattice.e[i, d])
-                if e:
-                    src = shift_region(src, d, -e)
-            scratch[(i,) + region] = f[(i,) + src]
-        f[(slice(None),) + region] = scratch[(slice(None),) + region]
+        self.backend.lb_stream(sub, region)
 
     def _bounce_back(self, sub: SubregionState, region: Region) -> None:
         """Reflect all populations at solid nodes (full bounce-back)."""
@@ -315,31 +271,8 @@ class LBMethod:
         view[:, solid] = arrived[self.lattice.opposite]
 
     def _macro(self, sub: SubregionState, region: Region) -> None:
-        """Fluid variables from populations (plus Guo half-force shift).
-
-        Density is summed directly into the field view; each momentum is
-        a signed sum of population planes written straight into the
-        velocity field view (``e`` components are -1/0/+1).
-        """
-        f = sub.fields["f"]
-        view = f[(slice(None),) + region]
-        rho = sub.fields["rho"][region]
-        np.sum(view, axis=0, out=rho)
-        g = self.params.gravity
-        fluid = sub.aux["fluid_f"][region]
-        for d, name in enumerate(self.vel_names):
-            vel = sub.fields[name][region]
-            plus, minus = self._mom_idx[d]
-            np.subtract(view[plus[0]], view[minus[0]], out=vel)
-            for i in plus[1:]:
-                vel += view[i]
-            for i in minus[1:]:
-                vel -= view[i]
-            vel /= rho
-            if g[d] != 0.0:
-                vel += 0.5 * g[d]
-            # Walls are no-slip: solid nodes report zero velocity.
-            vel *= fluid
+        """Fluid variables from populations (plus Guo half-force shift)."""
+        self.backend.lb_moments(sub, region)
 
     def _apply_openings(self, sub: SubregionState, region: Region) -> None:
         """Inlets force equilibrium at the jet velocity; outlets rescale

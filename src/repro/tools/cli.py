@@ -3,12 +3,42 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 
 __all__ = ["main"]
+
+
+def _host_metadata() -> dict:
+    """Host facts every BENCH_*.json carries (ISSUE: comparability).
+
+    Benchmark numbers are meaningless without knowing what produced
+    them — core count, library versions, and which kernel backends the
+    host could actually run.  ``numba`` is ``None`` when the import
+    fails; the benches then record honest numpy-only rows.
+    """
+    import platform
+
+    meta = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": None,
+    }
+    try:
+        import numba
+
+        meta["numba"] = numba.__version__
+    except ImportError:
+        pass
+    from ..fluids.backends import available_backends
+
+    meta["backends"] = list(available_backends())
+    return meta
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -44,7 +74,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ndim, nu=args.nu, gravity=gravity, filter_eps=args.filter_eps
     )
     cls = LBMethod if args.method == "lb" else FDMethod
-    method = cls(params, ndim, inlets=inlets, outlets=outlets)
+    method = cls(params, ndim, inlets=inlets, outlets=outlets,
+                 backend=args.backend or None)
     decomp = Decomposition(
         shape, tuple(args.blocks), periodic=periodic, solid=solid
     )
@@ -144,14 +175,30 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
-#: the §7 kernel-benchmark cases: (name, method, shape, serial/threaded
-#: block grids).  128x128 / 32^3 channel flow, the sizes the perf table
-#: in README.md quotes.
+#: the §7 kernel-benchmark cases: (name, method, shape).  128x128 /
+#: 32^3 channel flow, the sizes the perf table in README.md quotes.
 _BENCH_CASES = (
-    ("fd2d", "fd", (128, 128), (1, 1), (2, 2)),
-    ("lb2d", "lb", (128, 128), (1, 1), (2, 2)),
-    ("lb3d", "lb", (32, 32, 32), (1, 1, 1), (2, 2, 1)),
+    ("fd2d", "fd", (128, 128)),
+    ("lb2d", "lb", (128, 128)),
+    ("lb3d", "lb", (32, 32, 32)),
 )
+
+
+def _thread_blocks(ndim: int) -> tuple[int, ...]:
+    """Threaded-bench block grid sized to this host's cores.
+
+    Splitting a grid across more threads than cores only buys barrier
+    overhead, so the threaded row uses at most as many blocks as cores.
+    Below two cores the grid stays whole — the threaded runner's
+    degenerate single-block path steps inline with no pool, keeping the
+    threaded row honest (>= 1.0x serial) instead of measuring pure
+    synchronization cost.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return (1,) * ndim
+    per = (2, 2) if cpus >= 4 else (2, 1)
+    return (per + (1,) * ndim)[:ndim]
 
 
 def _bench_collectives(args: argparse.Namespace) -> int:
@@ -203,7 +250,9 @@ def _bench_collectives(args: argparse.Namespace) -> int:
         ("allreduce_512KiB", lambda c: c.allreduce(big, "sum")),
         ("allgather_64B", lambda c: c.allgather(np.full(8, float(c.rank)))),
     )
-    results: dict[str, dict] = {"ranks": n, "collectives": {}}
+    results: dict[str, dict] = {
+        "host": _host_metadata(), "ranks": n, "collectives": {}
+    }
     rows = []
     for algorithm in ("tree", "ring"):
         fabric = LocalFabric(n)
@@ -380,6 +429,7 @@ def _bench_trace(args: argparse.Namespace) -> int:
         summary,
         args.out or "BENCH_trace.json",
         extra={
+            "host": _host_metadata(),
             "grid": list(shape),
             "blocks": list(blocks),
             "bare_seconds_per_step": per_step["bare"],
@@ -432,6 +482,7 @@ def _bench_balance(args: argparse.Namespace) -> int:
     )
 
     results: dict[str, dict] = {
+        "host": _host_metadata(),
         "scenario": {
             "hosts": list(names),
             "busy_hosts": sorted(busy),
@@ -540,6 +591,7 @@ def _bench_chaos(args: argparse.Namespace) -> int:
     ))
     failed = [o for o in outcomes if not o.passed]
     results = {
+        "host": _host_metadata(),
         "steps": args.chaos_steps,
         "scenarios": list(CANONICAL),
         "seeds": list(seeds),
@@ -614,8 +666,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from ..core import Decomposition, Simulation, ThreadedSimulation
     from ..fluids import FDMethod, FluidParams, LBMethod, channel_geometry
+    from ..fluids.backends import BACKEND_NAMES, available_backends
     from ..harness import format_table, time_stepper
 
+    if args.quick:
+        args.steps = min(args.steps, 5)
+        args.repeats = min(args.repeats, 2)
     if args.steps < 1 or args.repeats < 1:
         print("bench: --steps and --repeats must be >= 1", file=sys.stderr)
         return 2
@@ -628,9 +684,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.chaos:
         return _bench_chaos(args)
 
-    results: dict[str, dict] = {}
+    if args.backend:
+        if args.backend not in BACKEND_NAMES:
+            print(f"bench: unknown backend {args.backend!r}; "
+                  f"expected one of {BACKEND_NAMES}", file=sys.stderr)
+            return 2
+        if args.backend not in available_backends():
+            print(f"bench: backend {args.backend!r} is unavailable on "
+                  f"this host (numba not importable?)", file=sys.stderr)
+            return 2
+        kernel_backends = [args.backend]
+    else:
+        kernel_backends = list(available_backends())
+
+    results: dict = {
+        "host": _host_metadata(),
+        "steps": args.steps,
+        "repeats": args.repeats,
+        "cases": {},
+    }
     rows = []
-    for name, method_name, shape, serial_blocks, threaded_blocks in _BENCH_CASES:
+    cases = _BENCH_CASES[:2] if args.quick else _BENCH_CASES
+    for name, method_name, shape in cases:
         ndim = len(shape)
         solid = channel_geometry(shape)
         n_fluid = int(np.count_nonzero(~solid))
@@ -643,43 +718,121 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fields = {"rho": np.full(shape, 1.0)}
         for vn in ("u", "v", "w")[:ndim]:
             fields[vn] = np.zeros(shape)
-        for runner, blocks in (
-            (Simulation, serial_blocks),
-            (ThreadedSimulation, threaded_blocks),
-        ):
-            label = (
-                f"{name}_serial" if runner is Simulation else f"{name}_threaded"
-            )
+
+        # (label, runner, blocks, kernel backend).  The threaded row
+        # exists only for numpy — numba's parallel backend already owns
+        # the cores inside one subregion, so a serial runner is its
+        # fastest configuration.
+        runs = []
+        for kb in kernel_backends:
+            if kb.startswith("numba") and ndim != 2:
+                continue  # loop kernels are 2D-only; don't bench fallback
+            suffix = "serial" if kb == "numpy" else kb
+            runs.append((f"{name}_{suffix}", Simulation, (1,) * ndim, kb))
+            if kb == "numpy":
+                runs.append((f"{name}_threaded", ThreadedSimulation,
+                             _thread_blocks(ndim), kb))
+        for label, runner, blocks, kb in runs:
             decomp = Decomposition(
                 shape, blocks, periodic=periodic, solid=solid
             )
-            sim = runner(cls(params, ndim), decomp, fields, solid)
+            sim = runner(
+                cls(params, ndim, backend=kb), decomp, fields, solid
+            )
             timing = time_stepper(
                 sim.step, steps=args.steps, repeats=args.repeats
             )
-            speed = n_fluid / timing.seconds_per_step
-            results[label] = {
+            if runner is ThreadedSimulation:
+                sim.close()
+            speed = n_fluid / timing.median
+            results["cases"][label] = {
                 "method": method_name,
                 "shape": list(shape),
                 "blocks": list(blocks),
+                "backend": kb,
+                "runner": ("threaded" if runner is ThreadedSimulation
+                           else "serial"),
                 "fluid_nodes": n_fluid,
                 "seconds_per_step": timing.seconds_per_step,
+                "median_seconds_per_step": timing.median,
+                "stdev_seconds_per_step": timing.stdev,
                 "nodes_per_second": speed,
             }
             rows.append(
                 [label, "x".join(map(str, shape)),
-                 "x".join(map(str, blocks)),
-                 f"{timing.seconds_per_step * 1e3:.3f} ms",
+                 "x".join(map(str, blocks)), kb,
+                 f"{timing.median * 1e3:.3f} ms",
+                 f"{timing.stdev * 1e3:.3f}",
                  f"{speed:,.0f}"]
             )
+
+    # headline ratios the acceptance criteria quote
+    med = {k: v["median_seconds_per_step"]
+           for k, v in results["cases"].items()}
+    speedups = {}
+    for case, _, _ in cases:
+        base = med.get(f"{case}_serial")
+        if not base:
+            continue
+        for other in ("threaded", "numba", "numba-serial"):
+            t = med.get(f"{case}_{other}")
+            if t:
+                speedups[f"{case}_{other}_vs_serial_numpy"] = base / t
+    results["speedups"] = speedups
+
     print(format_table(
-        ["case", "grid", "blocks", "time/step", "fluid nodes/s"],
+        ["case", "grid", "blocks", "backend", "median/step", "stdev ms",
+         "fluid nodes/s"],
         rows, title=f"kernel speeds (§7 protocol, {args.steps}-step "
-                    f"average, best of {args.repeats})",
+                    f"windows, median of {args.repeats}, warmed up)",
     ))
+    for key, val in sorted(speedups.items()):
+        print(f"  {key}: {val:.2f}x")
     out = Path(args.out or "BENCH_kernels.json")
     out.write_text(json.dumps(results, indent=1) + "\n")
     print(f"results written to {out}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Measure per-backend nodes/s on this host (feeds load balancing)."""
+    import json
+
+    from ..balance import calibrated_speeds
+    from ..cluster.calibration import calibrate_backends
+    from ..harness import format_table
+
+    table = calibrate_backends(
+        method=args.method, ndim=args.ndim, side=args.side,
+        steps=args.steps, repeats=args.repeats,
+    )
+    ref = table.get("numpy") or max(table.values())
+    rows = [
+        [name, f"{speed:,.0f}", f"{speed / ref:.2f}"]
+        for name, speed in sorted(
+            table.items(), key=lambda kv: kv[1], reverse=True
+        )
+    ]
+    print(format_table(
+        ["backend", "fluid nodes/s", "vs numpy"],
+        rows, title=f"backend calibration ({args.method.upper()} "
+                    f"{args.ndim}D, {args.side}^{args.ndim}, "
+                    f"{args.steps}-step windows, best of {args.repeats})",
+    ))
+    if args.backends:
+        weights = calibrated_speeds(args.backends, table)
+        total = sum(weights)
+        print("per-rank weights for --backends "
+              + ",".join(args.backends) + ":")
+        for rank, w in enumerate(weights):
+            print(f"  rank {rank}: {w:,.0f} nodes/s "
+                  f"(share {w / total:.3f})")
+    if args.out:
+        Path(args.out).write_text(json.dumps(
+            {"host": _host_metadata(), "method": args.method,
+             "ndim": args.ndim, "side": args.side,
+             "nodes_per_second": table}, indent=1) + "\n")
+        print(f"calibration written to {args.out}")
     return 0
 
 
@@ -713,6 +866,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--force", type=float, default=1e-5)
     p.add_argument("--jet", type=float, default=0.08)
     p.add_argument("--filter-eps", type=float, default=0.02)
+    p.add_argument("--backend", default=None,
+                   help="kernel backend (numpy, numba, numba-serial); "
+                        "default: numpy.  numba falls back to numpy "
+                        "with a warning when not importable")
     p.add_argument("--out", default="simulation.npz")
     p.set_defaults(func=_cmd_simulate)
 
@@ -748,8 +905,16 @@ def main(argv: list[str] | None = None) -> int:
                        help="time the fluid kernels (§7 protocol)")
     p.add_argument("--steps", type=int, default=20,
                    help="steps per timed window (paper: 20)")
-    p.add_argument("--repeats", type=int, default=2,
-                   help="windows to time; best is kept (paper: 2)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="windows to time; the median is recorded, the "
+                        "best kept for the paper's §7 column "
+                        "(default: 3)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized run: 2D cases only, at most 5 steps "
+                        "x 2 repeats")
+    p.add_argument("--backend", default=None,
+                   help="bench only this kernel backend (default: "
+                        "every backend available on this host)")
     p.add_argument("--collectives", action="store_true",
                    help="time the collective primitives and the "
                         "in-flight diagnostics overhead instead")
@@ -791,6 +956,22 @@ def main(argv: list[str] | None = None) -> int:
                         "BENCH_trace.json with --trace, or "
                         "BENCH_balance.json with --balance)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("calibrate",
+                       help="measure per-backend kernel speeds on "
+                            "this host (feeds load balancing)")
+    p.add_argument("--method", choices=("lb", "fd"), default="lb")
+    p.add_argument("--ndim", type=int, default=2, choices=(2, 3))
+    p.add_argument("--side", type=int, default=48,
+                   help="periodic problem side (default: 48)")
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--backends", nargs="+", default=None,
+                   help="also print per-rank weights for this "
+                        "per-rank backend assignment")
+    p.add_argument("--out", default=None,
+                   help="write the calibration table as JSON here")
+    p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("chaos",
                        help="run one seeded fault-injection scenario")

@@ -1,0 +1,101 @@
+"""Mixed per-rank kernel backends on the live distributed runtime.
+
+The acceptance test of the backend knob's end-to-end path: a 4-rank
+run where each rank names its own kernel backend must survive a
+worker kill plus checkpoint restart **bit-stable** — the restarted
+incarnation rebuilds the very same per-rank kernel (WorkerConfig
+carries the full ``backends`` list and each rank indexes it), so the
+faulted run reproduces the fault-free one exactly.
+
+On hosts without numba the non-numpy entries degrade to numpy inside
+each worker; the selection machinery exercised is identical either
+way, which is exactly the fallback contract.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro.chaos import Fault, FaultPlan
+from repro.distrib import ProblemSpec, RunSettings
+from repro.distrib.settings import worker_knob_names
+
+#: one backend name per rank of the 2x2 decomposition below
+MIXED = ["numpy", "numba", "numba-serial", "numpy"]
+
+
+def _spec():
+    return ProblemSpec(
+        method="lb",
+        grid_shape=(32, 24),
+        blocks=(2, 2),
+        periodic=(True, False),
+        params={"nu": 0.1, "gravity": (1e-5, 0.0), "filter_eps": 0.02},
+        geometry={"kind": "channel"},
+    )
+
+
+def _settings(steps=24, fault_plan="") -> RunSettings:
+    return RunSettings(
+        steps=steps,
+        save_every=8,
+        save_gap=0.0,
+        step_delay=0.01,
+        recv_timeout=3.0,
+        sync_timeout=20.0,
+        stall_timeout=6.0,
+        run_timeout=120.0,
+        monitor_poll=0.02,
+        backends=list(MIXED),
+        fault_plan=fault_plan,
+    )
+
+
+def test_backend_knobs_reach_worker_config():
+    """The knob derivation must carry both backend fields to workers."""
+    knobs = worker_knob_names()
+    assert "backend" in knobs and "backends" in knobs
+    s = RunSettings(steps=1, backend="numba", backends=["numpy", "numba"])
+    base = s.worker_base_cfg()
+    assert base["backend"] == "numba"
+    assert base["backends"] == ["numpy", "numba"]
+
+
+def test_settings_defaults_are_inert():
+    s = RunSettings(steps=1)
+    assert s.backend == "" and s.backends == []
+
+
+def test_mixed_backends_bit_stable_across_restart(tmp_path):
+    """kill rank 2 mid-run; the checkpoint restart must land on the
+    same trajectory as the fault-free mixed-backend run."""
+    plan = FaultPlan(
+        seed=0, faults=(Fault(kind="kill", rank=2, step=13),)
+    )
+    clean = repro.run(
+        _spec(), "distributed", _settings(),
+        workdir=tmp_path / "clean",
+    )
+    faulted = repro.run(
+        _spec(), "distributed", _settings(fault_plan=plan.to_json()),
+        workdir=tmp_path / "faulted",
+    )
+    assert clean.fields is not None and faulted.fields is not None
+    for name in clean.fields:
+        assert np.array_equal(
+            clean.fields[name], faulted.fields[name]
+        ), f"field {name!r} diverged across the restart"
+
+
+def test_short_backends_list_fails_loudly(tmp_path):
+    """A backends list shorter than the rank count must abort the run
+    with a diagnostic, not silently default some ranks."""
+    from repro.distrib import MonitorError
+
+    s = _settings(steps=10)
+    s = dataclasses.replace(s, backends=["numpy", "numpy"])  # 4 ranks
+    with pytest.raises(Exception) as excinfo:
+        repro.run(_spec(), "distributed", s, workdir=tmp_path / "short")
+    assert isinstance(excinfo.value, (MonitorError, RuntimeError))

@@ -77,14 +77,67 @@ class TestBench:
         text = capsys.readouterr().out
         assert "fluid nodes/s" in text
         data = json.loads(out.read_text())
-        assert set(data) == {
+        assert set(data) >= {"host", "steps", "repeats", "cases",
+                             "speedups"}
+        # the numpy serial/threaded rows exist on every host; numba
+        # rows appear only where numba imports
+        assert set(data["cases"]) >= {
             "fd2d_serial", "fd2d_threaded", "lb2d_serial",
             "lb2d_threaded", "lb3d_serial", "lb3d_threaded",
         }
-        for entry in data.values():
+        for entry in data["cases"].values():
             assert entry["nodes_per_second"] > 0
             assert entry["seconds_per_step"] > 0
+            assert entry["median_seconds_per_step"] > 0
+            assert entry["stdev_seconds_per_step"] >= 0
             assert entry["fluid_nodes"] > 0
+            assert entry["backend"] in ("numpy", "numba", "numba-serial")
+        host = data["host"]
+        assert host["cpu_count"] >= 1
+        assert host["numpy"] == np.__version__
+        assert "numpy" in host["backends"]
+        assert data["speedups"]["fd2d_threaded_vs_serial_numpy"] > 0
+
+    def test_quick_mode_drops_3d(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_kernels.json"
+        rc = main(["bench", "--quick", "--out", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["steps"] <= 5 and data["repeats"] <= 2
+        assert not any(k.startswith("lb3d") for k in data["cases"])
+
+    def test_unknown_backend_rejected(self, capsys):
+        assert main(["bench", "--backend", "cuda"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_explicit_backend_only(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_kernels.json"
+        rc = main(["bench", "--quick", "--backend", "numpy",
+                   "--out", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert {e["backend"] for e in data["cases"].values()} == {"numpy"}
+
+
+class TestCalibrate:
+    def test_prints_table_and_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "calibration.json"
+        rc = main(["calibrate", "--side", "16", "--steps", "2",
+                   "--repeats", "1", "--backends", "numpy", "numpy",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "backend calibration" in text
+        assert "per-rank weights" in text
+        data = json.loads(out.read_text())
+        assert data["nodes_per_second"]["numpy"] > 0
+        assert data["host"]["cpu_count"] >= 1
 
     def test_collectives_mode(self, tmp_path, capsys):
         import json

@@ -8,16 +8,18 @@ discrete-event cluster simulator reproducing the paper's efficiency
 measurements, and the theoretical efficiency model.
 
 The one-call entry point is :func:`repro.run`, which marches a
-:class:`~repro.distrib.ProblemSpec` on any of the four backends and
+:class:`~repro.distrib.ProblemSpec` on any of the backends and
 returns a :class:`repro.RunResult`; :mod:`repro.trace` is the
-phase-level tracing layer shared by all of them.
+phase-level tracing layer shared by all of them, and
+:mod:`repro.serve` turns the same machinery into a multi-tenant
+simulation service (job queue, result cache, live cluster view).
 """
 
 from . import balance, chaos, cluster, core, distrib, fluids, harness, \
-    net, trace, viz
+    net, serve, trace, viz
 from .facade import BACKENDS, RunResult, run
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "core",
@@ -28,6 +30,7 @@ __all__ = [
     "balance",
     "chaos",
     "harness",
+    "serve",
     "trace",
     "viz",
     "run",

@@ -178,6 +178,14 @@ class FaultPlan:
             )
         elif name == "break":
             faults = (Fault("conn_break", rank=rank, step=step),)
+        elif name == "rebalance_kill":
+            # The same single kill as "kill", but the runner marches it
+            # under policy="rebalance" with a skewed synthetic load, so
+            # the SIGKILL races a live rebalance epoch: depending on
+            # seed it lands before the planner acts, mid-epoch (a rank
+            # dies instead of dumping), or after the re-cut (the
+            # restart must pick decomposition-compatible dumps).
+            faults = (Fault("kill", rank=rank, step=step),)
         else:  # "reorder"
             faults = (
                 Fault("msg_delay", rank=rank, step=step),
@@ -236,4 +244,7 @@ SCENARIOS = (
     "spike",       # host load > 1.5 -> migration (§5.1)
     "break",       # orderly connection break -> backoff reconnect, no restart
     "reorder",     # delayed + duplicated frames -> absorbed in-protocol
+    "rebalance_kill",  # SIGKILL under policy="rebalance": the kill may
+    #  land before, during or after a rebalance epoch — every
+    #  interleaving must end in a ledger-closed recovery
 )

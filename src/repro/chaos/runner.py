@@ -59,6 +59,7 @@ class ChaosOutcome:
     recovery_seconds: float = 0.0   # elapsed minus the fault-free baseline
     restarts: int = 0
     migrations: int = 0
+    rebalances: int = 0
     faults: list[dict] = field(default_factory=list)
 
     @property
@@ -242,11 +243,22 @@ def run_scenario(
         steps=steps,
         faults=[asdict(f) for f in plan.faults] if plan else [],
     )
+    settings = chaos_settings(steps, save_every, plan)
+    if scenario == "rebalance_kill":
+        # The kill must race a *live* rebalance: a skewed synthetic
+        # load manufactures a real imbalance and aggressive planner
+        # gates make it act within the short run, so the SIGKILL lands
+        # before, during, or after the epoch depending on the seed.
+        settings.policy = "rebalance"
+        settings.balance_threshold = 0.05
+        settings.balance_cooldown = 0.5
+        settings.balance_min_gain = 0.0
+        settings.step_delays = [0.03, 0.005]
     run = DistributedRun(
         spec,
         initial_fields(spec, "rest"),
         Path(workdir),
-        chaos_settings(steps, save_every, plan),
+        settings,
     )
     mon = run.start()
     t0 = time.monotonic()
@@ -273,6 +285,7 @@ def run_scenario(
     out.recovery_seconds = max(out.elapsed - baseline_elapsed, 0.0)
     out.restarts = mon.restarts
     out.migrations = mon.migrations
+    out.rebalances = mon.rebalances
     if out.outcome == "match" and plan is not None:
         # bit-stable output is necessary but not sufficient: the span
         # ledger must also show every process fault was answered by a

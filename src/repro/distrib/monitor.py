@@ -44,7 +44,7 @@ from ..chaos.plan import FaultPlan
 from ..net.portfile import PortRegistry
 from ..trace import NULL_TRACER, Tracer
 from .diagnostics import DiagnosticsLog
-from .dumpfile import DumpCorruption, dump_path, verify_dump
+from .dumpfile import DumpCorruption, dump_path, load_dump
 from .hostdb import MIGRATE_LOAD_LIMIT, HostDB
 from .spec import ProblemSpec
 from .submit import spawn_worker
@@ -65,7 +65,8 @@ class MonitorError(RuntimeError):
 
 
 class _EpochBroken(RuntimeError):
-    """A migration epoch failed mid-sequence (recoverable by restart)."""
+    """A migration or rebalance epoch failed mid-sequence
+    (recoverable by a checkpoint restart)."""
 
 
 def _proc_state(pid: int) -> str:
@@ -113,6 +114,11 @@ class Monitor:
         self._done: set[int] = set()
         self._forced: list[int] = []
         self._forced_rebalance = False
+        # Restart floor after a successful rebalance: the re-cut dumps.
+        # Anything older (earlier checkpoints, the initial "state"
+        # dumps) carries the pre-recut block geometry and must never be
+        # restarted into the rewritten spec.
+        self._recut_tag: str | None = None
         self.planner: RebalancePlanner | None = None
         self.estimator: LoadEstimator | None = None
         if policy == "rebalance":
@@ -494,15 +500,28 @@ class Monitor:
         plan's weighted slabs (``recut<epoch>`` dumps + rewritten
         spec.json), then restart the whole group under the bumped
         generation — the same channel-reopen path a migration uses.
+
+        Like a migration epoch, a *broken* epoch — a rank dies instead
+        of dumping, the sync times out, the re-cut fails on a missing
+        dump — does not lose the run: the epoch is abandoned and the
+        whole group restarts from the last verified checkpoint.
         """
         epoch = self.generation
-        shares = list(plan.shares)
         self.log(
             f"rebalance epoch {epoch}: rows {list(plan.current)} -> "
-            f"{shares} (imbalance {plan.imbalance:.3f}, "
+            f"{list(plan.shares)} (imbalance {plan.imbalance:.3f}, "
             f"cost {plan.cost:.2f}s, "
             f"saving {plan.projected_saving:.2f}s)"
         )
+        try:
+            self._rebalance_epoch(epoch, plan)
+        except _EpochBroken as exc:
+            self.log(f"rebalance epoch {epoch} broken: {exc}")
+            self._ledger("recover:rebalance_failed")
+            self._restart_from_checkpoint()
+
+    def _rebalance_epoch(self, epoch: int, plan) -> None:
+        shares = list(plan.shares)
         running = {
             r: p for r, p in self.procs.items()
             if r not in self._done and p.poll() is None
@@ -518,9 +537,7 @@ class Monitor:
             )
         except TimeoutError as exc:
             self._kill_all()
-            raise MonitorError(
-                f"rebalance epoch {epoch} aborted: {exc}"
-            ) from exc
+            raise _EpochBroken(f"port registry: {exc}") from exc
 
         request = self.workdir / "sync" / f"epoch{epoch:04d}_request.json"
         request.parent.mkdir(parents=True, exist_ok=True)
@@ -537,26 +554,30 @@ class Monitor:
             while proc.poll() is None:
                 if time.monotonic() > sync_deadline:
                     self._kill_all()
-                    raise MonitorError(
+                    raise _EpochBroken(
                         f"rank {rank} never left during rebalance "
                         f"epoch {epoch}"
                     )
                 time.sleep(self.poll)
             if proc.returncode != EXIT_REBALANCED:
                 self._kill_all()
-                raise MonitorError(
+                raise _EpochBroken(
                     f"rank {rank} exited {proc.returncode} instead of "
                     f"rebalancing"
                 )
 
         from ..balance.recut import recut_problem  # lazy: import cycle
 
-        new = recut_problem(
-            self.workdir,
-            shares,
-            in_tag=f"balance{epoch:04d}",
-            out_tag=f"recut{epoch:04d}",
-        )
+        try:
+            new = recut_problem(
+                self.workdir,
+                shares,
+                in_tag=f"balance{epoch:04d}",
+                out_tag=f"recut{epoch:04d}",
+            )
+        except (DumpCorruption, OSError, ValueError) as exc:
+            self._kill_all()
+            raise _EpochBroken(f"re-cut failed: {exc}") from exc
         for rank in sorted(running):
             host = self.hostdb.host_of_rank(rank)
             cfg = WorkerConfig(
@@ -582,6 +603,9 @@ class Monitor:
         self.estimator.set_nodes(self._rows)
         self.planner.commit(time.monotonic(), plan)
         self.rebalances += 1
+        # Checkpoints written before this point carry the *old* block
+        # geometry; the recut dumps are the restart floor from now on.
+        self._recut_tag = f"recut{epoch:04d}"
         self.log(
             f"rebalance epoch {epoch} complete: generation "
             f"{self.generation}, slab rows {self._rows}"
@@ -657,22 +681,58 @@ class Monitor:
                 parts.append(f"--- rank {rank} ---\n{evidence}")
         return "\n".join(parts)
 
-    def _select_checkpoint(self) -> str:
-        """The newest complete checkpoint whose dumps all verify.
+    def _current_blocks(self) -> dict[int, tuple] | None:
+        """Per-rank ``(lo, hi)`` of the decomposition spec.json names.
 
-        Walks the complete checkpoints newest-first, checksumming every
-        rank's dump (:func:`verify_dump`); a corrupted or missing dump
-        disqualifies that step and the walk falls back one checkpoint
-        (§4.1 — restarting into garbage is worse than losing a save
-        interval).  The initial ``state`` dumps are the last resort.
+        ``None`` when the spec cannot be rebuilt — the walk then skips
+        the geometry check and falls back to checksums alone.
         """
-        for step in SaveTurns.complete_steps(self.workdir):
-            tag = f"ckpt{step:09d}"
+        try:
+            spec = ProblemSpec.load(self.workdir / "spec.json")
+            decomp = spec.build_decomposition()
+        except (OSError, ValueError):  # pragma: no cover - torn spec
+            return None
+        return {
+            b.rank: (tuple(b.lo), tuple(b.hi))
+            for b in decomp.active_blocks()
+        }
+
+    def _select_checkpoint(self) -> str:
+        """The newest complete checkpoint whose dumps all check out.
+
+        Walks the complete checkpoints newest-first; a dump
+        disqualifies its step when it is corrupted or missing
+        (checksums, §4.1 — restarting into garbage is worse than losing
+        a save interval) or when its block geometry no longer matches
+        the decomposition spec.json currently names: after a rebalance
+        re-cut the domain, every pre-recut checkpoint is a perfectly
+        *valid* dump of the wrong shape, and restoring it would crash
+        the group into a give-up loop.  The fallback floor is the last
+        re-cut's dumps once a rebalance committed, the initial
+        ``state`` dumps otherwise.
+        """
+        blocks = self._current_blocks()
+        floor = self._recut_tag or "state"
+        steps = [
+            f"ckpt{step:09d}"
+            for step in SaveTurns.complete_steps(self.workdir)
+        ]
+        for tag in steps + [floor]:
             try:
                 for rank in self.procs:
-                    verify_dump(
-                        dump_path(self.workdir / "dumps", rank, tag=tag)
+                    path = dump_path(
+                        self.workdir / "dumps", rank, tag=tag
                     )
+                    sub = load_dump(path)
+                    if blocks is not None and (
+                        (tuple(sub.block.lo), tuple(sub.block.hi))
+                        != blocks.get(rank)
+                    ):
+                        raise DumpCorruption(
+                            f"{path.name}: block "
+                            f"{tuple(sub.block.lo)}..{tuple(sub.block.hi)}"
+                            f" does not match the current decomposition"
+                        )
             except (DumpCorruption, OSError) as exc:
                 self.log(
                     f"checkpoint {tag} rejected, falling back one: {exc}"
@@ -680,7 +740,7 @@ class Monitor:
                 self._ledger("recover:ckpt_fallback")
                 continue
             return tag
-        return "state"
+        return floor  # nothing verified; the floor is the best guess
 
     def _restart_from_checkpoint(self, crashed: list[int] | None = None) -> None:
         diagnostics = self._worker_diagnostics(crashed)

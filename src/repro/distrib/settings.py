@@ -71,6 +71,9 @@ class WorkerKnobs:
     backend: str = ""          # kernel backend for every rank ("" = the
     #  numpy default; see repro.fluids.backends); unavailable backends
     #  degrade to numpy with a one-time warning, never an error
+    job_id: str = ""           # repro.serve job this run belongs to;
+    #  tags every rank's trace stream (meta line "job" field) so merged
+    #  traces from a shared worker pool stay attributable per job
     backends: list[str] = field(default_factory=list)
     #  per-rank kernel backends (indexed by rank, overrides `backend`):
     #  heterogeneous hosts run heterogeneous kernels, and the calibrated

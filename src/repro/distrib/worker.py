@@ -181,6 +181,7 @@ class Worker:
                 self.workdir / "trace"
                 / f"trace-{self.rank:04d}{gen}.jsonl",
                 rank=self.rank,
+                job=cfg.job_id,
             )
             self.channels.tracer = self.tracer
         self._compute_names = tuple(

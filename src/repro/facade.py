@@ -1,10 +1,11 @@
-"""One entry point over the four runtimes: :func:`repro.run`.
+"""One entry point over the five runtimes: :func:`repro.run`.
 
-The repo grew four ways to march the same problem — the serial
+The repo grew five ways to march the same problem — the serial
 :class:`~repro.core.Simulation`, the in-process
 :class:`~repro.core.ThreadedSimulation`, the socket-distributed
-:class:`~repro.distrib.DistributedRun` and the discrete-event
-:class:`~repro.cluster.ClusterSimulation` — each with its own
+:class:`~repro.distrib.DistributedRun`, the discrete-event
+:class:`~repro.cluster.ClusterSimulation` and the remote
+:mod:`repro.serve` gateway (``backend="service"``) — each with its own
 construction ritual.  They all consume the same
 :class:`~repro.distrib.ProblemSpec` and they are all instrumented by the
 same :mod:`repro.trace` layer, so one facade can drive any of them::
@@ -43,8 +44,10 @@ from .trace import NULL_TRACER, Tracer, TraceSummary, summarize, \
 
 __all__ = ["run", "RunResult", "BACKENDS"]
 
-#: The four runtimes :func:`run` can dispatch one problem to.
-BACKENDS = ("serial", "threaded", "distributed", "simulated")
+#: The runtimes :func:`run` can dispatch one problem to.  The first
+#: four execute locally; ``"service"`` submits to a running
+#: :class:`repro.serve.Gateway` and waits (pass ``server=``).
+BACKENDS = ("serial", "threaded", "distributed", "simulated", "service")
 
 
 @dataclass
@@ -70,6 +73,8 @@ class RunResult:
     sim: Any = None                     # SimResult of the simulated backend
     migrations: int = 0                 # §5.1 epochs the run executed
     rebalances: int = 0                 # rebalance epochs (re-cut domains)
+    job_id: str = ""                    # service-backend job id
+    cached: bool = False                # served from the gateway's cache
 
     @property
     def timings(self) -> dict[int, dict[str, float]]:
@@ -135,7 +140,7 @@ def _finish_trace(result: RunResult, trace_dir: Path) -> None:
 
 
 def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
-                   n_steps: int) -> RunResult:
+                   n_steps: int, persist_diag: bool = False) -> RunResult:
     from .core.runner import Simulation
     from .core.threaded import ThreadedSimulation
 
@@ -149,7 +154,17 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
     trace_dir = None
     if settings.trace:
         trace_dir = Path(workdir) / "trace"
-        tracer = Tracer(trace_dir / "trace-0000.jsonl", rank=0)
+        tracer = Tracer(trace_dir / "trace-0000.jsonl", rank=0,
+                        job=settings.job_id)
+    # With an explicit workdir the in-process runs persist their
+    # diagnostics to the same diagnostics.jsonl a distributed run
+    # streams — appended record by record, so the serve gateway can
+    # tail a small job live exactly like a large one.
+    diag_log = None
+    if persist_diag and settings.diag_every > 0:
+        from .distrib.diagnostics import DiagnosticsLog
+
+        diag_log = DiagnosticsLog.for_workdir(workdir)
     if threaded:
         sim = ThreadedSimulation(
             method, decomp, fields, solid,
@@ -171,12 +186,16 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
             sim.step(chunk)
             done += chunk
             if sim.step_count % every == 0:
-                diagnostics.append(
-                    sim.global_diagnostics(settings.diag_algorithm)
-                )
+                rec = sim.global_diagnostics(settings.diag_algorithm)
+                diagnostics.append(rec)
+                if diag_log is not None:
+                    diag_log.append(rec)
     else:
         sim.step(n_steps)
         diagnostics = list(getattr(sim, "diagnostics", []))
+        if diag_log is not None:
+            for rec in diagnostics:
+                diag_log.append(rec)
     elapsed = time.perf_counter() - t0
     if threaded:
         sim.close()
@@ -249,6 +268,34 @@ def _run_simulated(spec, settings, workdir) -> RunResult:
     return result
 
 
+def _run_service(spec, settings, server) -> RunResult:
+    from .serve.client import ServeClient
+
+    client = ServeClient(server)
+    submitted = client.submit(spec, settings=settings)
+    job_id = submitted["job_id"]
+    timeout = settings.run_timeout if settings.run_timeout > 0 else 600.0
+    record = client.wait(job_id, timeout=timeout)
+    if record["state"] != "done":
+        raise RuntimeError(
+            f"service job {job_id} ended {record['state']}: "
+            f"{record.get('error') or 'no error recorded'}"
+        )
+    payload = client.result(job_id)
+    fields = dict(client.fields(job_id))
+    result = payload.get("result", {})
+    return RunResult(
+        backend="service",
+        steps=int(record.get("steps") or settings.steps),
+        elapsed=float(record.get("elapsed") or 0.0),
+        fields=fields,
+        job_id=job_id,
+        cached=bool(record.get("cached")),
+        migrations=int(result.get("migrations") or 0),
+        rebalances=int(result.get("rebalances") or 0),
+    )
+
+
 def run(
     spec,
     backend: str = "serial",
@@ -257,6 +304,7 @@ def run(
     steps: int | None = None,
     fields: Mapping[str, np.ndarray] | None = None,
     workdir: str | Path | None = None,
+    server: Any = None,
 ) -> RunResult:
     """March one :class:`~repro.distrib.ProblemSpec` on any backend.
 
@@ -268,8 +316,10 @@ def run(
         ``"serial"`` (in-process, subregions stepped sequentially),
         ``"threaded"`` (one thread per subregion), ``"distributed"``
         (one OS process per rank over TCP/UDP, monitored and
-        migratable) or ``"simulated"`` (the discrete-event 1994-cluster
-        model — time only, no field data).
+        migratable), ``"simulated"`` (the discrete-event 1994-cluster
+        model — time only, no field data) or ``"service"`` (submit to a
+        running :class:`repro.serve.Gateway` named by ``server=`` and
+        wait; identical submissions come back from its result cache).
     settings:
         A :class:`~repro.distrib.RunSettings`; every backend honours
         ``steps``, ``trace``, ``diag_every`` and ``diag_algorithm``,
@@ -283,6 +333,10 @@ def run(
         Where the distributed backend decomposes the problem and where
         any backend writes its trace streams; a temporary directory is
         created when omitted but needed.
+    server:
+        For ``backend="service"``: the gateway to submit to — a
+        ``"host:port"`` address, or the serve directory (whose
+        ``gateway.json`` names the live address).
 
     Returns
     -------
@@ -295,6 +349,17 @@ def run(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     settings = _settings(settings, steps)
+    if backend == "service":
+        if server is None:
+            raise ValueError(
+                'backend="service" needs server= (a "host:port" '
+                "gateway address or the serve directory)"
+            )
+        if fields is not None:
+            raise ValueError(
+                "the service backend initializes fields from the spec"
+            )
+        return _run_service(spec, settings, server)
     if workdir is None and (settings.trace or backend == "distributed"):
         workdir = tempfile.mkdtemp(prefix=f"repro-{backend}-")
         if backend == "distributed":
@@ -312,4 +377,5 @@ def run(
     return _run_inprocess(
         spec, init, settings, workdir or ".",
         threaded=(backend == "threaded"), n_steps=settings.steps,
+        persist_diag=(workdir is not None),
     )

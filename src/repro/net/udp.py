@@ -96,13 +96,22 @@ class UdpChannelSet:
         self.retransmissions = 0
         self.duplicates_dropped = 0
         self.datagrams_lost = 0  # injected losses
+        self.conn_breaks = 0     # injected conn_break faults honoured
+        # conn_break aftermath: ignore this many incoming ACKs, modeling
+        # the burst of acknowledgments a dying link eats (the sender
+        # must retransmit; the receiver's duplicate suppression absorbs
+        # the replays)
+        self._ack_ignore = 0
         #: per-peer byte/message accounting (assign a live
         #: :class:`repro.trace.Tracer` to record channel traffic)
         self.tracer = NULL_TRACER
-        #: optional :class:`repro.chaos.ChannelFaultInjector` hook
-        #: (``conn_break`` faults are no-ops here: datagrams have no
-        #: connection to break — the retransmit timer already owns the
-        #: lost-packet failure mode)
+        #: optional :class:`repro.chaos.ChannelFaultInjector` hook.
+        #: Datagrams have no connection to reset, so a ``conn_break``
+        #: here models what a broken link costs a connectionless
+        #: transport: the peer's resolved address is dropped (forcing a
+        #: registry re-handshake before the next send) and a burst of
+        #: ACKs is discarded (forcing the retransmit timer to re-earn
+        #: delivery) — see :meth:`_break_link`.
         self.injector = None
 
     # ------------------------------------------------------------------
@@ -182,16 +191,35 @@ class UdpChannelSet:
         """Fragment, sequence and transmit one boundary-strip frame."""
         frames: tuple = ((to, payload, step, phase, axis, side),)
         if self.injector is not None and self.injector.enabled:
-            frames, _breaks = self.injector.filter_send(
+            frames, breaks = self.injector.filter_send(
                 (to, payload, step, phase, axis, side)
             )
+            for peer in breaks:
+                self._break_link(peer)
         for t, pl, st, ph, ax, sd in frames:
             self._send_frame(t, pl, st, ph, ax, sd)
+
+    def _break_link(self, peer: int) -> None:
+        """Honour an injected ``conn_break`` on a connectionless link.
+
+        There is no TCP stream to reset, so the fault becomes the two
+        costs a broken link imposes on a datagram protocol: the peer's
+        resolved address is forgotten (the next send must re-handshake
+        through the port registry, exactly like a post-migration
+        re-open) and the next few ACKs are discarded as if the dying
+        link ate them, forcing the retransmit timer to deliver the
+        in-flight data again.
+        """
+        self.conn_breaks += 1
+        self._addrs.pop(peer, None)
+        self._ack_ignore += 4
 
     def _send_frame(
         self, to: int, payload: bytes,
         step: int, phase: int, axis: int, side: int,
     ) -> None:
+        if to not in self._addrs:  # broken link: registry re-handshake
+            self.ensure_links((to,))
         addr = self._addrs[to]
         self.tracer.count(to, len(payload))
         nfrags = max(1, -(-len(payload) // _MTU_PAYLOAD))
@@ -236,6 +264,9 @@ class UdpChannelSet:
         if version != _VERSION:
             raise ProtocolError(f"datagram version {version}")
         if ptype == _PKT_ACK:
+            if self._ack_ignore > 0:  # conn_break ate this ACK
+                self._ack_ignore -= 1
+                return
             self._unacked.pop(seq, None)
             return
         if ptype != _PKT_DATA:

@@ -1,0 +1,86 @@
+"""Content-addressed result cache: identical request, zero recompute.
+
+Entries live under ``cache/<fingerprint>/`` as two files: the final
+global fields (``fields.npz``, copied from the computing job's artifact
+dir) and ``entry.json`` (the computing job's record, run summary and
+artifact paths).  The entry file is written last and atomically
+(``os.replace``), so a crash mid-``put`` leaves no half-entry a later
+gateway could serve — the cache survives restarts by construction, no
+index to rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+from .jobs import JobRecord
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Filesystem result cache keyed by request fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_dir(self, fp: str) -> Path:
+        return self.root / fp
+
+    def fields_path(self, fp: str) -> Path:
+        """Where a hit's ``fields.npz`` lives."""
+        return self._entry_dir(fp) / "fields.npz"
+
+    def get(self, fp: str) -> dict | None:
+        """The cache entry for ``fp``, or None (counts hit/miss)."""
+        entry_path = self._entry_dir(fp) / "entry.json"
+        try:
+            entry = json.loads(entry_path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        entry["fields"] = str(self.fields_path(fp))
+        self.hits += 1
+        return entry
+
+    def put(self, fp: str, record: JobRecord, job_dir: str | Path,
+            result: dict) -> bool:
+        """Store a finished job's artifacts under its fingerprint.
+
+        First writer wins: a fingerprint already cached (two identical
+        jobs in flight before either finished) is left untouched.
+        Returns whether this call created the entry.
+        """
+        entry_dir = self._entry_dir(fp)
+        if (entry_dir / "entry.json").exists():
+            return False
+        job_dir = Path(job_dir)
+        fields_src = job_dir / "fields.npz"
+        if not fields_src.exists():
+            raise FileNotFoundError(
+                f"job {record.job_id} finished without {fields_src}"
+            )
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(fields_src, entry_dir / "fields.npz")
+        entry = {
+            "fingerprint": fp,
+            "record": record.to_dict(),
+            "result": result,
+            "workdir": str(job_dir / "run"),
+        }
+        tmp = entry_dir / "entry.json.tmp"
+        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True))
+        os.replace(tmp, entry_dir / "entry.json")
+        return True
+
+    def __len__(self) -> int:
+        """Number of complete entries on disk."""
+        return sum(
+            1 for p in self.root.glob("*/entry.json") if p.is_file()
+        )

@@ -1,0 +1,195 @@
+"""Blocking HTTP client for the serve gateway (stdlib ``http.client``).
+
+The client is what ``repro submit``/``repro jobs``/``repro result``/
+``repro top`` and the facade's ``backend="service"`` path speak; it is
+deliberately synchronous — one request per connection — because every
+caller is either a CLI invocation or a worker-side facade call that
+wants a result, not a socket to babysit.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+import time
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from .jobs import TERMINAL
+
+__all__ = ["ServeClient", "discover"]
+
+
+def discover(serve_dir: str | Path) -> str:
+    """The ``host:port`` a serve directory's gateway bound (or raise)."""
+    path = Path(serve_dir) / "gateway.json"
+    try:
+        info = json.loads(path.read_text())
+        return f"{info['host']}:{info['port']}"
+    except (OSError, ValueError, KeyError) as exc:
+        raise RuntimeError(
+            f"no running gateway found at {path} — start one with "
+            f"'repro serve --dir {serve_dir}'"
+        ) from exc
+
+
+class ServeClient:
+    """Talk to one gateway at ``host:port``."""
+
+    def __init__(self, address: str, timeout: float = 60.0) -> None:
+        if isinstance(address, (Path,)) or (
+            isinstance(address, str) and ":" not in address
+        ):
+            address = discover(address)
+        host, _, port = str(address).rpartition(":")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict:
+        status, body = self._request(method, path, payload)
+        try:
+            data = json.loads(body.decode() or "{}")
+        except ValueError as exc:
+            raise RuntimeError(
+                f"{method} {path}: non-JSON response ({status})"
+            ) from exc
+        if status != 200:
+            raise RuntimeError(
+                f"{method} {path}: {status} — "
+                f"{data.get('error', body[:200])}"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def healthz(self) -> bool:
+        """Whether the gateway answers its liveness probe."""
+        try:
+            return bool(self._json("GET", "/healthz").get("ok"))
+        except (OSError, RuntimeError):
+            return False
+
+    def submit(
+        self,
+        spec,
+        settings=None,
+        seed: int = 0,
+        priority: int = 0,
+        backend: str | None = None,
+    ) -> dict:
+        """Submit one request; returns the job record dict."""
+        from ..distrib.spec import ProblemSpec
+
+        if isinstance(spec, ProblemSpec):
+            spec = json.loads(spec.to_json())
+        if settings is not None and not isinstance(settings, dict):
+            from dataclasses import asdict
+
+            settings = asdict(settings)
+            settings.pop("hosts", None)  # HostInfo objects: not JSON
+        payload = {
+            "spec": spec, "seed": seed, "priority": priority,
+        }
+        if settings is not None:
+            payload["settings"] = settings
+        if backend is not None:
+            payload["backend"] = backend
+        return self._json("POST", "/jobs", payload)
+
+    def jobs(self) -> list[dict]:
+        """Every job record the gateway knows, newest first."""
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One job record."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued or running job."""
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Record + run summary + artifact paths."""
+        return self._json("GET", f"/jobs/{job_id}/result")
+
+    def fields(self, job_id: str) -> dict[str, np.ndarray]:
+        """The final global fields, downloaded and decoded."""
+        status, body = self._request("GET", f"/jobs/{job_id}/fields")
+        if status != 200:
+            raise RuntimeError(
+                f"GET /jobs/{job_id}/fields: {status} — {body[:200]}"
+            )
+        with np.load(io.BytesIO(body)) as npz:
+            return {name: npz[name] for name in npz.files}
+
+    def cluster(self) -> dict:
+        """The live cluster snapshot ``repro top`` renders."""
+        return self._json("GET", "/cluster")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Block until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            rec = self.job(job_id)
+            if rec["state"] in TERMINAL:
+                return rec
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {rec['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Follow the job's live NDJSON stream (chunked transfer).
+
+        Yields ``{"event": "diagnostics", "record": {...}}`` lines as
+        the run produces them, ending with the ``{"event": "end"}``
+        line.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise RuntimeError(
+                    f"GET /jobs/{job_id}/stream: {resp.status}"
+                )
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()

@@ -1,0 +1,447 @@
+"""The asyncio HTTP/JSON gateway: simulation-as-a-service, stdlib only.
+
+A handwritten HTTP/1.1 server (``asyncio.start_server`` + a small
+request parser — no framework, no new runtime deps) in front of the
+:class:`~repro.serve.scheduler.Scheduler`.  One event loop owns every
+mutation of the job table; the compute happens in the pool's worker
+*processes*, so the gateway stays responsive while hundreds of jobs
+march.
+
+Routes (all JSON unless noted)::
+
+    GET    /healthz              liveness probe
+    POST   /jobs                 submit {spec, settings, seed, priority,
+                                 backend} -> the job record (cached
+                                 submissions come back already done)
+    GET    /jobs                 every job record, newest first
+    GET    /jobs/<id>            one job record
+    DELETE /jobs/<id>            cancel (queued or running)
+    GET    /jobs/<id>/result     record + run summary + artifact paths
+    GET    /jobs/<id>/fields     the final global fields (npz bytes)
+    GET    /jobs/<id>/stream     chunked NDJSON: the job's
+                                 diagnostics.jsonl tailed live, then one
+                                 {"event": "end", ...} line with the
+                                 final state and trace summary
+    GET    /cluster              workers + hosts + queue + cache stats
+                                 (what ``repro top`` renders)
+
+``gateway.json`` in the serve directory records the bound address so
+CLI clients can discover a running gateway from the directory alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+
+from .cache import ResultCache
+from .jobs import JobHistory
+from .pool import WorkerPool
+from .scheduler import Scheduler
+
+__all__ = ["Gateway"]
+
+_JSON = "application/json"
+_NDJSON = "application/x-ndjson"
+
+
+class _HttpError(Exception):
+    """An error with a status code, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+
+
+class Gateway:
+    """One serve directory's HTTP gateway + scheduler + worker pool."""
+
+    def __init__(
+        self,
+        serve_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        batch_size: int = 4,
+        poll: float = 0.05,
+        max_retries: int = 2,
+    ) -> None:
+        self.serve_dir = Path(serve_dir).resolve()
+        self.serve_dir.mkdir(parents=True, exist_ok=True)
+        self.host = host
+        self.port = port
+        self.poll = poll
+        self.pool = WorkerPool(self.serve_dir, n_workers=workers)
+        self.cache = ResultCache(self.serve_dir / "cache")
+        self.history = JobHistory.for_dir(self.serve_dir)
+        self.scheduler = Scheduler(
+            self.serve_dir, self.pool, self.cache, self.history,
+            batch_size=batch_size, max_retries=max_retries,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._tick_task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the pool, bind the server, start the scheduler tick."""
+        self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        (self.serve_dir / "gateway.json").write_text(json.dumps({
+            "host": self.host,
+            "port": self.port,
+            "workers": self.pool.n_workers,
+            "wall": time.time(),  # wall stamp of the boot
+        }, indent=2))
+        self._tick_task = asyncio.get_running_loop().create_task(
+            self._tick_loop()
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the tick, drain the pool."""
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+            self._tick_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.stop()
+
+    async def _tick_loop(self) -> None:
+        while True:
+            try:
+                self.scheduler.tick()
+            except Exception:  # noqa: BLE001 - the loop must survive
+                pass
+            await asyncio.sleep(self.poll)
+
+    async def run_forever(self) -> None:
+        """Start and serve until cancelled (the ``repro serve`` path)."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once the server is bound."""
+        return f"{self.host}:{self.port}"
+
+    # -- background-thread embedding (tests, benchmarks) ---------------
+    def start_background(self, timeout: float = 30.0) -> "Gateway":
+        """Run the gateway in a daemon thread; returns once bound."""
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def _runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_runner, name="repro-serve-gateway", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise TimeoutError("gateway did not come up in time")
+        if failure:
+            raise failure[0]
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop a background gateway started by :meth:`start_background`."""
+        if self._loop is None or self._thread is None:
+            return
+        fut = asyncio.run_coroutine_threadsafe(self.stop(), self._loop)
+        fut.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._dispatch(writer, *request)
+        except _HttpError as exc:
+            await self._send_json(
+                writer, exc.status, {"error": str(exc)}
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - render, don't die
+            try:
+                await self._send_json(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line.strip():
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError as exc:
+            raise _HttpError(400, f"malformed request line: {exc}") from exc
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length:
+            body = await reader.readexactly(length)
+        return method.upper(), target.split("?", 1)[0], headers, body
+
+    async def _send_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload
+    ) -> None:
+        body = json.dumps(payload).encode()
+        await self._send_response(writer, status, body, _JSON)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, writer, method, target, headers, body):
+        parts = [p for p in target.split("/") if p]
+        if target == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {"ok": True})
+        elif target == "/jobs" and method == "POST":
+            await self._post_job(writer, body)
+        elif target == "/jobs" and method == "GET":
+            records = sorted(
+                self.scheduler.records.values(),
+                key=lambda r: -r.seq,
+            )
+            await self._send_json(
+                writer, 200, {"jobs": [r.to_dict() for r in records]}
+            )
+        elif target == "/cluster" and method == "GET":
+            await self._send_json(writer, 200, self._cluster_payload())
+        elif len(parts) >= 2 and parts[0] == "jobs":
+            await self._job_route(writer, method, parts)
+        else:
+            raise _HttpError(404, f"no route for {method} {target}")
+
+    async def _post_job(self, writer, body: bytes) -> None:
+        try:
+            req = json.loads(body.decode() or "{}")
+        except ValueError as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        if not isinstance(req, dict) or "spec" not in req:
+            raise _HttpError(400, 'body must be {"spec": {...}, ...}')
+        try:
+            rec = self.scheduler.submit(
+                req["spec"],
+                settings=req.get("settings"),
+                seed=int(req.get("seed", 0)),
+                priority=int(req.get("priority", 0)),
+                backend=req.get("backend"),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _HttpError(400, str(exc)) from exc
+        await self._send_json(writer, 200, rec.to_dict())
+
+    def _record(self, job_id: str):
+        rec = self.scheduler.records.get(job_id)
+        if rec is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return rec
+
+    async def _job_route(self, writer, method, parts) -> None:
+        job_id = parts[1]
+        sub = parts[2] if len(parts) > 2 else ""
+        rec = self._record(job_id)
+        if method == "DELETE" and not sub:
+            rec = self.scheduler.cancel(job_id)
+            await self._send_json(writer, 200, rec.to_dict())
+        elif method != "GET":
+            raise _HttpError(405, f"{method} not allowed here")
+        elif not sub:
+            await self._send_json(writer, 200, rec.to_dict())
+        elif sub == "result":
+            await self._send_json(
+                writer, 200, self.scheduler.result_payload(job_id)
+            )
+        elif sub == "fields":
+            path = self.scheduler.fields_file(job_id)
+            if path is None:
+                raise _HttpError(
+                    404, f"job {job_id} has no fields yet "
+                         f"(state {rec.state})"
+                )
+            await self._send_response(
+                writer, 200, path.read_bytes(),
+                "application/octet-stream",
+            )
+        elif sub == "stream":
+            await self._stream_job(writer, job_id)
+        else:
+            raise _HttpError(404, f"unknown job endpoint {sub!r}")
+
+    # ------------------------------------------------------------------
+    # live streaming (chunked transfer)
+    # ------------------------------------------------------------------
+    async def _stream_job(self, writer, job_id: str) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {_NDJSON}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+
+        async def chunk(line: str) -> None:
+            data = (line.rstrip("\n") + "\n").encode()
+            writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+            await writer.drain()
+
+        diag_path = self.scheduler.diagnostics_file(job_id)
+        offset = 0
+        while True:
+            rec = self._record(job_id)
+            offset = await self._drain_diag(diag_path, offset, chunk)
+            if rec.terminal:
+                break
+            await asyncio.sleep(0.1)
+        payload = self.scheduler.result_payload(job_id)
+        summary = payload.get("result") or {}
+        await chunk(json.dumps({
+            "event": "end",
+            "state": rec.state,
+            "cached": rec.cached,
+            "error": rec.error,
+            "elapsed": rec.elapsed,
+            "utilization": summary.get("utilization"),
+            "trace_path": summary.get("trace_path"),
+        }))
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _drain_diag(self, path: Path, offset: int, chunk) -> int:
+        """Forward complete new lines of ``path``; returns new offset."""
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except OSError:
+            return offset
+        while True:
+            cut = data.find(b"\n")
+            if cut < 0:
+                return offset
+            line = data[:cut]
+            data = data[cut + 1:]
+            offset += cut + 1
+            if line.strip():
+                await chunk(
+                    json.dumps({
+                        "event": "diagnostics",
+                        "record": json.loads(line.decode()),
+                    })
+                )
+
+    # ------------------------------------------------------------------
+    # cluster view
+    # ------------------------------------------------------------------
+    def _cluster_payload(self) -> dict:
+        records = sorted(
+            self.scheduler.records.values(), key=lambda r: -r.seq
+        )
+        by_state: dict[str, int] = {}
+        for rec in records:
+            by_state[rec.state] = by_state.get(rec.state, 0) + 1
+        return {
+            "wall": time.time(),  # wall stamp of the snapshot
+            "address": self.address,
+            "workers": self.pool.status(),
+            "worker_deaths": self.pool.deaths,
+            "hosts": [
+                {
+                    "name": h.name, "model": h.model, "rank": h.rank,
+                    "load5": h.load5, "load15": h.load15,
+                }
+                for h in self.pool.hostdb.hosts()
+            ],
+            "queue_depth": self.scheduler.queue_depth,
+            "jobs_by_state": by_state,
+            "jobs": [r.to_dict() for r in records[:50]],
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "entries": len(self.cache),
+            },
+        }

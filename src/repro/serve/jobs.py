@@ -1,0 +1,159 @@
+"""Job records and the append-only JSONL job-history store.
+
+A submitted simulation becomes a :class:`JobRecord` marching the state
+machine::
+
+    queued ──> running ──> done
+       │          │  └───> failed
+       │          └──────> cancelled
+       │          └──────> queued      (requeued after a worker death)
+       └─────────> cancelled / failed
+
+Every transition is appended as one event line to ``jobs.jsonl`` (the
+history store) — the file is never rewritten, so a crashed gateway
+loses at most a torn final line, and :meth:`JobHistory.replay` rebuilds
+the full job table (last event wins) on restart.  The same file is what
+``repro top`` and the ``/cluster`` endpoint read their per-job
+timelines from.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..distrib.sync import _locked_append
+
+__all__ = [
+    "STATES",
+    "TERMINAL",
+    "TRANSITIONS",
+    "JobRecord",
+    "JobHistory",
+]
+
+#: Every state a job can be in.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+#: Legal state-machine moves.  ``running -> queued`` is the
+#: retry-on-worker-death path: the job goes back on the priority queue
+#: with its retry counter bumped.
+TRANSITIONS = {
+    "queued": frozenset({"running", "cancelled", "failed"}),
+    "running": frozenset({"done", "failed", "cancelled", "queued"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "cancelled": frozenset(),
+}
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle state (one line per event in history)."""
+
+    job_id: str
+    fingerprint: str
+    state: str = "queued"
+    priority: int = 0           # higher drains first
+    seq: int = 0                # submission order (FIFO within priority)
+    seed: int = 0
+    backend: str = "serial"     # runtime the job executes on
+    submitted: float = 0.0      # wall stamps (time.time epoch seconds)
+    started: float = 0.0
+    finished: float = 0.0
+    worker: int = -1            # pool worker index (-1 = unassigned)
+    retries: int = 0            # worker-death requeues so far
+    cached: bool = False        # served from the result cache
+    steps: int = 0
+    elapsed: float = 0.0        # compute seconds (0 for cache hits)
+    error: str = ""
+
+    def advance(self, state: str) -> None:
+        """Move to ``state``, enforcing the state machine."""
+        if state not in STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        if state not in TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal transition {self.state!r} -> {state!r} "
+                f"for job {self.job_id}"
+            )
+        self.state = state
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in TERMINAL
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**d)
+
+
+class JobHistory:
+    """Append-only JSONL event log of every job the gateway saw.
+
+    One line per event: ``{"event": E, "wall": W, "job": {...record}}``.
+    Appends are flock'd like every other shared file of a run; the
+    reader tolerates a torn final line.
+    """
+
+    FILENAME = "jobs.jsonl"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_dir(cls, serve_dir: str | Path) -> "JobHistory":
+        """The canonical history location inside a serve directory."""
+        return cls(Path(serve_dir) / cls.FILENAME)
+
+    def append(self, event: str, record: JobRecord) -> None:
+        """Append one event line for ``record``'s current state."""
+        line = json.dumps({
+            "event": event,
+            "wall": time.time(),  # wall stamp of the event
+            "job": record.to_dict(),
+        }) + "\n"
+        _locked_append(self.path, line)
+
+    def read(self) -> list[dict]:
+        """Every complete event line, oldest first."""
+        if not self.path.exists():
+            return []
+        out = []
+        for line in self.path.read_text().splitlines():
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue  # torn final line from a crashed gateway
+        return out
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Rebuild the job table: job_id -> latest record state."""
+        table: dict[str, JobRecord] = {}
+        for event in self.read():
+            job = event.get("job")
+            if not isinstance(job, dict) or "job_id" not in job:
+                continue
+            try:
+                table[job["job_id"]] = JobRecord.from_dict(job)
+            except TypeError:
+                continue  # event written by an incompatible version
+        return table
+
+    def next_seq(self) -> int:
+        """First unused submission sequence number after a replay."""
+        table = self.replay()
+        if not table:
+            return 0
+        return max(rec.seq for rec in table.values()) + 1

@@ -1,0 +1,139 @@
+"""The persistent worker-process pool behind the gateway.
+
+Spawning reuses the distributed runtime's submit machinery verbatim:
+the same absolutized-``PYTHONPATH`` environment
+(:func:`repro.distrib.submit._worker_env`), the same append-mode log
+files, and the same :class:`~repro.distrib.hostdb.HostDB` registry —
+each pool worker occupies a virtual ``pool-<i>`` host, so the existing
+host-level ops surface (`repro top`, load queries) sees service workers
+exactly as it sees distributed ranks.
+
+Liveness is the monitor's contract scaled down: :meth:`ensure_alive`
+polls exit codes, respawns the dead, and reports who died so the
+scheduler can requeue their in-flight jobs (retry-on-worker-death).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from ..distrib.hostdb import HostDB, HostInfo
+from ..distrib.submit import _worker_env
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent ``pool_worker`` processes."""
+
+    def __init__(self, serve_dir: str | Path, n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError("the pool needs at least one worker")
+        self.serve_dir = Path(serve_dir).resolve()
+        self.n_workers = n_workers
+        self.pool_dir = self.serve_dir / "pool"
+        self.hostdb = HostDB(self.serve_dir / "hosts.json")
+        self.procs: dict[int, subprocess.Popen] = {}
+        self.deaths = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Register the virtual hosts and spawn every worker."""
+        (self.pool_dir / "hb").mkdir(parents=True, exist_ok=True)
+        (self.pool_dir / "logs").mkdir(parents=True, exist_ok=True)
+        (self.pool_dir / "stop").unlink(missing_ok=True)
+        self.hostdb.initialize([
+            HostInfo(name=self._host_name(i), model="715/50", rank=i)
+            for i in range(self.n_workers)
+        ])
+        for i in range(self.n_workers):
+            self.inbox(i).mkdir(parents=True, exist_ok=True)
+            self.spawn(i)
+
+    def spawn(self, index: int) -> subprocess.Popen:
+        """(Re)start one pool worker process."""
+        log = self.pool_dir / "logs" / f"worker-{index:02d}.log"
+        with open(log, "ab") as fh:
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.serve.pool_worker",
+                    str(self.serve_dir), str(index),
+                ],
+                stdout=fh,
+                stderr=subprocess.STDOUT,
+                cwd=str(self.serve_dir),
+                env=_worker_env(),
+            )
+        self.procs[index] = proc
+        return proc
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Ask every worker to drain out, then kill stragglers."""
+        (self.pool_dir / "stop").touch()
+        for proc in self.procs.values():
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=timeout)
+        self.procs.clear()
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def alive(self, index: int) -> bool:
+        """Whether worker ``index`` is currently running."""
+        proc = self.procs.get(index)
+        return proc is not None and proc.poll() is None
+
+    def ensure_alive(self) -> list[int]:
+        """Respawn any dead worker; returns the indices that had died."""
+        dead = [i for i in range(self.n_workers) if not self.alive(i)]
+        for i in dead:
+            self.deaths += 1
+            self.spawn(i)
+        return dead
+
+    def kill(self, index: int) -> None:
+        """Force-kill one worker (cancellation of its running job)."""
+        proc = self.procs.get(index)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    # ------------------------------------------------------------------
+    # scheduler-facing file surfaces
+    # ------------------------------------------------------------------
+    def _host_name(self, index: int) -> str:
+        return f"pool-{index:02d}"
+
+    def inbox(self, index: int) -> Path:
+        """The ticket directory worker ``index`` drains."""
+        return self.pool_dir / f"inbox-{index:02d}"
+
+    def heartbeat(self, index: int) -> dict | None:
+        """Worker ``index``'s last heartbeat, or None (torn/missing)."""
+        path = self.pool_dir / "hb" / f"pool{index:04d}.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def status(self) -> list[dict]:
+        """One status dict per worker (for ``/cluster`` and top)."""
+        out = []
+        for i in range(self.n_workers):
+            proc = self.procs.get(i)
+            out.append({
+                "index": i,
+                "host": self._host_name(i),
+                "alive": self.alive(i),
+                "pid": proc.pid if proc is not None else None,
+                "heartbeat": self.heartbeat(i),
+            })
+        return out

@@ -1,0 +1,170 @@
+"""One persistent pool worker process: ``python -m repro.serve.pool_worker``.
+
+The scheduler batches small jobs many-per-worker by dropping ticket
+files into this process' inbox directory; the worker drains them in
+filename (= queue) order, running each job through :func:`repro.run`
+inside its own long-lived interpreter — so a batch of N small 2D jobs
+pays interpreter/import startup once, and a job on the ``threaded``
+backend reuses the persistent thread pool across jobs.  Large jobs
+arrive as a batch of one and fan out through the normal distributed
+path (the worker plays the paper's designated submit workstation).
+
+Everything the worker says to the scheduler goes through the
+filesystem, mirroring the distributed runtime's control plane:
+
+* ``pool/hb/pool<index>.json`` — heartbeat (state, current job, jobs
+  done), rewritten atomically so the gateway/`repro top` never read a
+  torn line;
+* ``jobs/<id>/result.json`` + ``fields.npz`` — success artifacts,
+  written atomically, result last (the scheduler treats its presence as
+  the commit point);
+* ``jobs/<id>/error.json`` — a deterministic failure (no retry).
+
+A worker death (crash, chaos kill, OOM) simply stops the heartbeat and
+leaves no result; the scheduler's liveness check respawns the process
+and requeues the in-flight jobs — the same detect-and-restart contract
+the distributed monitor implements for rank processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import time
+import traceback
+from pathlib import Path
+
+__all__ = ["main", "run_job"]
+
+#: Seconds between inbox polls when idle.
+POLL = 0.05
+
+
+def _atomic_write(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def _heartbeat(path: Path, index: int, state: str, job: str | None,
+               jobs_done: int) -> None:
+    _atomic_write(path, {
+        "index": index,
+        "pid": os.getpid(),
+        "state": state,                # idle | running | stopped
+        "job": job,
+        "jobs_done": jobs_done,
+        "wall": time.time(),           # wall stamp for staleness checks
+    })
+
+
+def _build_settings(knobs: dict, job_id: str):
+    """A RunSettings from the submitted knob dict, tagged with the job."""
+    from dataclasses import fields
+
+    from ..distrib.orchestrator import RunSettings
+
+    known = {f.name for f in fields(RunSettings)}
+    kwargs = {k: v for k, v in knobs.items() if k in known}
+    kwargs.setdefault("steps", 0)
+    settings = RunSettings(**kwargs)
+    settings.job_id = job_id
+    return settings
+
+
+def run_job(serve_dir: Path, job_id: str, worker_index: int) -> None:
+    """Execute one job from its ``job.json`` and commit the artifacts.
+
+    Idempotent across retries: a half-written ``run/`` directory from a
+    previous incarnation is discarded before starting over.
+    """
+    import numpy as np
+
+    import repro
+
+    from ..distrib.spec import ProblemSpec
+
+    job_dir = serve_dir / "jobs" / job_id
+    req = json.loads((job_dir / "job.json").read_text())
+    try:
+        spec = ProblemSpec.from_json(json.dumps(req["spec"]))
+        settings = _build_settings(req.get("settings", {}), job_id)
+        backend = req.get("backend", "serial")
+        rundir = job_dir / "run"
+        if rundir.exists():
+            shutil.rmtree(rundir)  # retry after a worker death
+        if backend != "distributed":
+            # DistributedRun insists on creating an empty dir itself.
+            rundir.mkdir(parents=True)
+        t0 = time.perf_counter()
+        result = repro.run(spec, backend, settings, workdir=rundir)
+        elapsed = time.perf_counter() - t0
+        fields = result.fields or {}
+        tmp = job_dir / "fields.tmp.npz"
+        np.savez(tmp, **fields)
+        os.replace(tmp, job_dir / "fields.npz")
+        _atomic_write(job_dir / "result.json", {
+            "job_id": job_id,
+            "backend": backend,
+            "steps": result.steps,
+            "elapsed": result.elapsed,
+            "wall_elapsed": elapsed,
+            "worker": worker_index,
+            "n_diagnostics": len(result.diagnostics),
+            "utilization": result.utilization,
+            "migrations": result.migrations,
+            "rebalances": result.rebalances,
+            "trace_path": str(result.trace_path)
+            if result.trace_path else None,
+        })
+    except Exception:  # noqa: BLE001 - reported to the scheduler as-is
+        _atomic_write(job_dir / "error.json", {
+            "job_id": job_id,
+            "worker": worker_index,
+            "error": traceback.format_exc(limit=20),
+        })
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Poll the inbox and run tickets until the stop file appears."""
+    argv = sys.argv[1:] if argv is None else argv
+    serve_dir = Path(argv[0]).resolve()
+    index = int(argv[1])
+    pool_dir = serve_dir / "pool"
+    inbox = pool_dir / f"inbox-{index:02d}"
+    inbox.mkdir(parents=True, exist_ok=True)
+    hb = pool_dir / "hb" / f"pool{index:04d}.json"
+    hb.parent.mkdir(parents=True, exist_ok=True)
+    stop = pool_dir / "stop"
+    jobs_done = 0
+    # Pay the heavy imports once at spawn, not inside the first job:
+    # the first "idle" heartbeat below doubles as the warm-pool signal.
+    import numpy  # noqa: F401
+    import repro  # noqa: F401
+    _heartbeat(hb, index, "idle", None, jobs_done)
+    while not stop.exists():
+        tickets = sorted(inbox.glob("*.json"))
+        if not tickets:
+            _heartbeat(hb, index, "idle", None, jobs_done)
+            time.sleep(POLL)
+            continue
+        ticket = tickets[0]
+        try:
+            job_id = json.loads(ticket.read_text())["job_id"]
+        except (OSError, ValueError, KeyError):
+            # torn/cancelled ticket: the scheduler owns removal races
+            ticket.unlink(missing_ok=True)
+            continue
+        _heartbeat(hb, index, "running", job_id, jobs_done)
+        run_job(serve_dir, job_id, index)
+        jobs_done += 1
+        ticket.unlink(missing_ok=True)
+        _heartbeat(hb, index, "idle", None, jobs_done)
+    _heartbeat(hb, index, "stopped", None, jobs_done)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

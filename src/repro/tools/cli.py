@@ -683,6 +683,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_balance(args)
     if args.chaos:
         return _bench_chaos(args)
+    if args.serve:
+        return _bench_serve(args)
 
     if args.backend:
         if args.backend not in BACKEND_NAMES:
@@ -836,6 +838,301 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_address(args: argparse.Namespace) -> str:
+    """Resolve the gateway address from --address or --dir."""
+    if getattr(args, "address", None):
+        return args.address
+    from ..serve import discover
+
+    return discover(args.dir)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the simulation-as-a-service gateway and serve until ^C."""
+    import asyncio
+
+    from ..serve import Gateway
+
+    gw = Gateway(
+        args.dir, host=args.host, port=args.port,
+        workers=args.workers, batch_size=args.batch_size,
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        await gw.start()
+        print(f"gateway listening on {gw.address} "
+              f"(serve dir {gw.serve_dir}, {gw.pool.n_workers} workers)")
+        stop = asyncio.Event()
+        # a SIGTERM'd gateway must still drain its worker pool — without
+        # this the pool processes outlive the gateway and race the next
+        # gateway's workers for the same inboxes
+        asyncio.get_running_loop().add_signal_handler(
+            signal.SIGTERM, stop.set
+        )
+        try:
+            await stop.wait()
+        finally:
+            await gw.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ngateway stopped")
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace):
+    """The ProblemSpec a ``repro submit`` invocation describes."""
+    from ..distrib.spec import ProblemSpec
+
+    if args.spec:
+        return ProblemSpec.load(args.spec)
+    shape = tuple(args.shape)
+    ndim = len(shape)
+    if args.problem == "channel":
+        geometry: dict = {"kind": "channel"}
+        periodic = (True,) + (False,) * (ndim - 1)
+        gravity = (args.force,) + (0.0,) * (ndim - 1)
+    else:  # flue_pipe
+        geometry = {"kind": "flue_pipe", "jet_speed": args.jet}
+        periodic = (False, False)
+        gravity = (0.0, 0.0)
+    return ProblemSpec(
+        method=args.method,
+        grid_shape=shape,
+        blocks=tuple(args.blocks),
+        periodic=periodic,
+        params={"nu": args.nu, "gravity": gravity,
+                "filter_eps": args.filter_eps},
+        geometry=geometry,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one spec to a running gateway (optionally wait/stream)."""
+    from ..serve import ServeClient
+
+    client = ServeClient(_serve_address(args), timeout=args.timeout)
+    spec = _submit_spec(args)
+    rec = client.submit(
+        spec,
+        settings={"steps": args.steps, "diag_every": args.diag_every},
+        seed=args.seed,
+        priority=args.priority,
+        backend=args.backend,
+    )
+    print(f"job {rec['job_id']}  state={rec['state']}"
+          f"{'  (cache hit)' if rec.get('cached') else ''}")
+    if args.stream:
+        for event in client.stream(rec["job_id"]):
+            if event.get("event") == "diagnostics":
+                d = event["record"]
+                print(f"  step {d.get('step', '?'):>6}  "
+                      f"max|V| = {d.get('max_speed', 0.0):.5f}")
+            else:
+                print(f"  end: state={event.get('state')} "
+                      f"cached={event.get('cached')} "
+                      f"elapsed={event.get('elapsed', 0.0):.2f}s")
+        rec = client.job(rec["job_id"])
+    elif args.wait:
+        rec = client.wait(rec["job_id"], timeout=args.timeout)
+        print(f"job {rec['job_id']}  state={rec['state']}  "
+              f"elapsed={rec.get('elapsed') or 0.0:.2f}s"
+              f"{'  (cache hit)' if rec.get('cached') else ''}")
+    if rec["state"] == "failed":
+        print(f"error: {rec.get('error')}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List every job the gateway knows, newest first."""
+    from ..harness import format_table
+    from ..serve import ServeClient
+
+    client = ServeClient(_serve_address(args))
+    rows = [
+        [j["job_id"], j["state"], j["backend"], j["priority"],
+         "yes" if j.get("cached") else "",
+         f"{j.get('elapsed') or 0.0:.2f} s",
+         j.get("error") or ""]
+        for j in client.jobs()
+    ]
+    print(format_table(
+        ["job", "state", "backend", "pri", "cached", "elapsed", "error"],
+        rows, title=f"jobs at {client.host}:{client.port}",
+    ))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    """Print one job's result payload (and optionally save its fields)."""
+    import json
+
+    from ..serve import ServeClient
+
+    client = ServeClient(_serve_address(args))
+    payload = client.result(args.job_id)
+    print(json.dumps(payload, indent=2, default=str))
+    if args.fields_out:
+        fields = client.fields(args.job_id)
+        np.savez_compressed(args.fields_out, **fields)
+        print(f"fields written to {args.fields_out}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """The live cluster view (workers, queue, cache, recent jobs)."""
+    from ..serve import ServeClient, watch
+
+    client = ServeClient(_serve_address(args))
+    watch(client, interval=args.interval, iterations=args.iterations)
+    return 0
+
+
+def _bench_serve(args: argparse.Namespace) -> int:
+    """The service-layer throughput gate (``repro bench --serve``).
+
+    A tenant workload of ``--serve-jobs`` distinct small problems, each
+    submitted ``1 + --serve-warm`` times, measured two ways: a plain
+    sequential ``repro.run()`` loop (what a user without the service
+    would do) and through a live gateway with its worker pool and
+    result cache.  The cache means the service computes each distinct
+    problem once and serves every repeat for free — the aggregate
+    throughput must come out at least ``--min-serve-speedup`` times the
+    sequential loop, and every warm submission must be a cache hit
+    (zero recompute).
+    """
+    import json
+    import tempfile
+    import time
+
+    from .. import run as repro_run
+    from ..distrib.orchestrator import RunSettings
+    from ..distrib.spec import ProblemSpec
+    from ..serve import Gateway, ServeClient
+
+    n_jobs = max(args.serve_jobs, 1)
+    n_warm = max(args.serve_warm, 0)
+    steps = args.serve_steps
+    side = args.serve_side
+    specs = [
+        ProblemSpec(
+            method="lb",
+            grid_shape=(side, side),
+            blocks=(1, 1),
+            periodic=(True, False),
+            params={"nu": 0.05 + 0.002 * i, "gravity": (1e-5, 0.0),
+                    "filter_eps": 0.02},
+            geometry={"kind": "channel"},
+        )
+        for i in range(n_jobs)
+    ]
+    submissions = specs * (1 + n_warm)
+
+    # baseline: the same workload as a sequential facade loop
+    t0 = time.perf_counter()
+    for spec in submissions:
+        repro_run(spec, "serial", RunSettings(steps=steps))
+    t_seq = time.perf_counter() - t0
+
+    serve_dir = args.serve_dir or tempfile.mkdtemp(prefix="repro_serve_")
+    gw = Gateway(serve_dir, workers=args.serve_workers, poll=0.02)
+    gw.start_background()
+    try:
+        from ..serve.jobs import TERMINAL
+
+        client = ServeClient(gw.address, timeout=300.0)
+        # steady-state throughput: let the persistent pool finish its
+        # one-time interpreter warm-up (first heartbeat) before timing
+        deadline = time.perf_counter() + 60.0
+        while any(
+            gw.pool.heartbeat(i) is None
+            for i in range(gw.pool.n_workers)
+        ):
+            if time.perf_counter() > deadline:
+                raise TimeoutError("worker pool never became ready")
+            time.sleep(0.01)
+        t0 = time.perf_counter()
+        cold = [
+            client.submit(spec, settings={"steps": steps})
+            for spec in specs
+        ]
+        for rec in cold:
+            client.wait(rec["job_id"], timeout=300.0, poll=0.01)
+        warm = [
+            client.submit(spec, settings={"steps": steps})
+            for spec in specs * n_warm
+        ]
+        for rec in warm:
+            # cache hits come back from /jobs already terminal — only
+            # poll the stragglers (a miss would mean a recompute, which
+            # the warm_all_cached gate below catches)
+            if rec["state"] not in TERMINAL:
+                client.wait(rec["job_id"], timeout=300.0, poll=0.01)
+        t_serve = time.perf_counter() - t0
+        final = {r["job_id"]: client.job(r["job_id"]) for r in cold + warm}
+    finally:
+        gw.shutdown()
+
+    computed = sum(1 for rec in final.values() if not rec["cached"])
+    warm_all_cached = all(
+        final[r["job_id"]]["cached"] for r in warm
+    ) if warm else True
+    all_done = all(rec["state"] == "done" for rec in final.values())
+    speedup = t_seq / t_serve if t_serve > 0 else float("inf")
+
+    n_total = len(submissions)
+    print(f"service throughput ({n_jobs} distinct problems x "
+          f"{1 + n_warm} submissions, LB {side}x{side}, {steps} steps, "
+          f"{args.serve_workers} workers):")
+    print(f"  sequential repro.run() loop  {t_seq:8.2f} s "
+          f"({n_total / t_seq:.2f} jobs/s)")
+    print(f"  gateway (pool + cache)       {t_serve:8.2f} s "
+          f"({n_total / t_serve:.2f} jobs/s)")
+    print(f"  computed {computed}/{n_total} jobs; warm submissions "
+          f"{'all cached' if warm_all_cached else 'NOT all cached'}")
+    print(f"  aggregate throughput speedup: {speedup:.2f}x "
+          f"(required: {args.min_serve_speedup:.2f}x)")
+
+    results = {
+        "host": _host_metadata(),
+        "jobs": n_jobs,
+        "warm_repeats": n_warm,
+        "submissions": n_total,
+        "steps": steps,
+        "side": side,
+        "workers": args.serve_workers,
+        "t_sequential_seconds": t_seq,
+        "t_serve_seconds": t_serve,
+        "computed_jobs": computed,
+        "warm_all_cached": warm_all_cached,
+        "all_done": all_done,
+        "speedup": speedup,
+        "min_speedup": args.min_serve_speedup,
+    }
+    out = Path(args.out or "BENCH_serve.json")
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    if not all_done:
+        bad = {k: v["state"] for k, v in final.items()
+               if v["state"] != "done"}
+        print(f"bench: jobs did not finish: {bad}", file=sys.stderr)
+        return 1
+    if not warm_all_cached:
+        print("bench: warm submissions recomputed — the result cache "
+              "missed identical requests", file=sys.stderr)
+        return 1
+    if speedup < args.min_serve_speedup:
+        print(f"bench: serve speedup {speedup:.2f}x below "
+              f"--min-serve-speedup {args.min_serve_speedup:.2f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     import subprocess
 
@@ -938,6 +1235,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--chaos-dir", default=None,
                    help="workdir for --chaos runs (default: a fresh "
                         "temporary directory)")
+    p.add_argument("--serve", action="store_true",
+                   help="run the service-layer throughput gate instead: "
+                        "a multi-tenant workload through a live gateway "
+                        "vs a sequential repro.run() loop (writes "
+                        "BENCH_serve.json)")
+    p.add_argument("--serve-jobs", type=int, default=6,
+                   help="distinct problems in the --serve workload "
+                        "(default: 6)")
+    p.add_argument("--serve-warm", type=int, default=7,
+                   help="repeat submissions per problem for --serve; "
+                        "every repeat must be a cache hit (default: 7)")
+    p.add_argument("--serve-workers", type=int, default=2,
+                   help="pool worker processes for --serve (default: 2)")
+    p.add_argument("--serve-steps", type=int, default=60,
+                   help="steps per --serve job (default: 60)")
+    p.add_argument("--serve-side", type=int, default=64,
+                   help="square LB grid side per --serve job "
+                        "(default: 64)")
+    p.add_argument("--serve-dir", default=None,
+                   help="serve directory for --serve (default: a fresh "
+                        "temporary directory)")
+    p.add_argument("--min-serve-speedup", type=float, default=3.0,
+                   help="fail --serve below this aggregate-throughput "
+                        "ratio vs the sequential loop (default: 3)")
     p.add_argument("--min-speedup", type=float, default=1.2,
                    help="fail --balance if rebalancing sustains less "
                         "than this times the baseline steps/s "
@@ -1008,6 +1329,82 @@ def main(argv: list[str] | None = None) -> int:
                    help="also write the merged Chrome trace-event JSON "
                         "here (loads in Perfetto)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("serve",
+                       help="run the simulation-as-a-service gateway")
+    p.add_argument("--dir", default="serve",
+                   help="serve directory: queue, cache, history, "
+                        "artifacts (default: serve/)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: 0 = pick a free one; the "
+                        "bound address lands in <dir>/gateway.json)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="pool worker processes (default: 2)")
+    p.add_argument("--batch-size", type=int, default=4,
+                   help="max small jobs assigned to one worker at once "
+                        "(default: 4)")
+    p.set_defaults(func=_cmd_serve)
+
+    def _client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", default="serve",
+                       help="serve directory to discover the gateway "
+                            "from (default: serve/)")
+        p.add_argument("--address", default=None,
+                       help="gateway host:port (overrides --dir)")
+
+    p = sub.add_parser("submit",
+                       help="submit a problem to a running gateway")
+    _client_args(p)
+    p.add_argument("--spec", default=None,
+                   help="ProblemSpec JSON file (overrides --problem)")
+    p.add_argument("--problem", choices=("channel", "flue_pipe"),
+                   default="channel")
+    p.add_argument("--method", choices=("lb", "fd"), default="lb")
+    p.add_argument("--shape", type=int, nargs="+", default=(64, 64))
+    p.add_argument("--blocks", type=int, nargs="+", default=(1, 1))
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--nu", type=float, default=0.05)
+    p.add_argument("--force", type=float, default=1e-5)
+    p.add_argument("--jet", type=float, default=0.08)
+    p.add_argument("--filter-eps", type=float, default=0.02)
+    p.add_argument("--diag-every", type=int, default=10,
+                   help="diagnostics period (streamed live; default: 10)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="cache-key seed: distinct seeds force distinct "
+                        "computations of the same problem")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (default: 0)")
+    p.add_argument("--backend", default=None,
+                   help="force serial/threaded/distributed (default: "
+                        "the scheduler picks by problem size)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal")
+    p.add_argument("--stream", action="store_true",
+                   help="follow the live diagnostics stream")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a gateway's jobs")
+    _client_args(p)
+    p.set_defaults(func=_cmd_jobs)
+
+    p = sub.add_parser("result",
+                       help="fetch one job's result payload")
+    _client_args(p)
+    p.add_argument("job_id")
+    p.add_argument("--fields-out", default=None,
+                   help="also download the final fields as .npz here")
+    p.set_defaults(func=_cmd_result)
+
+    p = sub.add_parser("top",
+                       help="live cluster view of a running gateway")
+    _client_args(p)
+    p.add_argument("--interval", type=float, default=1.0)
+    p.add_argument("--iterations", type=int, default=None,
+                   help="refresh this many times then exit "
+                        "(default: until ^C)")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("figures",
                        help="regenerate benchmarks/results/*.txt")

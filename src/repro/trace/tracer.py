@@ -161,6 +161,10 @@ class Tracer:
     sim:
         Mark the stream as simulated time (origins pinned to zero, so
         merged simulated ranks align at t = 0).
+    job:
+        Service-layer job id this stream belongs to; recorded on the
+        meta line (only when non-empty) so traces from a shared worker
+        pool stay attributable per job.
     """
 
     def __init__(
@@ -171,6 +175,7 @@ class Tracer:
         max_events: int = 200_000,
         flush_every: int = 2_048,
         sim: bool = False,
+        job: str = "",
     ) -> None:
         self.path = Path(path)
         self.rank = rank
@@ -178,6 +183,7 @@ class Tracer:
         self.max_events = int(max_events)
         self.flush_every = int(flush_every)
         self.sim = sim
+        self.job = job
         self.enabled = True
         self.spans_recorded = 0
         self.dropped = 0
@@ -198,6 +204,8 @@ class Tracer:
             "sim": sim,
             "version": 1,
         }
+        if job:
+            meta["job"] = job
         self.path.write_text(json.dumps(meta) + "\n")
 
     # -- the hot-path interface (mirrors NullTracer) -------------------

@@ -1,0 +1,98 @@
+"""The filesystem result cache: atomic entries that survive restarts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import JobRecord, ResultCache
+
+
+def _finished_job(tmp_path, job_id="j000000-aaaaaaaa"):
+    """A fake finished job dir with a fields.npz artifact."""
+    job_dir = tmp_path / "jobs" / job_id
+    (job_dir / "run").mkdir(parents=True)
+    np.savez(job_dir / "fields.npz",
+             rho=np.full((4, 4), 1.25), u=np.zeros((4, 4)))
+    rec = JobRecord(job_id=job_id, fingerprint="f" * 64, steps=10)
+    rec.advance("running")
+    rec.advance("done")
+    rec.elapsed = 2.5
+    return rec, job_dir
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        rec, job_dir = _finished_job(tmp_path)
+        assert cache.put(rec.fingerprint, rec, job_dir,
+                         {"elapsed": 2.5}) is True
+        assert len(cache) == 1
+        entry = cache.get(rec.fingerprint)
+        assert entry["record"]["job_id"] == rec.job_id
+        assert entry["result"] == {"elapsed": 2.5}
+        assert entry["workdir"] == str(job_dir / "run")
+        with np.load(entry["fields"]) as npz:
+            assert npz["rho"][0, 0] == 1.25
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("0" * 64) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        rec, job_dir = _finished_job(tmp_path)
+        cache.put(rec.fingerprint, rec, job_dir, {})
+        cache.get(rec.fingerprint)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_first_writer_wins(self, tmp_path):
+        """Two identical jobs in flight: the second finish is a no-op."""
+        cache = ResultCache(tmp_path / "cache")
+        rec, job_dir = _finished_job(tmp_path)
+        assert cache.put(rec.fingerprint, rec, job_dir, {"n": 1})
+        rec2, job_dir2 = _finished_job(tmp_path, "j000001-bbbbbbbb")
+        assert cache.put(rec.fingerprint, rec2, job_dir2,
+                         {"n": 2}) is False
+        assert cache.get(rec.fingerprint)["result"] == {"n": 1}
+
+    def test_survives_reinstantiation(self, tmp_path):
+        """A new ResultCache over the same root (a gateway restart)
+        serves the old entries — no index to rebuild."""
+        rec, job_dir = _finished_job(tmp_path)
+        ResultCache(tmp_path / "cache").put(
+            rec.fingerprint, rec, job_dir, {"elapsed": 2.5}
+        )
+        fresh = ResultCache(tmp_path / "cache")
+        assert len(fresh) == 1
+        assert fresh.get(rec.fingerprint)["result"]["elapsed"] == 2.5
+
+    def test_half_written_entry_is_a_miss(self, tmp_path):
+        """entry.json is the commit point; a crash before the rename
+        leaves fields.npz orphaned but never a servable entry."""
+        cache = ResultCache(tmp_path / "cache")
+        stale = cache.root / ("e" * 64)
+        stale.mkdir()
+        (stale / "fields.npz").write_bytes(b"not finished")
+        assert cache.get("e" * 64) is None
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        bad = cache.root / ("d" * 64)
+        bad.mkdir()
+        (bad / "entry.json").write_text("{torn")
+        assert cache.get("d" * 64) is None
+
+    def test_put_without_fields_refuses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        rec, job_dir = _finished_job(tmp_path)
+        (job_dir / "fields.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            cache.put(rec.fingerprint, rec, job_dir, {})
+
+    def test_entry_json_is_valid_sorted_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        rec, job_dir = _finished_job(tmp_path)
+        cache.put(rec.fingerprint, rec, job_dir, {})
+        raw = (cache.root / rec.fingerprint / "entry.json").read_text()
+        entry = json.loads(raw)
+        assert entry["fingerprint"] == rec.fingerprint

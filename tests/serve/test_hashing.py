@@ -1,0 +1,131 @@
+"""The cache key's contract: physical identity, spelled any way.
+
+Two submissions describing the same computation must collide; any knob
+that can change the produced fields must separate.  These properties
+are what make the result cache *correct* rather than merely fast — a
+false collision serves the wrong physics, a false separation recomputes
+forever.
+"""
+
+import pytest
+
+from repro.distrib import ProblemSpec, RunSettings
+from repro.serve import canonical_request, fingerprint
+
+SPEC_FIELDS = {
+    "method": "lb",
+    "grid_shape": (32, 24),
+    "blocks": (2, 1),
+    "periodic": (True, False),
+    "params": {"nu": 0.05, "gravity": (1e-5, 0.0)},
+    "geometry": {"kind": "channel"},
+}
+
+
+def _spec(**overrides) -> ProblemSpec:
+    return ProblemSpec(**{**SPEC_FIELDS, **overrides})
+
+
+class TestSpellingInvariance:
+    def test_dict_and_problemspec_collide(self):
+        spec = _spec()
+        as_dict = {
+            "method": "lb",
+            "grid_shape": [32, 24],
+            "blocks": [2, 1],
+            "periodic": [True, False],
+            "params": {"nu": 0.05, "gravity": [1e-5, 0.0]},
+            "geometry": {"kind": "channel"},
+        }
+        assert fingerprint(spec) == fingerprint(as_dict)
+
+    def test_field_order_independent(self):
+        forward = {
+            "method": "lb", "grid_shape": [16, 16],
+            "blocks": [1, 1], "periodic": [True, True],
+            "geometry": {"kind": "open"},
+        }
+        backward = {
+            "geometry": {"kind": "open"}, "periodic": [True, True],
+            "blocks": [1, 1], "grid_shape": [16, 16], "method": "lb",
+        }
+        assert fingerprint(forward) == fingerprint(backward)
+
+    def test_defaults_explicit_or_implicit_collide(self):
+        minimal = {
+            "method": "lb", "grid_shape": [16, 16],
+            "blocks": [1, 1], "periodic": [True, True],
+        }
+        spelled_out = ProblemSpec(
+            method="lb", grid_shape=(16, 16), blocks=(1, 1),
+            periodic=(True, True), params={}, geometry={"kind": "open"},
+        )
+        assert fingerprint(minimal) == fingerprint(spelled_out)
+
+    def test_settings_default_forms_collide(self):
+        spec = _spec()
+        a = fingerprint(spec, settings=None)
+        b = fingerprint(spec, settings={})
+        c = fingerprint(spec, settings=RunSettings(steps=0))
+        assert a == b == c
+
+    def test_operational_knobs_do_not_separate(self):
+        """Transport, tracing, checkpoint cadence, delays: *how* the
+        run executes, never *what* it computes."""
+        spec = _spec()
+        base = fingerprint(spec, settings={"steps": 50})
+        for knob in (
+            {"transport": "udp"},
+            {"trace": True},
+            {"save_every": 5},
+            {"step_delay": 0.01},
+            {"hb_every": 0.5},
+            {"job_id": "j000001-deadbeef"},
+        ):
+            assert fingerprint(spec, settings={"steps": 50, **knob}) \
+                == base, f"{knob} leaked into the cache key"
+
+
+class TestPhysicalSensitivity:
+    def test_spec_params_separate(self):
+        assert fingerprint(_spec()) != fingerprint(
+            _spec(params={"nu": 0.06, "gravity": (1e-5, 0.0)})
+        )
+
+    def test_grid_shape_separates(self):
+        assert fingerprint(_spec()) != fingerprint(
+            _spec(grid_shape=(32, 32))
+        )
+
+    def test_steps_separate(self):
+        spec = _spec()
+        assert fingerprint(spec, settings={"steps": 50}) \
+            != fingerprint(spec, settings={"steps": 51})
+
+    def test_seed_separates(self):
+        spec = _spec()
+        assert fingerprint(spec, seed=0) != fingerprint(spec, seed=1)
+
+    def test_kernel_backend_separates(self):
+        """Backend parity is ~1e-10, not bit-for-bit, so the kernel
+        backend stays inside the key."""
+        spec = _spec()
+        assert fingerprint(spec, settings={"steps": 10}) != fingerprint(
+            spec, settings={"steps": 10, "backend": "numpy"}
+        )
+
+
+class TestRejection:
+    def test_unknown_settings_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown settings knob"):
+            fingerprint(_spec(), settings={"stepz": 50})
+
+    def test_canonical_request_shape(self):
+        canon = canonical_request(_spec(), settings={"steps": 7}, seed=3)
+        assert canon["version"] == 1
+        assert canon["seed"] == 3
+        assert canon["settings"]["steps"] == 7
+        # the canonical form is pure JSON types (tuples flattened)
+        import json
+
+        assert json.loads(json.dumps(canon)) == canon

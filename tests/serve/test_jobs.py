@@ -1,0 +1,111 @@
+"""The job state machine and the append-only history store."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    STATES,
+    TERMINAL,
+    TRANSITIONS,
+    JobHistory,
+    JobRecord,
+)
+
+
+def _rec(job_id="j000000-aaaaaaaa", **kw) -> JobRecord:
+    return JobRecord(job_id=job_id, fingerprint="a" * 64, **kw)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        rec = _rec()
+        assert rec.state == "queued"
+        rec.advance("running")
+        rec.advance("done")
+        assert rec.terminal
+
+    def test_retry_on_worker_death_path(self):
+        rec = _rec()
+        rec.advance("running")
+        rec.advance("queued")       # the requeue after a worker death
+        rec.advance("running")
+        rec.advance("done")
+        assert rec.terminal
+
+    def test_terminal_states_are_closed(self):
+        for terminal in TERMINAL:
+            assert not TRANSITIONS[terminal]
+            rec = _rec()
+            rec.state = terminal
+            for target in STATES:
+                with pytest.raises(ValueError, match="illegal transition"):
+                    rec.advance(target)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown job state"):
+            _rec().advance("exploded")
+
+    def test_queued_cannot_jump_to_done(self):
+        with pytest.raises(ValueError, match="illegal transition"):
+            _rec().advance("done")
+
+    def test_dict_roundtrip(self):
+        rec = _rec(priority=3, seq=7, retries=1, cached=True,
+                   elapsed=1.5, steps=40)
+        assert JobRecord.from_dict(rec.to_dict()) == rec
+
+
+class TestHistory:
+    def test_append_and_read(self, tmp_path):
+        hist = JobHistory.for_dir(tmp_path)
+        rec = _rec()
+        hist.append("submitted", rec)
+        rec.advance("running")
+        hist.append("assigned", rec)
+        events = hist.read()
+        assert [e["event"] for e in events] == ["submitted", "assigned"]
+        assert all("wall" in e for e in events)
+        assert events[-1]["job"]["state"] == "running"
+
+    def test_replay_last_event_wins(self, tmp_path):
+        hist = JobHistory.for_dir(tmp_path)
+        a, b = _rec("j000000-aaaaaaaa", seq=0), _rec("j000001-bbbbbbbb",
+                                                    seq=1)
+        hist.append("submitted", a)
+        hist.append("submitted", b)
+        a.advance("running")
+        a.advance("done")
+        hist.append("done", a)
+        table = hist.replay()
+        assert table["j000000-aaaaaaaa"].state == "done"
+        assert table["j000001-bbbbbbbb"].state == "queued"
+
+    def test_replay_tolerates_torn_final_line(self, tmp_path):
+        hist = JobHistory.for_dir(tmp_path)
+        hist.append("submitted", _rec())
+        with open(hist.path, "a") as fh:
+            fh.write('{"event": "assigned", "job": {"job_id"')  # torn
+        table = hist.replay()
+        assert table["j000000-aaaaaaaa"].state == "queued"
+
+    def test_replay_skips_incompatible_events(self, tmp_path):
+        hist = JobHistory.for_dir(tmp_path)
+        hist.append("submitted", _rec())
+        with open(hist.path, "a") as fh:
+            fh.write(json.dumps({
+                "event": "future",
+                "job": {"job_id": "jX", "no_such_field": 1},
+            }) + "\n")
+        assert set(hist.replay()) == {"j000000-aaaaaaaa"}
+
+    def test_next_seq(self, tmp_path):
+        hist = JobHistory.for_dir(tmp_path)
+        assert hist.next_seq() == 0
+        hist.append("submitted", _rec("j000004-cccccccc", seq=4))
+        assert hist.next_seq() == 5
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        hist = JobHistory(tmp_path / "nope.jsonl")
+        assert hist.read() == []
+        assert hist.replay() == {}

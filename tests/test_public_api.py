@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.balance",
     "repro.harness",
+    "repro.serve",
     "repro.trace",
     "repro.viz",
     "repro.tools",
@@ -76,7 +77,7 @@ def test_facade_exports():
     assert callable(repro.run)
     assert inspect.isclass(repro.RunResult)
     assert repro.BACKENDS == ("serial", "threaded", "distributed",
-                              "simulated")
+                              "simulated", "service")
     for name in ("run", "RunResult", "trace"):
         assert name in repro.__all__, name
 

@@ -27,12 +27,19 @@ Routes (all JSON unless noted)::
 
 ``gateway.json`` in the serve directory records the bound address so
 CLI clients can discover a running gateway from the directory alone.
+
+The gateway is **unauthenticated**: anyone who can reach the port can
+submit jobs and read results.  Keep it on the loopback default, or put
+an authenticating reverse proxy in front before binding ``--host`` to
+anything wider.  Request bodies are capped at :data:`MAX_BODY` bytes
+(413 beyond it) so a client cannot balloon the gateway's memory.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from pathlib import Path
@@ -44,8 +51,14 @@ from .scheduler import Scheduler
 
 __all__ = ["Gateway"]
 
+log = logging.getLogger("repro.serve")
+
 _JSON = "application/json"
 _NDJSON = "application/x-ndjson"
+
+#: Largest request body the gateway will read into memory (a spec plus
+#: settings is a few KB; anything near this is hostile or a bug).
+MAX_BODY = 8 * 1024 * 1024
 
 
 class _HttpError(Exception):
@@ -58,7 +71,8 @@ class _HttpError(Exception):
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
 }
 
 
@@ -87,6 +101,7 @@ class Gateway:
             self.serve_dir, self.pool, self.cache, self.history,
             batch_size=batch_size, max_retries=max_retries,
         )
+        self._tick_errors: set[str] = set()
         self._server: asyncio.base_events.Server | None = None
         self._tick_task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -131,8 +146,14 @@ class Gateway:
         while True:
             try:
                 self.scheduler.tick()
-            except Exception:  # noqa: BLE001 - the loop must survive
-                pass
+            except Exception as exc:  # noqa: BLE001 - loop must survive
+                # The scheduler isolates per-job errors itself; anything
+                # that still reaches here is logged once per distinct
+                # error so a recurring failure is not a silent stall.
+                key = f"{type(exc).__name__}: {exc}"
+                if key not in self._tick_errors:
+                    self._tick_errors.add(key)
+                    log.exception("scheduler tick failed (loop continues)")
             await asyncio.sleep(self.poll)
 
     async def run_forever(self) -> None:
@@ -243,7 +264,18 @@ class Gateway:
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         body = b""
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError as exc:
+            raise _HttpError(400, f"bad Content-Length: {exc}") from exc
+        if length < 0:
+            raise _HttpError(400, "bad Content-Length: negative")
+        if length > MAX_BODY:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY}-byte limit",
+            )
         if length:
             body = await reader.readexactly(length)
         return method.upper(), target.split("?", 1)[0], headers, body

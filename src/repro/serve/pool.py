@@ -47,6 +47,16 @@ class WorkerPool:
         (self.pool_dir / "hb").mkdir(parents=True, exist_ok=True)
         (self.pool_dir / "logs").mkdir(parents=True, exist_ok=True)
         (self.pool_dir / "stop").unlink(missing_ok=True)
+        # Tickets from a previous gateway incarnation are void: the
+        # scheduler re-tickets every job it recovers, so a stale ticket
+        # left in an inbox (graceful stop drains only the current one)
+        # would have a second worker race the recovered assignment in
+        # the same job directory.  Clear every inbox — including those
+        # beyond n_workers, from a pool that shrank — before any worker
+        # can pick one up.
+        for inbox in self.pool_dir.glob("inbox-*"):
+            for stale in inbox.glob("*.json"):
+                stale.unlink(missing_ok=True)
         self.hostdb.initialize([
             HostInfo(name=self._host_name(i), model="715/50", rank=i)
             for i in range(self.n_workers)

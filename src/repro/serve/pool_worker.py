@@ -92,6 +92,16 @@ def run_job(serve_dir: Path, job_id: str, worker_index: int) -> None:
         spec = ProblemSpec.from_json(json.dumps(req["spec"]))
         settings = _build_settings(req.get("settings", {}), job_id)
         backend = req.get("backend", "serial")
+        seed = int(req.get("seed", 0))
+        # The seed is part of the cache fingerprint, so it must also be
+        # part of the computation: seed 0 is the canonical rest start,
+        # any other seed perturbs the initial density reproducibly
+        # (the "random" init program of paper §4.1).
+        fields = None
+        if seed:
+            from ..distrib.initprog import initial_fields
+
+            fields = initial_fields(spec, "random", seed=seed)
         rundir = job_dir / "run"
         if rundir.exists():
             shutil.rmtree(rundir)  # retry after a worker death
@@ -99,7 +109,9 @@ def run_job(serve_dir: Path, job_id: str, worker_index: int) -> None:
             # DistributedRun insists on creating an empty dir itself.
             rundir.mkdir(parents=True)
         t0 = time.perf_counter()
-        result = repro.run(spec, backend, settings, workdir=rundir)
+        result = repro.run(
+            spec, backend, settings, workdir=rundir, fields=fields
+        )
         elapsed = time.perf_counter() - t0
         fields = result.fields or {}
         tmp = job_dir / "fields.tmp.npz"

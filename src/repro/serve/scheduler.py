@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import logging
 import time
 from pathlib import Path
 
@@ -36,6 +37,8 @@ from .jobs import JobHistory, JobRecord
 from .pool import WorkerPool
 
 __all__ = ["Scheduler"]
+
+log = logging.getLogger("repro.serve")
 
 #: Grids with at most this many nodes count as "small" and are batched.
 DEFAULT_BATCH_NODES = 96 * 96
@@ -69,6 +72,10 @@ class Scheduler:
         self._assigned: dict[int, set[str]] = {
             i: set() for i in range(pool.n_workers)
         }
+        #: workers we killed ourselves to cancel a running job — their
+        #: next "death" is expected, and batch-mates keep their retries
+        self._cancel_kills: set[int] = set()
+        self._logged: set[str] = set()
         self._seq = 0
         self.recovered = 0
         self._replay()
@@ -188,6 +195,9 @@ class Scheduler:
             if hb is not None and hb.get("job") == job_id:
                 # mid-execution: kill the process; ensure_alive respawns
                 # it and the death handler skips this (cancelled) job.
+                # Mark the kill as ours so the batch-mates it takes down
+                # are requeued without being charged a retry.
+                self._cancel_kills.add(rec.worker)
                 self.pool.kill(rec.worker)
         rec.advance("cancelled")
         rec.finished = time.time()  # wall stamp
@@ -204,46 +214,72 @@ class Scheduler:
         self._assign()
 
     def _collect_finished(self) -> None:
-        for worker, job_ids in self._assigned.items():
+        for job_ids in self._assigned.values():
             for job_id in sorted(job_ids):
-                rec = self.records[job_id]
-                job_dir = self.jobs_dir / job_id
-                result_path = job_dir / "result.json"
-                error_path = job_dir / "error.json"
-                if result_path.exists():
-                    try:
-                        result = json.loads(result_path.read_text())
-                    except ValueError:
-                        continue  # torn: the worker is mid-replace
-                    rec.elapsed = float(result.get("elapsed", 0.0))
-                    rec.advance("done")
-                    rec.finished = time.time()  # wall stamp
-                    self.cache.put(rec.fingerprint, rec, job_dir, result)
-                    self.history.append("done", rec)
-                    job_ids.discard(job_id)
-                elif error_path.exists():
-                    try:
-                        err = json.loads(error_path.read_text())
-                    except ValueError:
-                        continue
-                    rec.error = str(err.get("error", ""))[-2000:]
-                    rec.advance("failed")
-                    rec.finished = time.time()  # wall stamp
-                    self.history.append("failed", rec)
-                    job_ids.discard(job_id)
-                elif rec.terminal:
-                    # cancelled under the worker's feet
-                    job_ids.discard(job_id)
+                try:
+                    self._collect_one(job_ids, job_id)
+                except Exception:  # noqa: BLE001 - isolate per job
+                    # One bad job must not wedge collection (and with
+                    # it death-handling and assignment) for the rest.
+                    self._log_once(
+                        f"collect:{job_id}",
+                        f"collecting finished job {job_id} failed",
+                    )
+
+    def _collect_one(self, job_ids: set[str], job_id: str) -> None:
+        rec = self.records[job_id]
+        if rec.terminal:
+            # cancelled under the worker's feet, or a previous tick
+            # finalized the record but died before dropping it here
+            job_ids.discard(job_id)
+            return
+        job_dir = self.jobs_dir / job_id
+        result_path = job_dir / "result.json"
+        error_path = job_dir / "error.json"
+        if result_path.exists():
+            try:
+                result = json.loads(result_path.read_text())
+            except ValueError:
+                return  # torn: the worker is mid-replace
+            rec.elapsed = float(result.get("elapsed", 0.0))
+            rec.advance("done")
+            rec.finished = time.time()  # wall stamp
+            try:
+                self.cache.put(rec.fingerprint, rec, job_dir, result)
+            except Exception:  # noqa: BLE001 - cache is best-effort
+                # A failed fill costs a later recompute, not the job.
+                self._log_once(
+                    f"cache:{rec.fingerprint}",
+                    f"cache fill for job {job_id} failed",
+                )
+            self.history.append("done", rec)
+            job_ids.discard(job_id)
+        elif error_path.exists():
+            try:
+                err = json.loads(error_path.read_text())
+            except ValueError:
+                return
+            rec.error = str(err.get("error", ""))[-2000:]
+            rec.advance("failed")
+            rec.finished = time.time()  # wall stamp
+            self.history.append("failed", rec)
+            job_ids.discard(job_id)
 
     def _handle_deaths(self) -> None:
         for worker in self.pool.ensure_alive():
+            # A kill we ordered ourselves (job cancellation) is not a
+            # real worker death: the cancelled job's batch-mates are
+            # requeued without touching their retry budget.
+            cancel_kill = worker in self._cancel_kills
+            self._cancel_kills.discard(worker)
             for job_id in sorted(self._assigned[worker]):
                 self._remove_ticket(worker, job_id)
                 rec = self.records[job_id]
                 if rec.terminal:
                     continue
-                if rec.retries < self.max_retries:
-                    rec.retries += 1
+                if cancel_kill or rec.retries < self.max_retries:
+                    if not cancel_kill:
+                        rec.retries += 1
                     rec.worker = -1
                     rec.advance("queued")
                     heapq.heappush(
@@ -259,6 +295,12 @@ class Scheduler:
                     rec.finished = time.time()  # wall stamp
                     self.history.append("failed", rec)
             self._assigned[worker].clear()
+
+    def _log_once(self, key: str, msg: str) -> None:
+        """Log the active exception once per distinct key, not per tick."""
+        if key not in self._logged:
+            self._logged.add(key)
+            log.exception(msg)
 
     def _assign(self) -> None:
         for worker in range(self.pool.n_workers):

@@ -1335,7 +1335,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dir", default="serve",
                    help="serve directory: queue, cache, history, "
                         "artifacts (default: serve/)")
-    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback; the gateway "
+                        "is unauthenticated — widen it only behind an "
+                        "authenticating proxy)")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (default: 0 = pick a free one; the "
                         "bound address lands in <dir>/gateway.json)")
@@ -1371,8 +1374,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--diag-every", type=int, default=10,
                    help="diagnostics period (streamed live; default: 10)")
     p.add_argument("--seed", type=int, default=0,
-                   help="cache-key seed: distinct seeds force distinct "
-                        "computations of the same problem")
+                   help="initial-condition seed: 0 starts from rest, a "
+                        "nonzero seed adds a reproducible random "
+                        "density perturbation (each seed is its own "
+                        "cache key)")
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (default: 0)")
     p.add_argument("--backend", default=None,

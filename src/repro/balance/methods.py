@@ -1,0 +1,95 @@
+"""Method-as-cost: per-rank speeds implied by a hybrid method map.
+
+A hybrid run (v2 :class:`~repro.distrib.ProblemSpec`) makes load
+imbalance *structural*: an FD subregion integrates nodes faster than an
+LB subregion of the same size (§7's relative-speed table measures the
+ratio at 1.24 for 2D), so equal blocks no longer mean equal work.  This
+module turns the spec's per-rank method assignment into per-rank
+processing rates the balancing machinery already consumes:
+
+* seed them into :meth:`~repro.balance.LoadEstimator.seed_speeds` so
+  the monitor's first migration/planning decisions start from the
+  structural ratios instead of the uniform prior (live heartbeat
+  measurements then refine them);
+* or normalize them into axis-0 ``Decomposition(weights=...)`` shares
+  at submit time, sizing each method's slabs so per-rank step times
+  match from step 0 (keep the method-region boxes aligned with the
+  weighted block faces — :meth:`ProblemSpec.methods_by_rank` checks).
+
+Rates come from the paper's §7 calibration table by default, or from a
+``{"fd": nodes/s, "lb": nodes/s}`` table measured on this host with
+:func:`calibrate_methods` (the method-axis sibling of
+:func:`repro.cluster.calibration.calibrate_backends`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["method_node_speeds", "calibrate_methods", "seed_method_speeds"]
+
+
+def method_node_speeds(
+    spec,
+    model: str = "715/50",
+    calibration: dict[str, float] | None = None,
+) -> list[float]:
+    """Nodes/second per dense active rank, from the rank's method.
+
+    ``calibration`` maps method name to a measured rate (see
+    :func:`calibrate_methods`); without it the paper's §7 machine-model
+    table prices each method (``model`` selects the workstation).
+    Uniform (v1) specs get a flat list — seeding it is a no-op for any
+    decision that only compares ratios.
+    """
+    from ..cluster.calibration import node_speed
+
+    if calibration is not None:
+        missing = set(spec.method_names) - set(calibration)
+        if missing:
+            raise ValueError(
+                f"calibration table lacks methods {sorted(missing)}"
+            )
+        return [calibration[m] for m in spec.methods_by_rank()]
+    return [
+        node_speed(m, spec.ndim, model) for m in spec.methods_by_rank()
+    ]
+
+
+def calibrate_methods(
+    ndim: int = 2,
+    side: int = 48,
+    steps: int = 5,
+    repeats: int = 2,
+    backend: str = "numpy",
+) -> dict[str, float]:
+    """Measured nodes/s per *method* on this host, one backend.
+
+    Runs the §7 timing protocol of
+    :func:`repro.cluster.calibration.calibrate_backends` once per
+    method, so a hybrid run can be balanced with the FD/LB speed ratio
+    of the actual kernels instead of the 1994 table.
+    """
+    from ..cluster.calibration import calibrate_backends
+
+    return {
+        m: calibrate_backends(
+            method=m, ndim=ndim, side=side, steps=steps,
+            repeats=repeats, backends=(backend,),
+        )[backend]
+        for m in ("fd", "lb")
+    }
+
+
+def seed_method_speeds(
+    estimator,
+    spec,
+    model: str = "715/50",
+    calibration: dict[str, float] | None = None,
+) -> list[float]:
+    """Seed a :class:`LoadEstimator` with the spec's structural rates.
+
+    Returns the seeded speeds for logging/inspection.  Heartbeat
+    measurements entering the same EMAs take over smoothly.
+    """
+    speeds = method_node_speeds(spec, model=model, calibration=calibration)
+    estimator.seed_speeds(speeds)
+    return speeds

@@ -75,6 +75,12 @@ def recut_problem(
     """
     workdir = Path(workdir)
     spec = ProblemSpec.load(workdir / "spec.json")
+    if spec.is_hybrid:
+        raise RecutError(
+            "re-cutting a hybrid (mixed-method) run is not supported: "
+            "resizing slabs would move the method seams off their "
+            "region boundaries"
+        )
     old = spec.build_decomposition()
     check_rebalanceable(old)
     if len(shares) != old.n_active:

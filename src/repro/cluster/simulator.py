@@ -145,18 +145,24 @@ class _SimProc:
     """State machine of one simulated parallel subprocess."""
 
     __slots__ = (
-        "rank", "host", "n_nodes", "neighbors", "msg_bytes",
+        "rank", "host", "method", "fractions", "n_nodes", "neighbors",
+        "msg_bytes", "sends", "expect",
         "step", "phase", "arrived", "waiting", "compute_time",
         "step_done_times", "paused_at", "wait_since",
     )
 
-    def __init__(self, rank: int, host: SimHost, n_nodes: int,
-                 neighbors: list[int], msg_bytes: dict[int, int]):
+    def __init__(self, rank: int, host: SimHost, method: str,
+                 n_nodes: int, neighbors: list[int],
+                 msg_bytes: dict[int, int]):
         self.rank = rank
         self.host = host
+        self.method = method
+        self.fractions = _PHASE_FRACTIONS[method]
         self.n_nodes = n_nodes
         self.neighbors = neighbors
         self.msg_bytes = msg_bytes          # per-neighbour payload bytes
+        self.sends: list[list[int]] = []    # per phase: ranks messaged
+        self.expect: list[int] = []         # per phase: frames awaited
         self.step = 0
         self.phase = -1                     # -1 = between steps
         self.arrived: dict[tuple[int, int], int] = {}
@@ -174,7 +180,15 @@ class ClusterSimulation:
     ----------
     method, ndim:
         ``"fd"`` or ``"lb"``, in 2 or 3 dimensions — selects node speed,
-        payload size and message count from the §6/§7 calibration.
+        payload size and message count from the §6/§7 calibration.  A
+        *sequence* of names (one per dense active rank, e.g. from
+        :meth:`repro.distrib.ProblemSpec.methods_by_rank`) models a
+        hybrid run: each process computes at its own method's speed
+        with its own phase count, mixed-method edges carry one seam
+        message per direction per step at the opening exchange (the
+        live runtime's pre-phase seam translation), and later phases
+        message same-method neighbours only — exactly the wire pattern
+        of the hybrid workers.
     blocks:
         Decomposition block counts, e.g. ``(5, 4)``.
     side:
@@ -222,7 +236,7 @@ class ClusterSimulation:
 
     def __init__(
         self,
-        method: str,
+        method: str | Sequence[str],
         ndim: int,
         blocks: Sequence[int],
         side: int,
@@ -234,8 +248,17 @@ class ClusterSimulation:
         trace_dir=None,
         fault_plan: FaultPlan | None = None,
     ) -> None:
-        if method not in ("fd", "lb"):
-            raise ValueError(f"unknown method {method!r}")
+        if isinstance(method, str):
+            per_rank = None
+        else:
+            per_rank = tuple(method)
+            if len(set(per_rank)) == 1 and per_rank:
+                method, per_rank = per_rank[0], None
+            else:
+                method = None
+        for m in per_rank if per_rank is not None else (method,):
+            if m not in _PHASE_FRACTIONS:
+                raise ValueError(f"unknown method {m!r}")
         if sync_mode not in ("bsp", "loose"):
             raise ValueError(f"unknown sync_mode {sync_mode!r}")
         if collective_algorithm not in ("tree", "ring"):
@@ -267,8 +290,18 @@ class ClusterSimulation:
                 f"got {len(hosts)}"
             )
         self.hosts = hosts
-        self.fractions = _PHASE_FRACTIONS[method]
-        self.msgs_per_step = MESSAGES_PER_STEP[method]
+        if per_rank is None:
+            self.methods: tuple[str, ...] = (method,) * self.n_procs
+        else:
+            if len(per_rank) != self.n_procs:
+                raise ValueError(
+                    f"{len(per_rank)} per-rank methods for "
+                    f"{self.n_procs} simulated processes"
+                )
+            self.methods = per_rank
+        self.msgs_per_step = max(
+            MESSAGES_PER_STEP[m] for m in self.methods
+        )
 
         self.queue = EventQueue()
         from .networks import make_network
@@ -284,10 +317,12 @@ class ClusterSimulation:
         )
         self.procs: list[_SimProc] = []
         stencil = star_stencil(ndim)
-        per_node = bytes_per_boundary_node(method, ndim)
         for rank in range(self.n_procs):
             blk = self.decomp.by_rank(rank)
             nbrs = self.decomp.neighbors(blk.index, stencil)
+            # A strip's byte count follows the *sender's* representation
+            # (an LB rank ships populations across a seam too).
+            per_node = bytes_per_boundary_node(self.methods[rank], ndim)
             neighbor_ranks = []
             msg_bytes = {}
             for off, nb in nbrs.items():
@@ -301,15 +336,31 @@ class ClusterSimulation:
             host = self.hosts[rank]
             host.rank = rank
             self.procs.append(
-                _SimProc(rank, host, blk.n_nodes, neighbor_ranks, msg_bytes)
+                _SimProc(rank, host, self.methods[rank], blk.n_nodes,
+                         neighbor_ranks, msg_bytes)
             )
+        # Per-phase exchange pattern.  Phase 0 messages every neighbour
+        # (on a mixed-method edge that is the once-per-step seam
+        # translation); later phases message same-method neighbours
+        # only — the live phase exchanges skip seam edges, and the
+        # mixed neighbour has no matching phase.  The pattern is
+        # symmetric, so each phase expects exactly as many frames as it
+        # sends.
+        for proc in self.procs:
+            for phase in range(len(proc.fractions)):
+                targets = [
+                    nb for nb in proc.neighbors
+                    if phase == 0 or self.methods[nb] == proc.method
+                ]
+                proc.sends.append(targets)
+                proc.expect.append(len(targets))
 
         # span tracing on the *simulated* clock: the same stream format
         # the live runtimes emit, with ``sim=True`` zero origins, so a
         # simulated and a measured run of one problem merge and compare
         # in the same viewer and the same report.
         self.trace_dir = None
-        nphases = len(self.fractions)
+        nphases = max(len(p.fractions) for p in self.procs)
         self._compute_names = tuple(f"compute:{i}" for i in range(nphases))
         self._exchange_names = tuple(
             f"exchange:{i}" for i in range(nphases)
@@ -396,13 +447,19 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     def _t_calc(self, proc: _SimProc, t: float) -> float:
         """Full per-step compute time of a process at time ``t``."""
-        return proc.n_nodes / proc.host.speed(self.method, self.ndim, t)
+        return proc.n_nodes / proc.host.speed(proc.method, self.ndim, t)
 
     def serial_time_per_step(self) -> float:
         """T_1: the whole problem on one dedicated 715/50 (§7's
         normalization; no communication, no external load)."""
-        total = self.decomp.n_active_nodes
-        return total / node_speed(self.method, self.ndim, "715/50")
+        if self.method is not None:
+            total = self.decomp.n_active_nodes
+            return total / node_speed(self.method, self.ndim, "715/50")
+        # hybrid: each subregion costs its own method's serial rate
+        return sum(
+            p.n_nodes / node_speed(p.method, self.ndim, "715/50")
+            for p in self.procs
+        )
 
     # ------------------------------------------------------------------
     # run
@@ -546,7 +603,7 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     def _start_step(self, proc: _SimProc, t: float) -> None:
         proc.phase = 0
-        self._schedule_compute(proc, t, self.fractions[0])
+        self._schedule_compute(proc, t, proc.fractions[0])
 
     def _schedule_compute(
         self, proc: _SimProc, t: float, fraction: float
@@ -575,10 +632,11 @@ class ClusterSimulation:
         what couples every processor to the *total* bus traffic and
         yields the ``T_com ∝ (P-1)`` law of eq. 19.
         """
-        if idx >= len(proc.neighbors):
+        targets = proc.sends[proc.phase]
+        if idx >= len(targets):
             self._wait_or_advance(proc, t)
             return
-        nb = proc.neighbors[idx]
+        nb = targets[idx]
         step, phase = proc.step, proc.phase
         finish = self.bus.send(
             proc.msg_bytes[nb],
@@ -602,7 +660,7 @@ class ClusterSimulation:
         proc = self.procs[dst]
         key = (step, phase)
         proc.arrived[key] = proc.arrived.get(key, 0) + 1
-        if proc.waiting == key and proc.arrived[key] >= len(proc.neighbors):
+        if proc.waiting == key and proc.arrived[key] >= proc.expect[phase]:
             proc.waiting = None
             self.tracers[dst].add_span(
                 self._wait_names[phase], proc.wait_since,
@@ -612,7 +670,7 @@ class ClusterSimulation:
 
     def _wait_or_advance(self, proc: _SimProc, t: float) -> None:
         key = (proc.step, proc.phase)
-        if proc.arrived.get(key, 0) >= len(proc.neighbors):
+        if proc.arrived.get(key, 0) >= proc.expect[proc.phase]:
             self._advance_phase(proc, t)
         else:
             proc.waiting = key
@@ -620,12 +678,12 @@ class ClusterSimulation:
 
     def _advance_phase(self, proc: _SimProc, t: float) -> None:
         proc.arrived.pop((proc.step, proc.phase), None)
-        if proc.phase + 1 < len(self.fractions):
+        if proc.phase + 1 < len(proc.fractions):
             proc.phase += 1
-            self._schedule_compute(proc, t, self.fractions[proc.phase])
+            self._schedule_compute(proc, t, proc.fractions[proc.phase])
         else:
             # final compute chunk (post-exchange filter etc.)
-            final = 1.0 - sum(self.fractions)
+            final = 1.0 - sum(proc.fractions)
             duration = final * self._t_calc(proc, t)
             proc.compute_time += duration
             self.tracers[proc.rank].add_span(
@@ -830,7 +888,7 @@ class ClusterSimulation:
         if all(p.step >= self._steps_target for p in self.procs):
             return
         speeds = [
-            p.host.speed(self.method, self.ndim, t) for p in self.procs
+            p.host.speed(p.method, self.ndim, t) for p in self.procs
         ]
         steps_remaining = self._steps_target - max(
             p.step for p in self.procs

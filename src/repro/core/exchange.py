@@ -203,7 +203,12 @@ class LocalExchanger:
     in-process parallel runs used by the bitwise serial==parallel tests.
     """
 
-    def __init__(self, decomp: Decomposition, subs: Sequence[SubregionState]):
+    def __init__(
+        self,
+        decomp: Decomposition,
+        subs: Sequence[SubregionState],
+        converters=None,
+    ):
         self.decomp = decomp
         self.subs = list(subs)
         if not self.subs:
@@ -217,11 +222,17 @@ class LocalExchanger:
             s.block.rank: build_plan(decomp, s.block.rank, pad)
             for s in self.subs
         }
+        #: per-edge seam converters keyed ``(dst_rank, src_rank)`` (see
+        #: :func:`repro.fluids.coupling.build_converters`); edges listed
+        #: here are *skipped* by :meth:`exchange` — their ghost strips
+        #: are translated once per step by :meth:`exchange_seam` instead.
+        self.converters = dict(converters or {})
 
     def exchange(
         self,
         field_names: Sequence[str],
         axes: Sequence[int] | None = None,
+        fields_by_rank=None,
     ) -> None:
         """Run one full ghost exchange of the named fields.
 
@@ -232,15 +243,82 @@ class LocalExchanger:
         whenever the decomposition has inactive blocks; ``axes``
         overrides the sweep (in sweep order) for callers that have
         already applied a local prefix via :meth:`exchange_local`.
+
+        ``fields_by_rank`` (hybrid runs) overrides ``field_names`` per
+        subregion — each method exchanges its own representation with
+        its same-method neighbours; mixed-method edges have a converter
+        installed and are skipped here (seam strips are refreshed by
+        :meth:`exchange_seam` before the step's first compute phase).
         """
+        if axes is None:
+            extended = self.decomp.n_active < self.decomp.n_blocks
+            axes = sweep_axes(self.decomp.ndim, extended)
+        converters = self.converters
+        for axis in axes:
+            for sub in self.subs:
+                rank = sub.block.rank
+                fields = (
+                    field_names if fields_by_rank is None
+                    else fields_by_rank[rank]
+                )
+                if not fields:
+                    continue
+                plan = self.plans[rank]
+                for op in plan.ops_for_axis(axis):
+                    if (
+                        op.kind == "recv"
+                        and (rank, op.neighbor_rank) in converters
+                    ):
+                        continue
+                    self._apply(sub, op, fields)
+
+    def exchange_seam(self, axes: Sequence[int] | None = None) -> None:
+        """Translate every mixed-method ghost strip (once per step).
+
+        Runs the same axis sweep as :meth:`exchange`; for each seam
+        edge the neighbour's send strip of *its* representation (the
+        converter's ``wire_fields``) is handed to the converter, which
+        writes this subregion's ghost strip — populations rebuilt from
+        ``rho, V`` on an LB side, moments taken on an FD side.  Writes
+        touch only ghost strips while reads come from interior send
+        strips (plus this subregion's own strip for the gradient
+        stencils), so within an axis there is no read/write hazard, and
+        later axes see earlier axes' translated corners exactly like
+        the regular sweep.
+        """
+        if not self.converters:
+            return
         if axes is None:
             extended = self.decomp.n_active < self.decomp.n_blocks
             axes = sweep_axes(self.decomp.ndim, extended)
         for axis in axes:
             for sub in self.subs:
-                plan = self.plans[sub.block.rank]
+                rank = sub.block.rank
+                plan = self.plans[rank]
                 for op in plan.ops_for_axis(axis):
-                    self._apply(sub, op, field_names)
+                    if op.kind != "recv":
+                        continue
+                    conv = self.converters.get((rank, op.neighbor_rank))
+                    if conv is None:
+                        continue
+                    src = self._by_rank[op.neighbor_rank]
+                    src_op = self._matching_send(op, rank)
+                    assert src_op.send_slices is not None
+                    payload = {
+                        name: src.fields[name][(...,) + src_op.send_slices]
+                        for name in conv.wire_fields
+                    }
+                    conv.convert(sub, op.recv_slices, payload)
+
+    def _matching_send(self, op: EdgeOp, my_rank: int) -> EdgeOp:
+        """The neighbour's send op that feeds my recv op."""
+        src_plan = self.plans[op.neighbor_rank]
+        return next(
+            o
+            for o in src_plan.ops_for_axis(op.axis)
+            if o.side == -op.side and o.kind == "recv"
+            and o.neighbor_rank == my_rank
+        )
 
     def exchange_local(
         self, rank: int, axes: Sequence[int], field_names: Sequence[str]
@@ -276,13 +354,7 @@ class LocalExchanger:
             return
         src = self._by_rank[op.neighbor_rank]
         # The strip I receive is the neighbour's matching send strip.
-        src_plan = self.plans[op.neighbor_rank]
-        src_op = next(
-            o
-            for o in src_plan.ops_for_axis(op.axis)
-            if o.side == -op.side and o.kind == "recv"
-            and o.neighbor_rank == sub.block.rank
-        )
+        src_op = self._matching_send(op, sub.block.rank)
         assert src_op.send_slices is not None
         for name in field_names:
             sub.fields[name][(...,) + op.recv_slices] = src.fields[name][

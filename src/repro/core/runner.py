@@ -32,7 +32,7 @@ from .decomposition import Decomposition
 from .exchange import LocalExchanger
 from .subregion import SubregionState, assemble_global, make_subregions
 
-__all__ = ["ExplicitMethod", "Simulation"]
+__all__ = ["ExplicitMethod", "Simulation", "common_field_names"]
 
 
 @runtime_checkable
@@ -66,6 +66,58 @@ class ExplicitMethod(Protocol):
 
     def finalize_step(self, sub: SubregionState) -> None:
         """Finish the step after the last exchange (filtering etc.)."""
+
+
+def _normalize_methods(method, decomp, converters):
+    """``(methods_per_rank, single_or_None)`` from a method or sequence.
+
+    A scalar method (or a sequence repeating one instance) runs the
+    historical uniform path; a genuinely mixed sequence is a *hybrid*
+    run and must come with the seam converters that translate its
+    mixed-method edges (see :mod:`repro.fluids.coupling`).
+    """
+    if isinstance(method, (list, tuple)):
+        methods = list(method)
+        if len(methods) != decomp.n_active:
+            raise ValueError(
+                f"{len(methods)} methods for {decomp.n_active} active ranks"
+            )
+    else:
+        methods = [method] * decomp.n_active
+    if len({m.pad for m in methods}) != 1:
+        raise ValueError(
+            "per-rank methods must share one ghost width; construct them "
+            "with a common pad override (ProblemSpec.build_methods does)"
+        )
+    single = methods[0] if len(set(map(id, methods))) == 1 else None
+    names = {m.method_name for m in methods if hasattr(m, "method_name")}
+    if single is None and len(names) > 1 and not converters:
+        raise ValueError(
+            "mixed-method runs need seam converters; build them with "
+            "repro.fluids.coupling.build_converters"
+        )
+    return methods, single
+
+
+def _phase_field_maps(subs, methods, nphases):
+    """Per-phase ``{rank: fields}`` maps; idling methods get ``()``."""
+    return [
+        {
+            s.block.rank: (
+                m.exchange_phases[p] if p < len(m.exchange_phases) else ()
+            )
+            for s, m in zip(subs, methods)
+        }
+        for p in range(nphases)
+    ]
+
+
+def common_field_names(methods) -> tuple[str, ...]:
+    """Fields every method evolves, in the first method's order."""
+    names = list(methods[0].field_names)
+    for m in methods[1:]:
+        names = [n for n in names if n in m.field_names]
+    return tuple(names)
 
 
 def _bind_backend(method, backend: str | None) -> None:
@@ -121,33 +173,48 @@ class Simulation:
 
     def __init__(
         self,
-        method: ExplicitMethod,
+        method,
         decomp: Decomposition,
         global_fields: Mapping[str, np.ndarray],
         solid: np.ndarray | None = None,
         tracer=NULL_TRACER,
         backend: str | None = None,
+        converters=None,
     ) -> None:
-        _bind_backend(method, backend)
-        self.method = method
+        methods, single = _normalize_methods(method, decomp, converters)
+        for m in dict.fromkeys(methods):
+            _bind_backend(m, backend)
+        self.methods = methods
+        self.method = single
         self.decomp = decomp
         self.tracer = tracer
-        self._compute_names = tuple(
-            f"compute:{i}" for i in range(len(method.exchange_phases))
-        )
-        self._exchange_names = tuple(
-            f"exchange:{i}" for i in range(len(method.exchange_phases))
-        )
-        self.subs = make_subregions(decomp, method.pad, global_fields, solid)
+        self._converters = dict(converters or {})
+        nphases = max(len(m.exchange_phases) for m in methods)
+        self._nphases = nphases
+        self._compute_names = tuple(f"compute:{i}" for i in range(nphases))
+        self._exchange_names = tuple(f"exchange:{i}" for i in range(nphases))
+        pad = methods[0].pad
+        self.subs = make_subregions(decomp, pad, global_fields, solid)
         if not self.subs:
             raise ValueError("decomposition has no active subregions")
-        for sub in self.subs:
-            method.init_subregion(sub)
-        self.exchanger = LocalExchanger(decomp, self.subs)
+        for sub, m in zip(self.subs, self.methods):
+            m.init_subregion(sub)
+        self.exchanger = LocalExchanger(decomp, self.subs, self._converters)
+        self._phase_fields = _phase_field_maps(self.subs, self.methods, nphases)
         # A freshly decomposed state has exact ghosts, but method-private
         # fields were initialized per-subregion; exchange everything once
         # so the first step starts from a consistent padded state.
-        self.exchanger.exchange(method.field_names)
+        if single is not None:
+            self.exchanger.exchange(single.field_names)
+        else:
+            self.exchanger.exchange(
+                (),
+                fields_by_rank={
+                    s.block.rank: m.field_names
+                    for s, m in zip(self.subs, self.methods)
+                },
+            )
+            self.exchanger.exchange_seam()
 
     @property
     def step_count(self) -> int:
@@ -155,6 +222,9 @@ class Simulation:
 
     def step(self, n: int = 1) -> None:
         """Advance every subregion ``n`` integration steps."""
+        if self.method is None:
+            self._step_hybrid(n)
+            return
         method = self.method
         tracer = self.tracer
         compute_names = self._compute_names
@@ -175,15 +245,60 @@ class Simulation:
                 sub.step += 1
             tracer.end("finalize:0", t0, step=step_no)
 
+    def _step_hybrid(self, n: int) -> None:
+        """Mixed-method cycle: seam translation, then the padded schedule.
+
+        Seam ghost strips are translated once per step *before* the
+        first compute phase — both sides convert time-``t`` state (the
+        LB side needs the FD velocity before the in-place momentum
+        update overwrites it).  The phase loop runs to the longest
+        method's phase count; a method with fewer phases idles, and
+        each method exchanges only its own representation with its
+        same-method neighbours (seam edges are skipped — the converter
+        already refreshed them).
+        """
+        tracer = self.tracer
+        methods = self.methods
+        subs = self.subs
+        for _ in range(n):
+            step_no = subs[0].step
+            t0 = tracer.begin()
+            self.exchanger.exchange_seam()
+            tracer.end("seam:0", t0, step=step_no)
+            for phase in range(self._nphases):
+                t0 = tracer.begin()
+                for sub, m in zip(subs, methods):
+                    if phase < len(m.exchange_phases):
+                        m.compute_phase(sub, phase)
+                tracer.end(self._compute_names[phase], t0, step=step_no)
+                t0 = tracer.begin()
+                self.exchanger.exchange(
+                    (), fields_by_rank=self._phase_fields[phase]
+                )
+                tracer.end(self._exchange_names[phase], t0, step=step_no)
+            t0 = tracer.begin()
+            for sub, m in zip(subs, methods):
+                m.finalize_step(sub)
+                sub.step += 1
+            tracer.end("finalize:0", t0, step=step_no)
+
     def global_field(self, name: str, fill: float = 0.0) -> np.ndarray:
         """Reassemble a global array from the subregion interiors."""
         return assemble_global(self.decomp, self.subs, name, fill)
 
     def global_state(self) -> dict[str, np.ndarray]:
-        """All method fields reassembled into global arrays."""
-        return {
-            name: self.global_field(name) for name in self.method.field_names
-        }
+        """All method fields reassembled into global arrays.
+
+        A hybrid run reassembles the fields every method evolves (the
+        macroscopic ``rho, V``); method-private fields like the LB
+        populations exist only on their own subregions.
+        """
+        names = (
+            self.method.field_names
+            if self.method is not None
+            else common_field_names(self.methods)
+        )
+        return {name: self.global_field(name) for name in names}
 
     def global_diagnostics(self, algorithm: str = "tree"):
         """Globally reduced mass / kinetic energy / max |V| right now.
@@ -222,14 +337,16 @@ class Simulation:
         from ..distrib.dumpfile import dump_path, load_dump
 
         restored = []
-        for sub in self.subs:
+        for sub, m in zip(self.subs, self.methods):
             back = load_dump(dump_path(directory, sub.block.rank))
             if back.block != sub.block:
                 raise ValueError(
                     f"dump for rank {sub.block.rank} covers block "
                     f"{back.block.index}, expected {sub.block.index}"
                 )
-            self.method.init_subregion(back)
+            m.init_subregion(back)
             restored.append(back)
         self.subs = restored
-        self.exchanger = LocalExchanger(self.decomp, self.subs)
+        self.exchanger = LocalExchanger(
+            self.decomp, self.subs, self._converters
+        )

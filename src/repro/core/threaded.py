@@ -47,7 +47,13 @@ from ..net.collectives import Communicator
 from ..trace import NULL_TRACER
 from .decomposition import Decomposition
 from .exchange import LocalExchanger, sweep_axes
-from .runner import ExplicitMethod, _bind_backend
+from .runner import (
+    ExplicitMethod,
+    _bind_backend,
+    _normalize_methods,
+    _phase_field_maps,
+    common_field_names,
+)
 from .subregion import assemble_global, make_subregions
 
 __all__ = ["ThreadedSimulation"]
@@ -63,7 +69,7 @@ class ThreadedSimulation:
 
     def __init__(
         self,
-        method: ExplicitMethod,
+        method,
         decomp: Decomposition,
         global_fields: Mapping[str, np.ndarray],
         solid: np.ndarray | None = None,
@@ -72,23 +78,42 @@ class ThreadedSimulation:
         diag_vmax: float = 0.0,
         tracer=NULL_TRACER,
         backend: str | None = None,
+        converters=None,
     ) -> None:
-        _bind_backend(method, backend)
-        self.method = method
+        methods, single = _normalize_methods(method, decomp, converters)
+        for m in dict.fromkeys(methods):
+            _bind_backend(m, backend)
+        self.methods = methods
+        self.method = single
         self.decomp = decomp
         self.tracer = tracer
-        nphases = len(method.exchange_phases)
+        self._converters = dict(converters or {})
+        nphases = max(len(m.exchange_phases) for m in methods)
+        self._nphases = nphases
         self._compute_names = tuple(f"compute:{i}" for i in range(nphases))
         self._exchange_names = tuple(f"exchange:{i}" for i in range(nphases))
         # non-exchanging threads spend the same interval at the barrier
         self._wait_names = tuple(f"wait:{i}" for i in range(nphases))
-        self.subs = make_subregions(decomp, method.pad, global_fields, solid)
+        self.subs = make_subregions(
+            decomp, methods[0].pad, global_fields, solid
+        )
         if not self.subs:
             raise ValueError("decomposition has no active subregions")
-        for sub in self.subs:
-            method.init_subregion(sub)
-        self.exchanger = LocalExchanger(decomp, self.subs)
-        self.exchanger.exchange(method.field_names)
+        for sub, m in zip(self.subs, self.methods):
+            m.init_subregion(sub)
+        self.exchanger = LocalExchanger(decomp, self.subs, self._converters)
+        self._phase_fields = _phase_field_maps(self.subs, self.methods, nphases)
+        if single is not None:
+            self.exchanger.exchange(single.field_names)
+        else:
+            self.exchanger.exchange(
+                (),
+                fields_by_rank={
+                    s.block.rank: m.field_names
+                    for s, m in zip(self.subs, self.methods)
+                },
+            )
+            self.exchanger.exchange_seam()
         # Split the axis sweep: the leading axes along which no
         # subregion receives from a neighbour (single-block axes, or
         # axes severed by inactive blocks) are pure local replication
@@ -209,6 +234,9 @@ class ThreadedSimulation:
 
     # ------------------------------------------------------------------
     def _run_steps(self, idx: int, n_steps: int) -> None:
+        if self.method is None:
+            self._run_steps_hybrid(idx, n_steps)
+            return
         method = self.method
         sub = self.subs[idx]
         rank = sub.block.rank
@@ -245,6 +273,65 @@ class ThreadedSimulation:
             if self._diags is not None:
                 # The collective itself synchronizes the threads;
                 # every thread reads only its own subregion.
+                rec = self._diags[idx].maybe_check(sub)
+                if idx == 0 and rec is not None:
+                    self.diagnostics.append(rec)
+
+    def _run_steps_hybrid(self, idx: int, n_steps: int) -> None:
+        """Mixed-method worker loop (see ``Simulation._step_hybrid``).
+
+        The seam translation and every exchange are serialized through
+        thread 0 between barriers — converters read neighbouring
+        subregions' arrays and must not race the kernels.  Phases run
+        to the longest method's count; threads whose method has fewer
+        phases still compute nothing but meet every barrier, keeping
+        the schedule deadlock-free.
+        """
+        method = self.methods[idx]
+        sub = self.subs[idx]
+        rank = sub.block.rank
+        tracer = self.tracer
+        sync_names = self._exchange_names if idx == 0 else self._wait_names
+        local_axes = self._local_axes
+        central_axes = self._central_axes
+        phases = method.exchange_phases
+        for _ in range(n_steps):
+            step_no = sub.step
+            if self._converters:
+                t0 = tracer.begin()
+                self._inner.wait()
+                if idx == 0:
+                    self.exchanger.exchange_seam()
+                self._inner.wait()
+                tracer.end("seam:0", t0, step=step_no, tid=idx)
+            for phase in range(self._nphases):
+                fields = phases[phase] if phase < len(phases) else ()
+                t0 = tracer.begin()
+                if phase < len(phases):
+                    method.compute_phase(sub, phase)
+                    if local_axes and fields:
+                        self.exchanger.exchange_local(
+                            rank, local_axes, fields
+                        )
+                tracer.end(self._compute_names[phase], t0, step=step_no,
+                           tid=idx)
+                if central_axes:
+                    t0 = tracer.begin()
+                    self._inner.wait()
+                    if idx == 0:
+                        self.exchanger.exchange(
+                            (),
+                            axes=central_axes,
+                            fields_by_rank=self._phase_fields[phase],
+                        )
+                    self._inner.wait()
+                    tracer.end(sync_names[phase], t0, step=step_no,
+                               tid=idx)
+            t0 = tracer.begin()
+            method.finalize_step(sub)
+            tracer.end("finalize:0", t0, step=step_no, tid=idx)
+            sub.step += 1
+            if self._diags is not None:
                 rec = self._diags[idx].maybe_check(sub)
                 if idx == 0 and rec is not None:
                     self.diagnostics.append(rec)
@@ -300,8 +387,11 @@ class ThreadedSimulation:
         return assemble_global(self.decomp, self.subs, name, fill)
 
     def global_state(self) -> dict[str, np.ndarray]:
-        """All method fields reassembled into global arrays."""
-        return {
-            name: self.global_field(name)
-            for name in self.method.field_names
-        }
+        """All method fields reassembled into global arrays (hybrid
+        runs reassemble the fields every method evolves)."""
+        names = (
+            self.method.field_names
+            if self.method is not None
+            else common_field_names(self.methods)
+        )
+        return {name: self.global_field(name) for name in names}

@@ -37,12 +37,12 @@ def decompose_problem(
     workdir.mkdir(parents=True, exist_ok=True)
     spec.save(workdir / "spec.json")
 
-    method = spec.build_method()
+    methods = spec.build_methods()
     decomp = spec.build_decomposition()
     solid, _, _ = spec.build_geometry()
-    subs = make_subregions(decomp, method.pad, global_fields, solid)
+    subs = make_subregions(decomp, spec.pad, global_fields, solid)
     paths = []
-    for sub in subs:
+    for sub, method in zip(subs, methods):
         method.init_subregion(sub)
         path = dump_path(workdir / "dumps", sub.block.rank)
         save_dump(sub, path)

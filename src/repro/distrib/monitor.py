@@ -124,13 +124,18 @@ class Monitor:
         if policy == "rebalance":
             # Imported lazily: repro.balance.recut imports this package
             # at module load, so a top-level import would be circular.
-            from ..balance.recut import check_rebalanceable
+            from ..balance.recut import RecutError, check_rebalanceable
 
             spec = ProblemSpec.load(self.workdir / "spec.json")
+            if spec.is_hybrid:
+                raise RecutError(
+                    "policy='rebalance' cannot re-cut a hybrid "
+                    "(mixed-method) run; use policy='migrate'"
+                )
             decomp = spec.build_decomposition()
             check_rebalanceable(decomp)
             pol = balance or BalancePolicy()
-            pad = spec.build_method().pad
+            pad = spec.pad
             # The live planner works in axis-0 *rows* (slab thickness):
             # that is the unit the weighted decomposition cuts, and —
             # the cross-section being constant along a chain — speeds

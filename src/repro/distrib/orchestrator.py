@@ -144,7 +144,14 @@ class DistributedRun:
         steps = {s.step for s in subs}
         if len(steps) != 1:
             raise RuntimeError(f"final dumps at different steps: {steps}")
-        names = subs[0].field_names()
+        # On a hybrid run only the fields every rank holds reassemble
+        # globally (method-private fields like the LB populations live
+        # on their own subregions only).
+        names = [
+            name
+            for name in subs[0].field_names()
+            if all(name in s.fields for s in subs)
+        ]
         return {
             name: assemble_global(decomp, subs, name, fill)
             for name in names

@@ -40,6 +40,7 @@ import numpy as np
 from ..chaos.inject import ChannelFaultInjector, FiredMarkers, WorkerFaults
 from ..chaos.plan import DUMP_KINDS, MESSAGE_KINDS, PROCESS_KINDS, FaultPlan
 from ..core.exchange import build_plan
+from ..fluids.coupling import build_converters, seam_wire_fields
 from ..net.channels import ChannelSet
 from ..net.collectives import Communicator
 from ..net.portfile import PortRegistry
@@ -135,9 +136,19 @@ class Worker:
                     f"this is rank {self.rank}"
                 )
             backend = cfg.backends[self.rank]
-        self.method = self.spec.build_method(backend=backend)
+        methods = self.spec.build_methods(backend=backend)
+        self.method = methods[self.rank]
         self.decomp = self.spec.build_decomposition()
         self.n_ranks = self.decomp.n_active
+        # Seam converters for *this* rank's mixed-method edges, keyed by
+        # neighbour rank (empty on uniform runs — the historical path).
+        self.converters = {
+            src: conv
+            for (dst, src), conv in build_converters(
+                self.decomp, methods
+            ).items()
+            if dst == self.rank
+        }
 
         dump_in = cfg.dump_in or str(
             dump_path(self.workdir / "dumps", self.rank)
@@ -199,6 +210,8 @@ class Worker:
             strict_order=cfg.strict_order,
             timeout=cfg.recv_timeout,
             extended_sweep=self.decomp.n_active < self.decomp.n_blocks,
+            converters=self.converters,
+            wire_fields=seam_wire_fields(self.method),
         )
         if cfg.save_barrier not in ("file", "message"):
             raise ValueError(f"unknown save barrier {cfg.save_barrier!r}")
@@ -349,6 +362,13 @@ class Worker:
         tracer = self.tracer
         step_no = sub.step
         comp = 0.0
+        if self.converters:
+            # Mixed-method edges translate once per step before the
+            # first compute phase (both sides convert time-t state);
+            # the regular phase exchanges below skip those edges.
+            t0 = tracer.begin()
+            self.exchanger.exchange_seam()
+            tracer.end("seam:0", t0, step=step_no)
         if self._step_delay > 0.0:
             c0 = time.perf_counter()
             time.sleep(self._step_delay)

@@ -145,11 +145,19 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
     from .core.threaded import ThreadedSimulation
 
     solid, _, _ = spec.build_geometry()
+    decomp = spec.build_decomposition()
     # settings.backend names the kernel backend (repro.fluids.backends);
     # the distributed runtime routes the same knob (or the per-rank
     # settings.backends list) to each worker via the shared base cfg.
-    method = spec.build_method(backend=settings.backend or None)
-    decomp = spec.build_decomposition()
+    converters = None
+    if spec.is_hybrid:
+        from .fluids.coupling import build_converters
+
+        methods = spec.build_methods(backend=settings.backend or None)
+        converters = build_converters(decomp, methods)
+        method = list(methods)
+    else:
+        method = spec.build_method(backend=settings.backend or None)
     tracer = NULL_TRACER
     trace_dir = None
     if settings.trace:
@@ -172,9 +180,13 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
             diag_algorithm=settings.diag_algorithm,
             diag_vmax=settings.diag_vmax,
             tracer=tracer,
+            converters=converters,
         )
     else:
-        sim = Simulation(method, decomp, fields, solid, tracer=tracer)
+        sim = Simulation(
+            method, decomp, fields, solid, tracer=tracer,
+            converters=converters,
+        )
     diagnostics: list = []
     t0 = time.perf_counter()
     if not threaded and settings.diag_every > 0:
@@ -244,7 +256,7 @@ def _run_simulated(spec, settings, workdir) -> RunResult:
 
     trace_dir = Path(workdir) / "trace" if settings.trace else None
     sim = ClusterSimulation(
-        spec.method,
+        spec.methods_by_rank() if spec.is_hybrid else spec.method,
         spec.ndim,
         spec.blocks,
         _uniform_side(spec),

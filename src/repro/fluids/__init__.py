@@ -20,6 +20,15 @@ from .boundary import (
     PressureOutlet,
     VelocityInlet,
 )
+from .coupling import (
+    FDToLBConverter,
+    LBToFDConverter,
+    SeamConverter,
+    build_converters,
+    macro_from_populations,
+    populations_from_macro,
+    seam_wire_fields,
+)
 from .backends import (
     BackendFallbackWarning,
     BackendUnavailable,
@@ -58,6 +67,13 @@ __all__ = [
     "resolve_backend",
     "FDMethod",
     "LBMethod",
+    "SeamConverter",
+    "LBToFDConverter",
+    "FDToLBConverter",
+    "build_converters",
+    "macro_from_populations",
+    "populations_from_macro",
+    "seam_wire_fields",
     "FourthOrderFilter",
     "GlobalBox",
     "VelocityInlet",

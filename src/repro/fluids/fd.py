@@ -63,6 +63,8 @@ class FDMethod:
 
     #: ghost layers; see module docstring
     pad = 4
+    #: canonical spec name (``ProblemSpec.method``)
+    method_name = "fd"
 
     def __init__(
         self,
@@ -71,9 +73,16 @@ class FDMethod:
         inlets: Sequence[VelocityInlet] = (),
         outlets: Sequence[PressureOutlet] = (),
         backend: str | KernelBackend | None = None,
+        pad: int | None = None,
     ) -> None:
         if ndim not in (2, 3):
             raise ValueError(f"ndim must be 2 or 3, got {ndim}")
+        if pad is not None:
+            if pad < type(self).pad:
+                raise ValueError(
+                    f"pad {pad} below the method minimum {type(self).pad}"
+                )
+            self.pad = pad
         if len(params.gravity) != ndim:
             raise ValueError(
                 f"gravity {params.gravity} must have {ndim} components"

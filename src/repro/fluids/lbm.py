@@ -60,6 +60,8 @@ class LBMethod:
 
     #: ghost layers; see module docstring
     pad = 3
+    #: canonical spec name (``ProblemSpec.method``)
+    method_name = "lb"
 
     def __init__(
         self,
@@ -68,9 +70,16 @@ class LBMethod:
         inlets: Sequence[VelocityInlet] = (),
         outlets: Sequence[PressureOutlet] = (),
         backend: str | KernelBackend | None = None,
+        pad: int | None = None,
     ) -> None:
         if ndim not in (2, 3):
             raise ValueError(f"ndim must be 2 or 3, got {ndim}")
+        if pad is not None:
+            if pad < type(self).pad:
+                raise ValueError(
+                    f"pad {pad} below the method minimum {type(self).pad}"
+                )
+            self.pad = pad
         if len(params.gravity) != ndim:
             raise ValueError(
                 f"gravity {params.gravity} must have {ndim} components"

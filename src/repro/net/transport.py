@@ -22,7 +22,12 @@ from ..core.exchange import EdgeOp, ExchangePlan, _replicate_edge, sweep_axes
 from ..core.subregion import SubregionState
 from .channels import ChannelSet
 
-__all__ = ["SocketExchanger"]
+__all__ = ["SocketExchanger", "SEAM_PHASE"]
+
+#: wire phase tag of the once-per-step seam translation exchange; far
+#: above any compute phase index so frame keys ``(step, phase, tag,
+#: side)`` can never collide with a regular phase exchange
+SEAM_PHASE = 15
 
 
 class SocketExchanger:
@@ -43,6 +48,8 @@ class SocketExchanger:
         strict_order: bool = False,
         timeout: float = 60.0,
         extended_sweep: bool = False,
+        converters=None,
+        wire_fields: Sequence[str] = (),
     ) -> None:
         self.sub = sub
         self.plan = plan
@@ -50,6 +57,13 @@ class SocketExchanger:
         self.strict_order = strict_order
         self.timeout = timeout
         self.extended_sweep = extended_sweep
+        #: seam converters keyed by neighbour rank (this worker is the
+        #: destination); those edges are skipped by :meth:`exchange` and
+        #: translated by :meth:`exchange_seam` instead
+        self.converters = dict(converters or {})
+        #: the fields *this* rank's method ships across a seam (its own
+        #: representation — the neighbour's converter translates them)
+        self.wire_fields = tuple(wire_fields)
         self.bytes_sent = 0
         self.messages_sent = 0
 
@@ -57,6 +71,7 @@ class SocketExchanger:
         """One ghost exchange of the named fields at the given phase."""
         sub = self.sub
         step = sub.step
+        converters = self.converters
         axes = sweep_axes(sub.ndim, self.extended_sweep)
         for pass_idx, axis in enumerate(axes):
             ops = self.plan.ops_for_axis(axis)
@@ -66,7 +81,7 @@ class SocketExchanger:
             # Send all strips of this axis first, then collect the
             # expected receives from whichever neighbour is ready.
             for op in ops:
-                if op.kind != "recv":
+                if op.kind != "recv" or op.neighbor_rank in converters:
                     continue
                 assert op.send_slices is not None
                 payload = self._pack(field_names, op.send_slices)
@@ -82,7 +97,7 @@ class SocketExchanger:
                 self.messages_sent += 1
             keys = {}
             for op in ops:
-                if op.kind == "recv":
+                if op.kind == "recv" and op.neighbor_rank not in converters:
                     # The frame filling my side-s ghost was sent across
                     # the neighbour's opposite face, so it carries -s.
                     keys[(step, phase, tag, -op.side, op.neighbor_rank)] = op
@@ -102,6 +117,60 @@ class SocketExchanger:
                             sub.fields[name], op, sub.pad, extent
                         )
                 # "hold" faces (inactive solid blocks) need nothing.
+
+    def exchange_seam(self) -> None:
+        """Translate mixed-method ghost strips (once per step, pre-phase).
+
+        The distributed face of ``LocalExchanger.exchange_seam``: per
+        axis pass, this rank ships the seam strips of its *own*
+        representation (:attr:`wire_fields`) and converts whatever the
+        mixed-method neighbour shipped into its ghost strips.  Axis
+        passes are sequential, so a later axis ships ghost corners
+        already translated by an earlier axis — the same corner
+        propagation (and therefore bit-identical results) as the
+        in-process runners.
+        """
+        if not self.converters:
+            return
+        sub = self.sub
+        step = sub.step
+        axes = sweep_axes(sub.ndim, self.extended_sweep)
+        for pass_idx, axis in enumerate(axes):
+            ops = self.plan.ops_for_axis(axis)
+            tag = pass_idx * 4 + axis
+            seam_ops = [
+                op
+                for op in ops
+                if op.kind == "recv" and op.neighbor_rank in self.converters
+            ]
+            for op in seam_ops:
+                assert op.send_slices is not None
+                payload = self._pack(self.wire_fields, op.send_slices)
+                self.channels.send_data(
+                    op.neighbor_rank,
+                    payload,
+                    step=step,
+                    phase=SEAM_PHASE,
+                    axis=tag,
+                    side=op.side,
+                )
+                self.bytes_sent += len(payload)
+                self.messages_sent += 1
+            keys = {
+                (step, SEAM_PHASE, tag, -op.side, op.neighbor_rank): op
+                for op in seam_ops
+            }
+            if not keys:
+                continue
+            payloads = self.channels.recv_data(
+                set(keys),
+                timeout=self.timeout,
+                strict_order=self.strict_order,
+            )
+            for key, op in keys.items():
+                conv = self.converters[op.neighbor_rank]
+                arrays = self._unpack_seam(conv, op, payloads[key])
+                conv.convert(sub, op.recv_slices, arrays)
 
     # ------------------------------------------------------------------
     # (de)serialization
@@ -145,3 +214,43 @@ class SocketExchanger:
                 f"{self.sub.step} has {len(payload) - offset} "
                 f"unexpected trailing bytes"
             )
+
+    def _unpack_seam(self, conv, op: EdgeOp, payload: bytes):
+        """Decode a seam frame into arrays of the neighbour's fields.
+
+        The receiver may not hold the shipped fields at all (an FD rank
+        has no populations), so shapes come from the strip geometry:
+        neighbouring blocks agree on every non-seam extent, making my
+        ghost strip exactly the shape of the neighbour's send strip.
+        Leading component dimensions (the ``(Q,)`` of a population
+        array) come from the converter's ``wire_leading`` map.
+        """
+        strip_shape = tuple(
+            len(range(*sl.indices(self.sub.padded_shape[d])))
+            for d, sl in enumerate(op.recv_slices)
+        )
+        leading = getattr(conv, "wire_leading", {})
+        arrays = {}
+        offset = 0
+        for name in conv.wire_fields:
+            shape = tuple(leading.get(name, ())) + strip_shape
+            count = int(np.prod(shape))
+            nbytes = count * 8
+            chunk = payload[offset : offset + nbytes]
+            if len(chunk) != nbytes:
+                raise ValueError(
+                    f"seam strip for field {name!r} from rank "
+                    f"{op.neighbor_rank} at step {self.sub.step} "
+                    f"truncated: {len(chunk)}/{nbytes} bytes"
+                )
+            arrays[name] = np.frombuffer(chunk, dtype=np.float64).reshape(
+                shape
+            )
+            offset += nbytes
+        if offset != len(payload):
+            raise ValueError(
+                f"seam frame from rank {op.neighbor_rank} at step "
+                f"{self.sub.step} has {len(payload) - offset} "
+                f"unexpected trailing bytes"
+            )
+        return arrays

@@ -612,6 +612,116 @@ def _bench_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_hybrid(args: argparse.Namespace) -> int:
+    """The hybrid-coupling acceptance gate (``repro bench --hybrid``).
+
+    Marches the §7 Poiseuille channel with the FD/LB method seam laid
+    *along* the flow — the converted ghost strip then carries the full
+    shear of the parabola, the hardest orientation for the seam
+    reconstruction — and gates on three properties of the coupled run:
+    the steady profile must match the analytic solution within the
+    single-method tolerance, total mass must hold to truncation level,
+    and the serial and threaded runtimes must agree bit for bit.
+    Records nodes/s for the hybrid run next to each pure method so the
+    throughput cost of the seam is on the record.
+    """
+    import json
+
+    import repro
+    from ..distrib import ProblemSpec
+    from ..fluids import poiseuille_profile
+    from ..harness import format_table
+
+    nx, ny = 16, args.hybrid_ny
+    nu, g = 0.1, 1e-5
+    steps = args.hybrid_steps
+    if ny % 2 or ny < 8:
+        print("bench: --hybrid-ny must be even and >= 8", file=sys.stderr)
+        return 2
+
+    def _spec(method):
+        return ProblemSpec(
+            method=method, grid_shape=(nx, ny), blocks=(1, 2),
+            periodic=(True, False),
+            params={"nu": nu, "gravity": (g, 0.0), "filter_eps": 0.0},
+            geometry={"kind": "channel"},
+        )
+
+    hybrid = _spec({
+        "default": "lb",
+        "regions": [{"box": [[0, ny // 2], [nx, ny]], "method": "fd"}],
+    })
+
+    run = repro.run(hybrid, "serial", steps=steps)
+    u = run.fields["u"][nx // 2]
+    # Bottom wall is LB (halfway bounce-back: wall at y=0 with
+    # y_j = j - 0.5); top wall is FD (no-slip at the wall node).
+    y = np.arange(ny, dtype=float) - 0.5
+    exact = poiseuille_profile(y, ny - 1.5, g, nu)
+    fl = slice(1, ny - 1)
+    profile_err = float(np.abs(u[fl] - exact[fl]).max() / exact.max())
+    mass_drift = abs(float(run.fields["rho"].sum()) - nx * ny) / (nx * ny)
+
+    srl = repro.run(hybrid, "serial", steps=50)
+    thr = repro.run(hybrid, "threaded", steps=50)
+    bitwise = all(
+        np.array_equal(srl.fields[k], thr.fields[k])
+        for k in ("rho", "u", "v")
+    )
+
+    nodes = nx * ny
+    rate_steps = min(steps, 2000)
+    rates = {"hybrid": nodes * steps / max(run.elapsed, 1e-9)}
+    for name in ("lb", "fd"):
+        r = repro.run(_spec(name), "serial", steps=rate_steps)
+        rates[name] = nodes * rate_steps / max(r.elapsed, 1e-9)
+
+    mass_ok = mass_drift < args.hybrid_mass_tol
+    profile_ok = profile_err < args.hybrid_tol
+    print(format_table(
+        ["check", "value", "bound", "ok"],
+        [
+            ["profile error", f"{profile_err:.2e}",
+             f"< {args.hybrid_tol:g}", str(profile_ok)],
+            ["mass drift", f"{mass_drift:.2e}",
+             f"< {args.hybrid_mass_tol:g}", str(mass_ok)],
+            ["serial == threaded", "bitwise" if bitwise else "DIVERGED",
+             "bitwise", str(bitwise)],
+        ],
+        title=f"hybrid lb|fd Poiseuille, {nx}x{ny}, {steps} steps "
+              f"(seam along the flow at y={ny // 2})",
+    ))
+    print(format_table(
+        ["run", "nodes/s"],
+        [[name, f"{rate:.3g}"] for name, rate in rates.items()],
+        title="serial throughput",
+    ))
+
+    passed = profile_ok and mass_ok and bitwise
+    results = {
+        "host": _host_metadata(),
+        "grid": [nx, ny],
+        "steps": steps,
+        "nu": nu,
+        "gravity": g,
+        "profile_error": profile_err,
+        "profile_tolerance": args.hybrid_tol,
+        "mass_drift": mass_drift,
+        "mass_tolerance": args.hybrid_mass_tol,
+        "serial_threaded_bitwise": bitwise,
+        "nodes_per_second": rates,
+        "passed": passed,
+    }
+    out = Path(args.out or "BENCH_hybrid.json")
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    if not passed:
+        print("bench: hybrid gate failed", file=sys.stderr)
+        return 1
+    print("hybrid gate passed")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Build, inspect, or execute one seeded fault plan."""
     import json
@@ -685,6 +795,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_chaos(args)
     if args.serve:
         return _bench_serve(args)
+    if args.hybrid:
+        return _bench_hybrid(args)
 
     if args.backend:
         if args.backend not in BACKEND_NAMES:
@@ -1235,6 +1347,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--chaos-dir", default=None,
                    help="workdir for --chaos runs (default: a fresh "
                         "temporary directory)")
+    p.add_argument("--hybrid", action="store_true",
+                   help="run the hybrid FD-LB coupling acceptance gate "
+                        "instead: seam Poiseuille profile accuracy, "
+                        "mass conservation, and serial==threaded "
+                        "bitwise equality (writes BENCH_hybrid.json)")
+    p.add_argument("--hybrid-steps", type=int, default=12000,
+                   help="steps of the --hybrid validation run; the "
+                        "default reaches steady state at the default "
+                        "channel width (12000)")
+    p.add_argument("--hybrid-ny", type=int, default=32,
+                   help="channel width for --hybrid; the seam defect "
+                        "shrinks as 1/ny^2 (default: 32)")
+    p.add_argument("--hybrid-tol", type=float, default=5e-3,
+                   help="fail --hybrid above this relative profile "
+                        "error — the single-method validation "
+                        "tolerance (default: 5e-3)")
+    p.add_argument("--hybrid-mass-tol", type=float, default=1e-6,
+                   help="fail --hybrid above this relative mass drift "
+                        "(default: 1e-6)")
     p.add_argument("--serve", action="store_true",
                    help="run the service-layer throughput gate instead: "
                         "a multi-tenant workload through a live gateway "

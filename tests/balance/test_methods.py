@@ -1,0 +1,70 @@
+"""Method-as-cost: structural per-rank speeds of a hybrid method map."""
+
+import pytest
+
+from repro.balance import LoadEstimator, method_node_speeds, \
+    seed_method_speeds
+from repro.distrib import ProblemSpec
+
+HYBRID = {
+    "default": "lb",
+    "regions": [{"box": [[16, 0], [32, 24]], "method": "fd"}],
+}
+
+
+def _spec(method=HYBRID, blocks=(2, 1)):
+    return ProblemSpec(
+        method=method,
+        grid_shape=(32, 24),
+        blocks=blocks,
+        periodic=(True, False),
+        params={"nu": 0.1},
+        geometry={"kind": "channel"},
+    )
+
+
+class TestModelSpeeds:
+    def test_ratio_follows_the_paper_table(self):
+        """§7 measures 2D FD at 1.24x the LB node rate on the 715/50."""
+        from repro.cluster.calibration import RELATIVE_SPEED
+
+        lb_rate, fd_rate = method_node_speeds(_spec())
+        assert fd_rate / lb_rate == pytest.approx(
+            RELATIVE_SPEED[("fd", 2)]["715/50"]
+            / RELATIVE_SPEED[("lb", 2)]["715/50"]
+        )
+
+    def test_uniform_spec_is_flat(self):
+        speeds = method_node_speeds(_spec(method="lb", blocks=(2, 2)))
+        assert len(speeds) == 4
+        assert len(set(speeds)) == 1
+
+    def test_rank_alignment(self):
+        """Speeds line up with methods_by_rank on a 4-rank chain."""
+        spec = _spec(blocks=(4, 1))
+        assert spec.methods_by_rank() == ("lb", "lb", "fd", "fd")
+        s = method_node_speeds(spec)
+        assert s[0] == s[1] < s[2] == s[3]
+
+
+class TestCalibrationTable:
+    def test_measured_table_overrides_model(self):
+        s = method_node_speeds(_spec(), calibration={"fd": 4e5, "lb": 1e5})
+        assert s == [1e5, 4e5]
+
+    def test_missing_method_is_loud(self):
+        with pytest.raises(ValueError, match="lacks methods"):
+            method_node_speeds(_spec(), calibration={"lb": 1e5})
+
+
+class TestSeeding:
+    def test_seeds_estimator_with_structural_rates(self):
+        spec = _spec(blocks=(4, 1))
+        n = spec.build_decomposition().n_active
+        est = LoadEstimator([192] * n)
+        seeded = seed_method_speeds(est, spec)
+        speeds = est.speeds()
+        assert speeds[2] > speeds[0]
+        assert speeds[2] / speeds[0] == pytest.approx(
+            seeded[2] / seeded[0]
+        )

@@ -61,6 +61,51 @@ class TestBasics:
             sim.run(steps=0)
 
 
+class TestHybridMethods:
+    """Per-rank method assignment in the discrete-event model."""
+
+    def test_uniform_sequence_collapses_to_string(self):
+        sim = ClusterSimulation(["lb", "lb"], 2, (2, 1), 50)
+        assert sim.method == "lb"
+        assert sim.methods == ("lb", "lb")
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSimulation(["lb", "fd", "fd"], 2, (2, 1), 50)
+        with pytest.raises(ValueError):
+            ClusterSimulation(["lb", "fem"], 2, (2, 1), 50)
+
+    def test_hybrid_run_completes(self):
+        sim = ClusterSimulation(["lb", "lb", "fd", "fd"], 2, (4, 1), 80)
+        r = sim.run(steps=25)
+        assert 0.0 < r.efficiency < 1.0
+        assert r.processors == 4
+
+    def test_hybrid_determinism(self):
+        mk = lambda: ClusterSimulation(
+            ["lb", "fd"], 2, (2, 1), 80).run(steps=20)
+        a, b = mk(), mk()
+        assert a.time_per_step == b.time_per_step
+        assert a.bus.messages == b.bus.messages
+
+    def test_hybrid_message_accounting(self):
+        """(4x1) chain lb,lb,fd,fd: the lb|lb edge exchanges once per
+        step, the fd|fd edge twice (two phases), and the mixed seam
+        edge once — the seam translation rides the phase-0 exchange."""
+        sim = ClusterSimulation(["lb", "lb", "fd", "fd"], 2, (4, 1), 50)
+        r = sim.run(steps=10)
+        assert r.bus.messages == (2 + 2 + 4) * 10
+
+    def test_hybrid_serial_time_prices_each_region(self):
+        from repro.cluster.calibration import node_speed
+
+        sim = ClusterSimulation(["lb", "fd"], 2, (2, 1), 50)
+        expected = sum(
+            50 * 50 / node_speed(m, 2, "715/50") for m in ("lb", "fd")
+        )
+        assert sim.serial_time_per_step() == pytest.approx(expected)
+
+
 class TestEfficiencyShape:
     def test_monotone_in_grain(self):
         """Bigger subregions, better efficiency (figs. 5, 7, 10)."""

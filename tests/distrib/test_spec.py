@@ -1,5 +1,7 @@
 """ProblemSpec serialization and reconstruction."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -108,6 +110,140 @@ class TestBuilders:
         )
         d = spec.build_decomposition()
         assert d.n_active < 24
+
+
+HYBRID = {
+    "default": "lb",
+    "regions": [{"box": [[16, 0], [32, 24]], "method": "fd"}],
+}
+
+
+class TestMethodMap:
+    """The v2 region-aware method field and its v1 compat shim."""
+
+    def test_uniform_string_is_v1(self):
+        spec = _spec()
+        assert spec.spec_version == 1
+        assert not spec.is_hybrid
+        assert spec.method_names == ("lb",)
+        assert spec.methods_by_rank() == ("lb",) * 4
+
+    def test_map_selecting_one_method_normalizes_to_v1_string(self):
+        """Spelling variants of a single-method problem collapse to
+        the canonical string — they must hash identically downstream."""
+        for method in (
+            {"default": "lb"},
+            {"default": "lb", "regions": []},
+            {"default": "lb",
+             "regions": [{"box": [[0, 0], [16, 24]], "method": "lb"}]},
+        ):
+            spec = _spec(method=method)
+            assert spec.method == "lb"
+            assert spec.spec_version == 1
+
+    def test_hybrid_map_is_v2(self):
+        spec = _spec(method=HYBRID, blocks=(2, 1))
+        assert spec.spec_version == 2
+        assert spec.is_hybrid
+        assert spec.default_method == "lb"
+        assert spec.method_names == ("fd", "lb")
+        assert spec.methods_by_rank() == ("lb", "fd")
+
+    def test_hybrid_pad_is_the_widest_method(self):
+        from repro.fluids import FDMethod, LBMethod
+
+        spec = _spec(method=HYBRID, blocks=(2, 1))
+        assert spec.pad == max(FDMethod.pad, LBMethod.pad)
+        assert _spec().pad == LBMethod.pad
+
+    def test_region_cutting_through_block_raises(self):
+        spec = _spec(method={
+            "default": "lb",
+            "regions": [{"box": [[10, 0], [32, 24]], "method": "fd"}],
+        }, blocks=(2, 1))
+        with pytest.raises(ValueError, match="cuts through"):
+            spec.methods_by_rank()
+
+    def test_last_containing_region_wins(self):
+        spec = _spec(method={
+            "default": "lb",
+            "regions": [
+                {"box": [[0, 0], [32, 24]], "method": "fd"},
+                {"box": [[0, 0], [16, 24]], "method": "lb"},
+            ],
+        }, blocks=(2, 1))
+        assert spec.methods_by_rank() == ("lb", "fd")
+
+    @pytest.mark.parametrize("method", [
+        {"default": "spectral"},
+        {"default": "lb", "regions": [{"box": [[0, 0], [8, 8]],
+                                       "method": "spectral"}]},
+        {"default": "lb", "regions": [{"box": [[0, 0], [8, 8]]}]},
+        {"default": "lb", "regions": [{"box": [[0, 0], [40, 24]],
+                                       "method": "fd"}]},
+        {"default": "lb", "regions": [{"box": [[0, 0, 0], [8, 8, 8]],
+                                       "method": "fd"}]},
+        {"default": "lb", "typo": 1},
+        42,
+    ])
+    def test_malformed_maps_rejected(self, method):
+        with pytest.raises(ValueError):
+            _spec(method=method)
+
+    def test_params_dict_not_mutated(self):
+        params = {"nu": 0.1, "gravity": [1e-5, 0.0]}
+        _spec(params=params)
+        assert params["gravity"] == [1e-5, 0.0]
+
+
+class TestSpecVersioning:
+    def test_v1_json_has_no_version_key(self):
+        """The v1 wire form is byte-stable across the redesign: old
+        checkpoints and serve cache hashes must keep working."""
+        raw = json.loads(_spec().to_json())
+        assert "spec_version" not in raw
+
+    def test_v2_json_carries_explicit_version(self):
+        raw = json.loads(_spec(method=HYBRID, blocks=(2, 1)).to_json())
+        assert raw["spec_version"] == 2
+
+    def test_hybrid_round_trip(self):
+        spec = _spec(method=HYBRID, blocks=(2, 1))
+        again = ProblemSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_version == 2
+
+    def test_unknown_version_is_loud(self):
+        raw = json.loads(_spec().to_json())
+        raw["spec_version"] = 7
+        with pytest.raises(ValueError, match="unknown spec_version"):
+            ProblemSpec.from_json(json.dumps(raw))
+
+    def test_v1_claiming_a_method_map_is_rejected(self):
+        raw = json.loads(_spec(method=HYBRID, blocks=(2, 1)).to_json())
+        raw["spec_version"] = 1
+        with pytest.raises(ValueError, match="cannot carry a method map"):
+            ProblemSpec.from_json(json.dumps(raw))
+
+
+class TestHybridBuilders:
+    def test_build_methods_one_instance_per_kind(self):
+        spec = _spec(method=HYBRID, blocks=(4, 1))
+        methods = spec.build_methods()
+        assert [type(m).__name__ for m in methods] == [
+            "LBMethod", "LBMethod", "FDMethod", "FDMethod"]
+        assert methods[0] is methods[1] and methods[2] is methods[3]
+        # every instance carries the run-wide ghost width
+        assert {m.pad for m in methods} == {spec.pad}
+
+    def test_build_methods_uniform_spec(self):
+        methods = _spec().build_methods()
+        assert len(methods) == 4
+        assert len({id(m) for m in methods}) == 1
+
+    def test_build_method_raises_for_hybrid(self):
+        with pytest.raises(ValueError, match="build_methods"):
+            _spec(method=HYBRID, blocks=(2, 1)).build_method()
 
 
 class TestInitialFields:

@@ -1,0 +1,148 @@
+"""FD <-> LB seam conversions (repro.fluids.coupling).
+
+The contract the hybrid runtimes lean on: the macro -> populations
+reconstruction inverts exactly under the moment extraction (so a seam
+against a resolved flow is lossless to rounding), the correction terms
+carry no mass or momentum of their own, and :func:`build_converters`
+wires exactly the mixed-method edges of a decomposition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition
+from repro.fluids import FDMethod, FluidParams, LBMethod
+from repro.fluids.coupling import (
+    FDToLBConverter,
+    LBToFDConverter,
+    build_converters,
+    macro_from_populations,
+    populations_from_macro,
+    seam_wire_fields,
+    strip_velocity_gradients,
+)
+
+
+def _lb(ndim=2, nu=0.1, g=1e-5):
+    params = FluidParams.lattice(
+        ndim, nu=nu, gravity=(g,) + (0.0,) * (ndim - 1)
+    )
+    return LBMethod(params, ndim)
+
+
+def _state(rng, shape, ndim):
+    rho = 1.0 + 0.02 * rng.standard_normal(shape)
+    vels = [0.01 * rng.standard_normal(shape) for _ in range(ndim)]
+    grads = [
+        [1e-3 * rng.standard_normal(shape) for _ in range(ndim)]
+        for _ in range(ndim)
+    ]
+    return rho, vels, grads
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("ndim", [2, 3])
+    def test_macro_to_populations_to_macro_is_exact(self, ndim):
+        """rho,V -> f -> rho,V closes to rounding, gradients and all:
+        the half-force and non-equilibrium terms have vanishing zeroth
+        and first moments by construction."""
+        lb = _lb(ndim)
+        rng = np.random.default_rng(7)
+        shape = (6, 5, 4)[:ndim]
+        rho, vels, grads = _state(rng, shape, ndim)
+        f = populations_from_macro(lb, rho, vels, grads,
+                                   post_collision=False)
+        rho2, vels2 = macro_from_populations(lb, f)
+        assert np.abs(rho2 - rho).max() < 1e-12
+        for a, b in zip(vels, vels2):
+            assert np.abs(a - b).max() < 1e-12
+
+    def test_correction_terms_carry_no_mass_or_momentum(self):
+        """Both epochs: f(grads) - f(no grads) sums to zero in the
+        zeroth and (signed) first moments."""
+        lb = _lb()
+        rng = np.random.default_rng(11)
+        rho, vels, grads = _state(rng, (5, 4), 2)
+        for post in (True, False):
+            full = populations_from_macro(lb, rho, vels, grads,
+                                          post_collision=post)
+            bare = populations_from_macro(lb, rho, vels, None,
+                                          post_collision=post)
+            delta = full - bare
+            assert np.abs(delta.sum(axis=0)).max() < 1e-14
+            for d in range(2):
+                mom = np.einsum("q,q...->...", lb.lattice.e[:, d].astype(float),
+                                delta)
+                assert np.abs(mom).max() < 1e-14
+
+    def test_post_collision_half_force_sign(self):
+        """Streaming pulls post-collision populations, whose first
+        moment is rho (u + g/2) — the Guo forcing has just deposited
+        rho g of momentum."""
+        lb = _lb(g=1e-4)
+        rho = np.ones((4, 4))
+        vels = [np.full((4, 4), 0.01), np.zeros((4, 4))]
+        f = populations_from_macro(lb, rho, vels, post_collision=True)
+        mom = np.einsum("q,qxy->xy", lb.lattice.e[:, 0].astype(float), f)
+        assert np.abs(mom - (0.01 + 0.5e-4)).max() < 1e-12
+        f = populations_from_macro(lb, rho, vels, post_collision=False)
+        mom = np.einsum("q,qxy->xy", lb.lattice.e[:, 0].astype(float), f)
+        assert np.abs(mom - (0.01 - 0.5e-4)).max() < 1e-12
+
+    def test_uniform_flow_reconstructs_without_gradients(self):
+        """A uniform flow's strain term vanishes: passing its (zero)
+        gradients changes nothing."""
+        lb = _lb()
+        rho = np.full((5, 5), 1.01)
+        vels = [np.full((5, 5), 0.02), np.full((5, 5), -0.01)]
+        zeros = [[np.zeros((5, 5))] * 2 for _ in range(2)]
+        with_g = populations_from_macro(lb, rho, vels, zeros)
+        without = populations_from_macro(lb, rho, vels, None)
+        assert np.array_equal(with_g, without)
+
+
+class TestStripGradients:
+    def test_linear_field_is_exact(self):
+        y, x = np.mgrid[0:8, 0:7].astype(float)
+        u = 0.3 * y - 0.2 * x
+        v = 0.1 * y + 0.4 * x
+        region = (slice(2, 4), slice(1, 6))
+        grads = strip_velocity_gradients([u, v], region)
+        assert np.allclose(grads[0][0], 0.3, atol=1e-13)   # du/dx0
+        assert np.allclose(grads[1][0], -0.2, atol=1e-13)  # du/dx1
+        assert np.allclose(grads[0][1], 0.1, atol=1e-13)
+        assert np.allclose(grads[1][1], 0.4, atol=1e-13)
+        assert grads[0][0].shape == (2, 5)
+
+    def test_edge_strip_falls_back_one_sided(self):
+        """A strip touching the array edge still gets finite,
+        deterministic gradients (one-sided at the edge row)."""
+        arr = np.arange(24, dtype=float).reshape(6, 4) ** 2
+        region = (slice(0, 2), slice(0, 4))
+        grads = strip_velocity_gradients([arr, arr.copy()], region)
+        assert np.isfinite(grads[0][0]).all()
+        assert grads[0][0].shape == (2, 4)
+
+
+class TestConverters:
+    def _methods(self):
+        params = FluidParams.lattice(2, nu=0.1)
+        return LBMethod(params, 2, pad=4), FDMethod(params, 2)
+
+    def test_build_converters_mixed_edges_only(self):
+        lb, fd = self._methods()
+        decomp = Decomposition((16, 8), (4, 1), periodic=(True, False))
+        methods = [lb, fd, fd, lb]
+        conv = build_converters(decomp, methods)
+        # 0|1 and 2|3 are mixed faces; 1|2 is fd|fd and the periodic
+        # 3|0 wrap is lb|lb — no converters there.
+        assert set(conv) == {(0, 1), (1, 0), (2, 3), (3, 2)}
+        assert isinstance(conv[(0, 1)], FDToLBConverter)   # lb dst
+        assert isinstance(conv[(1, 0)], LBToFDConverter)   # fd dst
+        assert not build_converters(decomp, [lb] * 4)
+
+    def test_wire_fields_follow_sender(self):
+        lb, fd = self._methods()
+        assert seam_wire_fields(lb) == ("f",)
+        assert seam_wire_fields(fd) == ("rho", "u", "v")
+        assert LBToFDConverter(lb).wire_leading == {"f": (9,)}

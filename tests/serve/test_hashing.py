@@ -115,6 +115,60 @@ class TestPhysicalSensitivity:
         )
 
 
+class TestHybridSpecs:
+    """v2 method maps in the cache key — and v1 keys frozen in place."""
+
+    HYBRID = {
+        "default": "lb",
+        "regions": [{"box": [[16, 0], [32, 24]], "method": "fd"}],
+    }
+
+    def test_v1_fingerprint_frozen(self):
+        """Golden value computed before the hybrid redesign: v1 specs
+        serialize without a spec_version key, so every cache entry and
+        job directory minted by older builds keeps resolving."""
+        as_dict = {
+            "method": "lb", "grid_shape": [32, 24], "blocks": [2, 1],
+            "periodic": [True, False],
+            "params": {"nu": 0.05, "gravity": [1e-5, 0.0]},
+            "geometry": {"kind": "channel"},
+        }
+        assert fingerprint(as_dict) == (
+            "2bd14480455f284330117419785f36b1"
+            "ddbc7e2fe642253969c71168f6b2c10c"
+        )
+
+    def test_single_method_map_collides_with_plain_string(self):
+        """A region map that selects one method everywhere is the same
+        physics as the plain string — it must hit the same cache line."""
+        noop_map = {
+            "default": "lb",
+            "regions": [{"box": [[0, 0], [16, 24]], "method": "lb"}],
+        }
+        assert fingerprint(_spec(method=noop_map)) == fingerprint(_spec())
+
+    def test_hybrid_separates_from_uniform(self):
+        assert fingerprint(_spec(method=self.HYBRID)) != fingerprint(_spec())
+
+    def test_region_box_separates(self):
+        other = {
+            "default": "lb",
+            "regions": [{"box": [[0, 0], [16, 24]], "method": "fd"}],
+        }
+        assert fingerprint(_spec(method=self.HYBRID)) \
+            != fingerprint(_spec(method=other))
+
+    def test_hybrid_spelling_invariant(self):
+        """Tuples vs lists and dict-vs-ProblemSpec submission spell the
+        same hybrid problem."""
+        spelled = {
+            "default": "lb",
+            "regions": ({"box": ((16, 0), (32, 24)), "method": "fd"},),
+        }
+        assert fingerprint(_spec(method=self.HYBRID)) \
+            == fingerprint(_spec(method=spelled))
+
+
 class TestRejection:
     def test_unknown_settings_knob_rejected(self):
         with pytest.raises(ValueError, match="unknown settings knob"):

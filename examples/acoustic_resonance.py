@@ -4,64 +4,27 @@
 Subsonic flow carries two time scales — slow hydrodynamics and
 fast-moving acoustic waves — and resolving the waves requires
 ``c_s dt ~ dx`` (eq. 4), which is exactly the step size explicit
-methods want anyway.  This example propagates a standing acoustic wave
-with both methods and measures its oscillation frequency against the
-analytic ``omega = c_s k``, then shows the damping rate scaling with
-viscosity.
+methods want anyway.  This example runs the registry's
+``acoustic_wave`` scenario (a standing wave on a periodic box,
+initialized by the spec's ``standing_wave`` program) with both
+methods through the ``repro.run`` facade: the score measures the
+kinetic-energy oscillation frequency against the analytic
+``omega = c_s k`` dispersion, then a second pass shows the damping
+rate scaling with viscosity.
 
 Run:  python examples/acoustic_resonance.py [--nx 64] [--mode 1]
 """
 
 import argparse
 
-import numpy as np
-
-from repro.core import Decomposition, Simulation
-from repro.fluids import (
-    FDMethod,
-    FluidParams,
-    LBMethod,
-    acoustic_frequency,
-    standing_wave,
-)
+from repro.scenarios import diag_series, get, run_case
 
 
-def measure_frequency(method_cls, nx, mode, nu, periods=4):
-    """Track the wave's modal amplitude and fit its frequency."""
-    ny = 8
-    params = FluidParams.lattice(2, nu=nu)
-    x = np.arange(nx, dtype=float) + 0.5
-    rho0, _ = standing_wave(x, 0.0, float(nx), mode, 1e-4, 1.0, params.cs)
-    fields = {
-        "rho": np.repeat(rho0[:, None], ny, axis=1),
-        "u": np.zeros((nx, ny)),
-        "v": np.zeros((nx, ny)),
-    }
-    sim = Simulation(
-        method_cls(params, 2),
-        Decomposition((nx, ny), (2, 1), periodic=(True, True)),
-        fields,
-    )
-    omega_exact = acoustic_frequency(float(nx), mode, params.cs)
-    period = 2.0 * np.pi / omega_exact
-    steps_total = int(periods * period)
-    basis = np.cos(2.0 * np.pi * mode * x / nx)
-
-    amps = []
-    for _ in range(steps_total):
-        sim.step(1)
-        drho = sim.global_field("rho")[:, ny // 2] - 1.0
-        amps.append(2.0 * np.dot(drho, basis) / nx)
-    amps = np.array(amps)
-
-    # frequency from zero crossings of the modal amplitude
-    signs = np.sign(amps)
-    crossings = np.nonzero(np.diff(signs) != 0)[0]
-    if len(crossings) < 2:
-        return float("nan"), amps
-    half_period = np.mean(np.diff(crossings))
-    omega = np.pi / half_period
-    return omega, amps
+def run_scored(scenario, **overrides):
+    case = scenario.case(**overrides)
+    result = run_case(case, backend="serial")
+    return result, scenario.score(result.fields, result.diagnostics,
+                                  **overrides)
 
 
 def main() -> None:
@@ -71,29 +34,28 @@ def main() -> None:
     ap.add_argument("--nu", type=float, default=1e-3)
     args = ap.parse_args()
 
-    cs = FluidParams.lattice(2, nu=args.nu).cs
-    omega_exact = acoustic_frequency(float(args.nx), args.mode, cs)
-    print(f"standing wave, mode {args.mode} on {args.nx} nodes: "
-          f"analytic omega = {omega_exact:.5f} "
-          f"(period {2 * np.pi / omega_exact:.1f} steps)\n")
-
-    for method_cls, name in ((FDMethod, "finite differences"),
-                             (LBMethod, "lattice Boltzmann")):
-        omega, amps = measure_frequency(
-            method_cls, args.nx, args.mode, args.nu
-        )
-        err = abs(omega - omega_exact) / omega_exact
-        decay = abs(amps[-1]) / abs(amps[0])
+    scenario = get("acoustic_wave")
+    for method, name in (("fd", "finite differences"),
+                         ("lb", "lattice Boltzmann")):
+        _, score = run_scored(scenario, method=method, nx=args.nx,
+                              mode=args.mode, nu=args.nu)
+        d = score.details
         print(f"{name}:")
-        print(f"  measured omega  = {omega:.5f}  ({err * 100:.2f}% off)")
-        print(f"  amplitude ratio over the run = {decay:.3f}")
-        assert err < 0.05, "wave speed must match c_s within 5%"
+        print(f"  KE oscillation  {d['frequency']:.6f} cycles/step "
+              f"(analytic {d['expected']:.6f})")
+        print(f"  relative error  "
+              f"{score.residuals['freq_rel_err'] * 100:.2f}%  "
+              f"({'pass' if score.passed else 'FAIL'})")
+        for failure in score.failures:
+            print(f"  failed: {failure}")
 
     print("\nviscous damping check (LB, mode 1):")
     for nu in (5e-3, 2e-2):
-        _, amps = measure_frequency(LBMethod, args.nx, 1, nu, periods=2)
-        print(f"  nu = {nu:<6g} amplitude ratio = "
-              f"{abs(amps[-1]) / abs(amps[0]):.3f}")
+        result, _ = run_scored(scenario, method="lb", nx=args.nx,
+                               mode=1, nu=nu)
+        ke = diag_series(result.diagnostics, "kinetic_energy")
+        print(f"  nu = {nu:<6g} KE ratio over the run = "
+              f"{ke[-1] / ke.max():.3f}")
 
 
 if __name__ == "__main__":

@@ -4,98 +4,72 @@
 The flue pipe works because jets and obstacles in subsonic flow shed
 periodic vorticity coupled to acoustic waves; the cylinder wake is the
 canonical version of the same physics.  At Reynolds numbers beyond ~50
-the wake destabilizes into the von Karman vortex street, and a probe in
-the wake picks up the shedding tone — the non-dimensional shedding
-frequency (Strouhal number, St = f D / U) sits near 0.2 over a wide
-range of Re, which this script measures.
+the wake destabilizes into the von Karman vortex street.
 
-Run:  python examples/cylinder_wake.py [--nx 240] [--steps 6000]
+The problem lives in the scenario registry as ``cylinder_wake`` — this
+script resolves it with your parameters, marches it through the
+``repro.run`` facade, and scores the result: the scenario requires a
+developed mean flow, transverse wake oscillations, and a vortex-street
+wavelength in the physical 3-15 diameter range.  The non-dimensional
+shedding frequency follows from the measured wavelength (vortices ride
+the mean flow, so St = f D / U ~ D / wavelength), which sits near the
+literature's ~0.2 over a wide range of Re.
+
+Run:  python examples/cylinder_wake.py [--nx 160] [--steps 6000]
 """
 
 import argparse
 
 import numpy as np
 
-from repro.core import Decomposition, Simulation
-from repro.fluids import (
-    FluidParams,
-    GlobalBox,
-    LBMethod,
-    Probe,
-    cylinder_channel,
-    dominant_frequency,
-    vorticity_2d,
-)
+from repro.fluids import vorticity_2d
+from repro.scenarios import get, run_case
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--nx", type=int, default=240)
+    ap.add_argument("--nx", type=int, default=160)
     ap.add_argument("--steps", type=int, default=6000)
     ap.add_argument("--u", type=float, default=0.08,
                     help="driving speed (lattice units)")
-    ap.add_argument("--re", type=float, default=120.0,
+    ap.add_argument("--re", type=int, default=120,
                     help="Reynolds number U*D/nu")
     args = ap.parse_args()
 
-    nx, ny = args.nx, args.nx // 2
-    solid = cylinder_channel((nx, ny), radius_frac=0.08)
+    scenario = get("cylinder_wake")
+    overrides = {"nx": args.nx, "Re": args.re, "speed": args.u,
+                 "steps": args.steps}
+    case = scenario.case(**overrides)
+    nx, ny = case.spec.grid_shape
     diameter = 2 * 0.08 * ny
-    nu = args.u * diameter / args.re
-    params = FluidParams.lattice(2, nu=nu, filter_eps=0.01)
-    params.check_stability(2)
+    nu = case.spec.params["nu"]
+    print(f"grid {nx}x{ny}, D = {diameter:.0f} nodes, Re = {args.re}, "
+          f"nu = {nu:.4f} ({case.settings['steps']} steps)")
 
-    # drive with a body force that roughly sustains the target speed:
-    # in steady channel flow u ~ g H^2 / (8 nu); invert for g
-    g = 8.0 * nu * args.u / (ny - 2.0) ** 2 * 2.0
-    params = params.with_(gravity=(g, 0.0))
+    result = run_case(case, backend="threaded")
+    score = scenario.score(result.fields, result.diagnostics,
+                           **overrides)
 
-    print(f"grid {nx}x{ny}, D = {diameter:.0f} nodes, Re = {args.re:.0f}, "
-          f"nu = {nu:.4f}, tau = {params.lb_tau:.3f}")
+    d = score.details
+    wavelength_d = d["street_wavelength_D"]
+    strouhal = 1.0 / wavelength_d  # f = U/lambda  =>  St = D/lambda
+    print(f"mean streamwise speed   {d['u_mean']:.4f}")
+    print(f"wake |v| / u_mean       {d['wake_ratio']:.2f}")
+    print(f"street wavelength       {wavelength_d:.1f} D")
+    print(f"Strouhal estimate St    {strouhal:.3f}  (literature ~0.2)")
+    print(f"scenario score          "
+          f"{'pass' if score.passed else 'FAIL'} "
+          f"{ {k: f'{v:.3g}' for k, v in score.residuals.items()} }")
+    for failure in score.failures:
+        print(f"  failed: {failure}")
 
-    fields = {
-        "rho": np.ones((nx, ny)),
-        # seed with a slight asymmetry so the instability onset is quick
-        "u": np.full((nx, ny), args.u),
-        "v": 1e-3 * args.u * np.sin(
-            np.linspace(0, 2 * np.pi, nx)
-        )[:, None] * np.ones((1, ny)),
-    }
-    fields["u"][solid] = 0.0
-    fields["v"][solid] = 0.0
-
-    sim = Simulation(
-        LBMethod(params, 2),
-        Decomposition((nx, ny), (4, 1), periodic=(True, False),
-                      solid=solid),
-        fields,
-        solid,
-    )
-
-    # probe in the near wake, slightly off axis (v oscillates there)
-    px = int(0.25 * nx + diameter * 1.5)
-    py = int(0.5 * ny + diameter * 0.5)
-    probe = Probe(GlobalBox((px, py), (px + 2, py + 2)), name="v")
-
-    settle = args.steps // 3
-    sim.step(settle)
-    probe.run(sim, steps=args.steps - settle, every=5)
-
-    u_mean = float(sim.global_field("u")[~solid].mean())
-    f_shed = dominant_frequency(probe.signal, dt=probe.sample_period)
-    strouhal = f_shed * diameter / u_mean
-    w = vorticity_2d(sim.global_field("u"), sim.global_field("v"))
+    u, v = result.fields["u"], result.fields["v"]
+    solid, _, _ = case.spec.build_geometry()
+    w = vorticity_2d(u, v)
     w[solid] = 0.0
-
-    print(f"mean streamwise speed   {u_mean:.4f}")
-    print(f"shedding frequency      {f_shed:.6f} cycles/step")
-    print(f"Strouhal number St      {strouhal:.3f}  (literature ~0.2)")
     print(f"wake vorticity extrema  {w.min():+.4f} / {w.max():+.4f}")
-    np.savez_compressed("cylinder_wake.npz",
-                        u=sim.global_field("u"),
-                        v=sim.global_field("v"),
-                        vorticity=w, solid=solid,
-                        probe=probe.signal)
+    np.savez_compressed("cylinder_wake.npz", u=u, v=v, vorticity=w,
+                        solid=solid)
     print("fields written to cylinder_wake.npz")
 
 

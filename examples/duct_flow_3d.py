@@ -3,85 +3,58 @@
 
 The paper's 3D experiments integrate grids of 10^3..44^3 nodes per
 workstation; 40^3 is the memory ceiling of a 32 MB machine.  This
-example runs a rectangular duct (3D Hagen-Poiseuille) with both
-methods, validates the velocity profile against the exact Fourier-series
-solution, and reports the measured nodes/second — the quantity whose
-ratio to the network speed decides whether 3D is viable (it wasn't, on
-shared 10 Mbps Ethernet; see the fig. 9-11 benchmarks).
+example runs the registry's ``duct3d`` scenario (rectangular duct, 3D
+Hagen-Poiseuille) with both methods through the ``repro.run`` facade,
+scores the velocity profile against the exact Fourier-series solution,
+and reports the measured nodes/second — the quantity whose ratio to
+the network speed decides whether 3D is viable (it wasn't, on shared
+10 Mbps Ethernet; see the fig. 9-11 benchmarks).
 
-Run:  python examples/duct_flow_3d.py [--n 13] [--steps 3000]
+Run:  python examples/duct_flow_3d.py [--n 13] [--steps 2500]
 """
 
 import argparse
 
 import numpy as np
 
-from repro.core import Decomposition, Simulation
-from repro.fluids import (
-    FDMethod,
-    FluidParams,
-    LBMethod,
-    channel_geometry,
-    duct_profile,
-)
-from repro.harness import measure_node_speed
-
-
-def run_duct(method_cls, n, steps, nu, g):
-    shape = (8, n, n)
-    solid = channel_geometry(shape)
-    params = FluidParams.lattice(3, nu=nu, gravity=(g, 0.0, 0.0))
-    fields = {
-        "rho": np.ones(shape),
-        "u": np.zeros(shape),
-        "v": np.zeros(shape),
-        "w": np.zeros(shape),
-    }
-    sim = Simulation(
-        method_cls(params, 3),
-        Decomposition(shape, (2, 1, 1), periodic=(True, False, False),
-                      solid=solid),
-        fields,
-        solid,
-    )
-    sim.step(steps)
-    return sim, solid
+from repro.scenarios import get, run_case
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--n", type=int, default=13,
                     help="duct cross-section nodes")
-    ap.add_argument("--steps", type=int, default=3000)
+    ap.add_argument("--steps", type=int, default=2500)
     ap.add_argument("--nu", type=float, default=0.08)
     ap.add_argument("--force", type=float, default=1e-6)
     args = ap.parse_args()
 
-    n = args.n
-    for method_cls, name, wall_offset in (
-        (FDMethod, "finite differences", 0.0),
-        (LBMethod, "lattice Boltzmann", 0.5),
-    ):
-        sim, solid = run_duct(method_cls, n, args.steps, args.nu,
-                              args.force)
-        u = sim.global_field("u")[4]
+    scenario = get("duct3d")
+    for method, name in (("fd", "finite differences"),
+                         ("lb", "lattice Boltzmann")):
+        overrides = {"method": method, "n": args.n, "nu": args.nu,
+                     "g": args.force, "steps": args.steps}
+        case = scenario.case(**overrides)
+        result = run_case(case, backend="threaded")
+        score = scenario.score(result.fields, result.diagnostics,
+                               **overrides)
 
-        # analytic duct profile with the method's wall placement
-        j = np.arange(n, dtype=float)
-        y = (j - wall_offset)[:, None]
-        z = (j - wall_offset)[None, :]
-        span = (n - 1.0) if wall_offset == 0.0 else (n - 2.0)
-        exact = duct_profile(y, z, span, span, args.force, args.nu)
-        fl = ~solid[4]
-        err = np.abs(u[fl] - exact[fl]).max() / exact.max()
+        shape = case.spec.grid_shape
+        u = result.fields["u"][shape[0] // 2]
+        n_nodes = int(np.prod(shape))
+        speed = n_nodes * case.settings["steps"] / result.elapsed
 
-        speed = measure_node_speed(sim, n_nodes=8 * n * n, steps=10)
         print(f"{name}:")
-        print(f"  max velocity   {u.max():.3e}  (exact {exact.max():.3e})")
-        print(f"  max rel error  {err:.2e}")
+        print(f"  max velocity   {u.max():.3e}")
+        print(f"  max rel error  {score.residuals['profile_err']:.2e} "
+              f"(bound {score.bounds['profile_err']:g}; "
+              f"{'pass' if score.passed else 'FAIL'})")
+        for failure in score.failures:
+            print(f"  failed: {failure}")
         print(f"  this machine   {speed:,.0f} nodes/s "
-              f"(the 715/50 did ~{20000 if method_cls is LBMethod else 39000:,} in 3D)")
-        mid = u[:, n // 2] / max(u.max(), 1e-30)
+              f"(the 715/50 did ~"
+              f"{20000 if method == 'lb' else 39000:,} in 3D)")
+        mid = u[:, args.n // 2] / max(u.max(), 1e-30)
         print("  mid profile    " + " ".join(f"{v:.2f}" for v in mid))
         print()
 

@@ -6,24 +6,28 @@ sharp edge (labium) above the resonant pipe, and the jet oscillations
 are reinforced by acoustic feedback — the sound-production mechanism of
 the organ, the recorder and the flute.
 
-The script runs the lattice Boltzmann method on the fig. 1 ("basic") or
-fig. 2 ("channel") geometry, decomposed exactly as the paper decomposes
-it, records the acoustic signal at the pipe mouth, and writes:
+The two geometries live in the scenario registry: ``flue_pipe`` is the
+fig. 1 basic pipe, scored by diagnostics spectroscopy (the run must
+produce a spectral line within a factor of the pipe's quarter-wave
+estimate, well above the noise floor); ``flue_pipe_channel`` is the
+fig. 2 channel variant whose solid lower-right quadrant idles whole
+subregions of the decomposition.  This script runs either through the
+``repro.run`` facade, prints the score, and writes:
 
 * ``flue_pipe_<variant>.npz``  — final rho/u/v fields + vorticity,
 * an ASCII rendering of the equi-vorticity pattern (the fig. 1 plot),
-* the mouth-pressure time series summary (the musical tone's onset).
+* ``flue_pipe_<variant>.ppm`` — the vorticity snapshot.
 
 Run:  python examples/flue_pipe.py [--variant basic|channel]
-      [--nx 200] [--steps 400] [--jet 0.08]
+      [--nx 200] [--steps 6000] [--jet 0.12]
 """
 
 import argparse
 
 import numpy as np
 
-from repro.core import Decomposition, Simulation
-from repro.fluids import FluidParams, LBMethod, flue_pipe, vorticity_2d
+from repro.fluids import vorticity_2d
+from repro.scenarios import get, run_case
 from repro.viz import ascii_contours, field_to_ppm
 
 
@@ -33,63 +37,55 @@ def main() -> None:
                     default="basic")
     ap.add_argument("--nx", type=int, default=200,
                     help="grid width (paper: 800)")
-    ap.add_argument("--steps", type=int, default=400)
-    ap.add_argument("--jet", type=float, default=0.08)
+    ap.add_argument("--steps", type=int, default=None,
+                    help="time steps (default: the scenario's; the "
+                        "basic tone needs several thousand)")
+    ap.add_argument("--jet", type=float, default=0.12)
     ap.add_argument("--nu", type=float, default=0.02)
     args = ap.parse_args()
 
-    shape = (args.nx, args.nx * 5 // 8)  # the paper's 800x500 aspect
-    blocks = (5, 4) if args.variant == "basic" else (6, 4)
-    setup = flue_pipe(shape, jet_speed=args.jet, variant=args.variant,
-                      ramp_steps=60)
-    decomp = Decomposition(shape, blocks, solid=setup.solid)
+    scenario = get("flue_pipe" if args.variant == "basic"
+                   else "flue_pipe_channel")
+    overrides = {"nx": args.nx, "jet_speed": args.jet, "nu": args.nu}
+    if args.steps is not None:
+        overrides["steps"] = args.steps
+    case = scenario.case(**overrides)
+    spec = case.spec
+    decomp = spec.build_decomposition()
     print(f"fig. {'1' if args.variant == 'basic' else '2'} geometry "
-          f"{shape}, decomposition {blocks[0]}x{blocks[1]} = "
-          f"{decomp.n_blocks} subregions, {decomp.n_active} active "
-          f"({decomp.n_active_nodes} of {shape[0] * shape[1]} nodes "
-          f"simulated)")
+          f"{spec.grid_shape}, decomposition "
+          f"{spec.blocks[0]}x{spec.blocks[1]} = {decomp.n_blocks} "
+          f"subregions, {decomp.n_active} active "
+          f"({case.settings['steps']} steps)")
 
-    params = FluidParams.lattice(2, nu=args.nu, filter_eps=0.02)
-    method = LBMethod(params, 2, inlets=[setup.inlet],
-                      outlets=[setup.outlet])
-    fields = {"rho": np.ones(shape), "u": np.zeros(shape),
-              "v": np.zeros(shape)}
-    sim = Simulation(method, decomp, fields, setup.solid)
+    result = run_case(case, backend="threaded")
+    score = scenario.score(result.fields, result.diagnostics,
+                           **overrides)
+    print(f"scenario score: {'pass' if score.passed else 'FAIL'} "
+          f"{ {k: f'{v:.3g}' for k, v in score.residuals.items()} }")
+    for failure in score.failures:
+        print(f"  failed: {failure}")
+    d = score.details
+    if "frequency" in d:
+        print(f"  tone at {d['frequency']:.2e} cycles/step "
+              f"(quarter-wave estimate {d['quarter_wave']:.2e}, "
+              f"SNR {d['snr']:.0f})")
 
-    pb = setup.mouth_probe
-    probe = []
-    chunk = 10
-    for n in range(args.steps // chunk):
-        sim.step(chunk)
-        rho = sim.global_field("rho")
-        probe.append(
-            float(rho[pb.lo[0]:pb.hi[0], pb.lo[1]:pb.hi[1]].mean())
-        )
-        if (n + 1) % 10 == 0:
-            u = sim.global_field("u")
-            print(f"  step {sim.step_count:5d}  max|u| = {np.abs(u).max():.4f}"
-                  f"  mouth rho = {probe[-1]:.6f}")
-
-    u = sim.global_field("u")
-    v = sim.global_field("v")
+    u, v = result.fields["u"], result.fields["v"]
+    solid, _, _ = spec.build_geometry()
     w = vorticity_2d(u, v)
-    w[setup.solid] = 0.0
+    w[solid] = 0.0
 
     out = f"flue_pipe_{args.variant}.npz"
-    np.savez_compressed(
-        out,
-        rho=sim.global_field("rho"), u=u, v=v, vorticity=w,
-        solid=setup.solid, mouth_probe=np.array(probe),
-    )
-    image = field_to_ppm(
-        w, f"flue_pipe_{args.variant}.ppm", solid=setup.solid
-    )
+    np.savez_compressed(out, rho=result.fields["rho"], u=u, v=v,
+                        vorticity=w, solid=solid)
+    image = field_to_ppm(w, f"flue_pipe_{args.variant}.ppm",
+                         solid=solid)
     print(f"\nfields written to {out}; vorticity image to {image} "
           "(the fig. 1 snapshot)")
-    print(f"peak |vorticity| = {np.abs(w).max():.4f}; "
-          f"mouth-pressure swing = {max(probe) - min(probe):.2e}\n")
+    print(f"peak |vorticity| = {np.abs(w).max():.4f}\n")
     print("equi-vorticity pattern (+/- contours, # = walls):\n")
-    print(ascii_contours(w, setup.solid))
+    print(ascii_contours(w, solid))
 
 
 if __name__ == "__main__":

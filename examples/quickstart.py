@@ -14,6 +14,10 @@ Everything goes through the unified entry point: one
 thread per subregion.  The decomposed run traces itself, so the
 example ends with the paper's §7 compute/communicate table.
 
+(The spec below is written out by hand to show the API; the same
+problem lives pre-built and *scored* in the scenario registry —
+``repro scenarios run poiseuille`` — alongside nine more flows.)
+
 Run:  python examples/quickstart.py [--ny 19] [--steps 4000]
 """
 

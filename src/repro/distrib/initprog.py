@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..fluids.analytic import standing_wave
+from ..fluids.analytic import standing_wave, taylor_green
 from .spec import ProblemSpec
 
 __all__ = ["initial_fields"]
@@ -19,10 +19,15 @@ __all__ = ["initial_fields"]
 
 def initial_fields(
     spec: ProblemSpec,
-    kind: str = "rest",
+    kind: str | None = "rest",
     **kw,
 ) -> dict[str, np.ndarray]:
     """Build the global initial state for a problem.
+
+    ``kind=None`` resolves the spec's own declarative initial condition
+    (:attr:`ProblemSpec.init`, falling back to ``"rest"``) — the path
+    the facade and serve workers use, so a spec fully determines its
+    solution.  Explicit keyword options override the spec's.
 
     Kinds
     -----
@@ -35,7 +40,20 @@ def initial_fields(
     ``"random"``:
         Reproducible random density perturbation (options: ``seed``,
         ``amplitude``), used by robustness and conservation tests.
+    ``"taylor_green"``:
+        The 2D Taylor-Green vortex array (options: ``u0``), the exact
+        decaying-vortex oracle used by the scored scenarios.
+    ``"uniform_flow"``:
+        Impulsive start: uniform velocity ``speed`` along x plus a
+        small deterministic sinusoidal cross-flow perturbation
+        (``perturb``, relative to ``speed``) that seeds wake
+        instabilities quickly (the cylinder vortex street).
     """
+    if kind is None:
+        init = dict(spec.init or {"kind": "rest"})
+        kind = init.pop("kind", "rest")
+        init.update(kw)
+        kw = init
     params = spec.build_params()
     shape = spec.grid_shape
     ndim = spec.ndim
@@ -70,6 +88,33 @@ def initial_fields(
         amplitude = float(kw.get("amplitude", 1e-3))
         rng = np.random.default_rng(seed)
         fields["rho"] += amplitude * (rng.random(shape) - 0.5)
+    elif kind == "uniform_flow":
+        speed = float(kw.get("speed", 0.05))
+        perturb = float(kw.get("perturb", 1e-3))
+        fields["u"][:] = speed
+        if ndim >= 2 and perturb:
+            phase = np.sin(
+                np.linspace(0.0, 2.0 * np.pi, shape[0], endpoint=False)
+            )
+            expand = (...,) + (None,) * (ndim - 1)
+            fields["v"] += perturb * speed * phase[expand]
+    elif kind == "taylor_green":
+        if ndim != 2:
+            raise ValueError("taylor_green initial condition is 2D")
+        if shape[0] != shape[1]:
+            raise ValueError(
+                "taylor_green needs a square periodic box, got "
+                f"{tuple(shape)}"
+            )
+        u0 = float(kw.get("u0", 0.05))
+        x = np.arange(shape[0], dtype=np.float64)[:, None] * params.dx
+        y = np.arange(shape[1], dtype=np.float64)[None, :] * params.dx
+        u, v = taylor_green(
+            x, y, t=0.0, length=shape[0] * params.dx, u0=u0,
+            nu=params.nu,
+        )
+        fields["u"][:] = u
+        fields["v"][:] = v
     else:
         raise ValueError(f"unknown initial condition {kind!r}")
 

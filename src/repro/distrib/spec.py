@@ -42,7 +42,12 @@ import numpy as np
 from ..core.decomposition import Decomposition
 from ..fluids.boundary import GlobalBox, PressureOutlet, VelocityInlet
 from ..fluids.fd import FDMethod
-from ..fluids.geometry import channel_geometry, flue_pipe
+from ..fluids.geometry import (
+    channel_geometry,
+    cylinder_channel,
+    flue_pipe,
+    lid_cavity,
+)
 from ..fluids.lbm import LBMethod
 from ..fluids.params import FluidParams
 
@@ -130,14 +135,27 @@ class ProblemSpec:
         Keyword arguments of :class:`~repro.fluids.FluidParams`.
     geometry:
         ``{"kind": "open"}`` (no walls),
-        ``{"kind": "channel", "wall_nodes": int}`` or
+        ``{"kind": "channel", "wall_nodes": int}``,
         ``{"kind": "flue_pipe", "variant": ..., "jet_speed": ...,
-        "ramp_steps": ...}``.
+        "ramp_steps": ...}``,
+        ``{"kind": "cavity", "lid_speed": ..., "wall_nodes": ...,
+        "ramp_steps": ...}`` (lid-driven cavity) or
+        ``{"kind": "cylinder", "radius_frac": ..., "center_frac": ...,
+        "wall_nodes": ...}`` (cylinder in a channel).
     weights:
         Optional per-axis block weights for a non-uniform decomposition
         (see :class:`~repro.core.decomposition.Decomposition`); the
         rebalance coordinator rewrites this field with the adopted
         integer shares so restarted workers re-cut identically.
+    init:
+        Optional named initial condition, ``{"kind": ..., **options}``
+        with the kinds of :func:`repro.distrib.initial_fields`
+        (``"standing_wave"``, ``"random"``, ``"taylor_green"``,
+        ``"uniform_flow"``); ``None``
+        means start from rest.  Part of the spec — and hence of serve
+        content hashes — because the initial state determines the
+        solution.  Omitted from the JSON form when ``None`` so
+        pre-existing v1 artifacts and their hashes are unchanged.
     """
 
     method: str | dict[str, Any]
@@ -147,14 +165,31 @@ class ProblemSpec:
     params: dict[str, Any] = field(default_factory=dict)
     geometry: dict[str, Any] = field(default_factory=lambda: {"kind": "open"})
     weights: tuple[tuple[float, ...] | None, ...] | None = None
+    init: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "method", _normalize_method(self.method, self.grid_shape)
         )
         kind = self.geometry.get("kind", "open")
-        if kind not in ("open", "channel", "flue_pipe"):
+        if kind not in ("open", "channel", "flue_pipe", "cavity", "cylinder"):
             raise ValueError(f"unknown geometry kind {kind!r}")
+        if "center_frac" in self.geometry:
+            geometry = dict(self.geometry)
+            geometry["center_frac"] = tuple(geometry["center_frac"])
+            object.__setattr__(self, "geometry", geometry)
+        if self.init is not None:
+            if not isinstance(self.init, dict) or "kind" not in self.init:
+                raise ValueError(
+                    f"init must be a dict with a 'kind' key, got {self.init!r}"
+                )
+            if self.init["kind"] not in (
+                "rest", "standing_wave", "random", "taylor_green",
+                "uniform_flow",
+            ):
+                raise ValueError(
+                    f"unknown initial condition {self.init['kind']!r}"
+                )
         # Normalize JSON artifacts so a spec round-trips to an equal
         # value (lists decode where tuples were encoded) — into a fresh
         # dict: the caller's params mapping is never mutated.
@@ -269,6 +304,16 @@ class ProblemSpec:
                 raise ValueError("flue_pipe geometry is two-dimensional")
             setup = flue_pipe(self.grid_shape, **g)  # type: ignore[arg-type]
             return setup.solid, [setup.inlet], [setup.outlet]
+        if kind == "cavity":
+            if self.ndim != 2:
+                raise ValueError("cavity geometry is two-dimensional")
+            solid, lid = lid_cavity(self.grid_shape, **g)  # type: ignore[arg-type]
+            return solid, [lid], []
+        if kind == "cylinder":
+            if self.ndim != 2:
+                raise ValueError("cylinder geometry is two-dimensional")
+            solid = cylinder_channel(self.grid_shape, **g)  # type: ignore[arg-type]
+            return solid, [], []
         raise ValueError(f"unknown geometry kind {kind!r}")
 
     def build_methods(self, backend: str | None = None) -> tuple:
@@ -338,6 +383,10 @@ class ProblemSpec:
         raw = asdict(self)
         if self.spec_version != 1:
             raw["spec_version"] = self.spec_version
+        if raw.get("init") is None:
+            # keep the historical v1 field set: pre-init artifacts and
+            # serve content hashes must not change
+            raw.pop("init", None)
         return json.dumps(raw, indent=2, sort_keys=True)
 
     @classmethod
@@ -369,6 +418,7 @@ class ProblemSpec:
             params=dict(raw.get("params", {})),
             geometry=dict(raw.get("geometry", {"kind": "open"})),
             weights=weights,
+            init=raw.get("init"),
         )
 
     def save(self, path: str | Path) -> None:

@@ -113,7 +113,8 @@ def _initial_fields(spec, fields):
         return dict(fields)
     from .distrib.initprog import initial_fields
 
-    return initial_fields(spec, "rest")
+    # kind=None resolves the spec's declarative init (rest by default)
+    return initial_fields(spec, None)
 
 
 def _uniform_side(spec) -> int:

@@ -50,8 +50,12 @@ from .observables import (
     acoustic_energy,
     divergence,
     kinetic_energy,
+    primary_vortex,
+    spectral_peak,
+    streamfunction_2d,
     total_mass,
     total_momentum,
+    vortex_centers,
     vorticity_2d,
     vorticity_3d,
 )
@@ -100,6 +104,10 @@ __all__ = [
     "total_momentum",
     "kinetic_energy",
     "acoustic_energy",
+    "streamfunction_2d",
+    "vortex_centers",
+    "primary_vortex",
+    "spectral_peak",
     "Probe",
     "spectrum",
     "dominant_frequency",

@@ -31,6 +31,7 @@ __all__ = [
     "flue_pipe",
     "channel_geometry",
     "cylinder_channel",
+    "lid_cavity",
 ]
 
 
@@ -198,6 +199,48 @@ def cylinder_channel(
     y = np.arange(ny)[None, :]
     solid |= (x - cx) ** 2 + (y - cy) ** 2 <= r * r
     return solid
+
+
+def lid_cavity(
+    shape: tuple[int, int],
+    lid_speed: float = 0.1,
+    wall_nodes: int = 1,
+    ramp_steps: int = 0,
+) -> tuple[np.ndarray, VelocityInlet]:
+    """Lid-driven cavity: enclosed box, top fluid row forced to slide.
+
+    The reference problem of Hou et al. (PAPERS.md): fluid in a closed
+    square cavity driven by a lid moving at constant speed develops a
+    primary vortex whose center position is tabulated per Reynolds
+    number.  Walls enclose all four sides; the "lid" is the topmost
+    *fluid* row, held at ``(lid_speed, 0)`` by a :class:`VelocityInlet`
+    (a sliding-velocity boundary row, the standard velocity-BC cavity
+    construction).  The cavity proper is the fluid box below the lid
+    row; with 1-node walls on an ``(n+2, n+2)`` grid the cavity is
+    ``n x n`` including the lid row.
+
+    Returns ``(solid, lid)``.
+    """
+    nx, ny = shape
+    if nx < 16 or ny < 16:
+        raise ValueError(f"grid {shape} too coarse for a cavity")
+    w = wall_nodes
+    solid = np.zeros(shape, dtype=bool)
+    solid[:w, :] = True
+    solid[nx - w:, :] = True
+    solid[:, :w] = True
+    solid[:, ny - w:] = True
+    lid_box = GlobalBox((w, ny - w - 1), (nx - w, ny - w))
+
+    if ramp_steps > 0:
+        def lid_velocity(step: int) -> tuple[float, float]:
+            ramp = min(1.0, (step + 1) / ramp_steps)
+            return (lid_speed * ramp, 0.0)
+
+        lid = VelocityInlet(lid_box, lid_velocity)
+    else:
+        lid = VelocityInlet(lid_box, (lid_speed, 0.0))
+    return solid, lid
 
 
 def channel_geometry(

@@ -111,16 +111,6 @@ def dominant_frequency(signal: np.ndarray, dt: float = 1.0) -> float:
     well below the bin spacing — enough to identify a pipe's speaking
     frequency from a few oscillation periods.
     """
-    freq, amp = spectrum(signal, dt)
-    if len(amp) < 3:
-        raise ValueError("signal too short")
-    k = int(np.argmax(amp[1:]) + 1)
-    if 1 <= k < len(amp) - 1:
-        a, b, c = amp[k - 1], amp[k], amp[k + 1]
-        denom = a - 2 * b + c
-        shift = 0.5 * (a - c) / denom if denom != 0 else 0.0
-        shift = float(np.clip(shift, -0.5, 0.5))
-    else:  # pragma: no cover - peak at the edge
-        shift = 0.0
-    df = freq[1] - freq[0]
-    return float(freq[k] + shift * df)
+    from .observables import spectral_peak
+
+    return spectral_peak(signal, dt)[0]

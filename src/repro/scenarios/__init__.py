@@ -1,0 +1,52 @@
+"""repro.scenarios — declarative scenario library and sweep engine.
+
+A :class:`Scenario` packages one validated flow as *data*: a parameter
+schema with defaults and ranges, a builder producing a
+:class:`~repro.distrib.ProblemSpec` + run settings, and a ``score()``
+contract comparing a finished run against analytic or literature
+references.  The registry feeds ``repro scenarios`` and the
+``repro sweep`` driver, which expands parameter grids into jobs and
+fans them through the :mod:`repro.serve` layer (where identical points
+hit the result cache) or a local executor.
+"""
+
+from .base import (
+    Case,
+    Param,
+    Scenario,
+    Score,
+    all_scenarios,
+    diag_series,
+    get,
+    names,
+    register,
+)
+from . import library  # noqa: F401  (imports register the library)
+from .library import HOU_CAVITY_CENTERS
+from .sweep import (
+    SweepPoint,
+    expand_grid,
+    parse_grid,
+    run_case,
+    run_sweep,
+    write_report,
+)
+
+__all__ = [
+    "Case",
+    "Param",
+    "Scenario",
+    "Score",
+    "SweepPoint",
+    "HOU_CAVITY_CENTERS",
+    "all_scenarios",
+    "diag_series",
+    "expand_grid",
+    "get",
+    "names",
+    "parse_grid",
+    "register",
+    "run_case",
+    "run_sweep",
+    "write_report",
+]

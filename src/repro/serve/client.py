@@ -121,9 +121,40 @@ class ServeClient:
             payload["backend"] = backend
         return self._json("POST", "/jobs", payload)
 
+    def submit_batch(self, requests: list[dict]) -> list[dict]:
+        """Submit many requests in one round trip (the sweep fan-out).
+
+        Each entry is ``{"spec": ProblemSpec | dict, "settings": ...,
+        "seed": ..., "priority": ..., "backend": ...}`` with everything
+        but ``spec`` optional.  The gateway validates the whole batch
+        before accepting any job.  Returns one job record per entry, in
+        order.
+        """
+        from dataclasses import asdict
+
+        from ..distrib.spec import ProblemSpec
+
+        payload = []
+        for req in requests:
+            req = dict(req)
+            spec = req["spec"]
+            if isinstance(spec, ProblemSpec):
+                req["spec"] = json.loads(spec.to_json())
+            settings = req.get("settings")
+            if settings is not None and not isinstance(settings, dict):
+                settings = asdict(settings)
+                settings.pop("hosts", None)  # HostInfo objects: not JSON
+                req["settings"] = settings
+            payload.append(req)
+        return self._json("POST", "/jobs/batch", {"jobs": payload})["jobs"]
+
     def jobs(self) -> list[dict]:
         """Every job record the gateway knows, newest first."""
         return self._json("GET", "/jobs")["jobs"]
+
+    def gc(self) -> dict:
+        """Compact the gateway's job history; returns the stats."""
+        return self._json("POST", "/admin/gc")
 
     def job(self, job_id: str) -> dict:
         """One job record."""

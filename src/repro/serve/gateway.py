@@ -13,6 +13,11 @@ Routes (all JSON unless noted)::
     POST   /jobs                 submit {spec, settings, seed, priority,
                                  backend} -> the job record (cached
                                  submissions come back already done)
+    POST   /jobs/batch           submit {"jobs": [{...}, ...]} in one
+                                 round trip -> {"jobs": [record, ...]}
+                                 (the sweep driver's fan-out path)
+    POST   /admin/gc             compact jobs.jsonl to the last event
+                                 per job -> compaction stats
     GET    /jobs                 every job record, newest first
     GET    /jobs/<id>            one job record
     DELETE /jobs/<id>            cancel (queued or running)
@@ -60,6 +65,10 @@ _NDJSON = "application/x-ndjson"
 #: settings is a few KB; anything near this is hostile or a bug).
 MAX_BODY = 8 * 1024 * 1024
 
+#: ``jobs.jsonl`` size past which a booting gateway compacts the job
+#: history down to the last event per job before replaying it.
+HISTORY_GC_BYTES = 4 * 1024 * 1024
+
 
 class _HttpError(Exception):
     """An error with a status code, rendered as a JSON body."""
@@ -88,6 +97,7 @@ class Gateway:
         batch_size: int = 4,
         poll: float = 0.05,
         max_retries: int = 2,
+        history_gc_bytes: int = HISTORY_GC_BYTES,
     ) -> None:
         self.serve_dir = Path(serve_dir).resolve()
         self.serve_dir.mkdir(parents=True, exist_ok=True)
@@ -97,6 +107,17 @@ class Gateway:
         self.pool = WorkerPool(self.serve_dir, n_workers=workers)
         self.cache = ResultCache(self.serve_dir / "cache")
         self.history = JobHistory.for_dir(self.serve_dir)
+        # GC an overgrown history before the scheduler replays it: at
+        # boot no appender is live yet, so the rewrite is race-free
+        try:
+            if (history_gc_bytes > 0
+                    and self.history.path.exists()
+                    and self.history.path.stat().st_size
+                    > history_gc_bytes):
+                stats = self.history.compact()
+                log.info("compacted job history: %s", stats)
+        except OSError:
+            log.exception("job-history compaction failed (continuing)")
         self.scheduler = Scheduler(
             self.serve_dir, self.pool, self.cache, self.history,
             batch_size=batch_size, max_retries=max_retries,
@@ -312,6 +333,12 @@ class Gateway:
             await self._send_json(writer, 200, {"ok": True})
         elif target == "/jobs" and method == "POST":
             await self._post_job(writer, body)
+        elif target == "/jobs/batch" and method == "POST":
+            await self._post_batch(writer, body)
+        elif target == "/admin/gc" and method == "POST":
+            # runs on the event loop, where every append originates, so
+            # the rewrite cannot race a state transition
+            await self._send_json(writer, 200, self.history.compact())
         elif target == "/jobs" and method == "GET":
             records = sorted(
                 self.scheduler.records.values(),
@@ -327,15 +354,11 @@ class Gateway:
         else:
             raise _HttpError(404, f"no route for {method} {target}")
 
-    async def _post_job(self, writer, body: bytes) -> None:
-        try:
-            req = json.loads(body.decode() or "{}")
-        except ValueError as exc:
-            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+    def _submit_one(self, req: dict):
         if not isinstance(req, dict) or "spec" not in req:
             raise _HttpError(400, 'body must be {"spec": {...}, ...}')
         try:
-            rec = self.scheduler.submit(
+            return self.scheduler.submit(
                 req["spec"],
                 settings=req.get("settings"),
                 seed=int(req.get("seed", 0)),
@@ -344,7 +367,48 @@ class Gateway:
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise _HttpError(400, str(exc)) from exc
+
+    async def _post_job(self, writer, body: bytes) -> None:
+        try:
+            req = json.loads(body.decode() or "{}")
+        except ValueError as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        rec = self._submit_one(req)
         await self._send_json(writer, 200, rec.to_dict())
+
+    async def _post_batch(self, writer, body: bytes) -> None:
+        """Submit many jobs in one round trip (the sweep fan-out).
+
+        All-or-nothing validation: the whole batch is checked before
+        any job is enqueued, so a typo in point 37 of a sweep does not
+        leave 36 orphans running.
+        """
+        try:
+            req = json.loads(body.decode() or "{}")
+        except ValueError as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        jobs = req.get("jobs") if isinstance(req, dict) else None
+        if not isinstance(jobs, list) or not jobs:
+            raise _HttpError(
+                400, 'body must be {"jobs": [{"spec": {...}, ...}]}'
+            )
+        for entry in jobs:
+            if not isinstance(entry, dict) or "spec" not in entry:
+                raise _HttpError(
+                    400, 'each batch entry must be {"spec": {...}, ...}'
+                )
+            try:
+                self.scheduler.validate(
+                    entry["spec"],
+                    settings=entry.get("settings"),
+                    seed=int(entry.get("seed", 0)),
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise _HttpError(400, str(exc)) from exc
+        records = [self._submit_one(entry) for entry in jobs]
+        await self._send_json(
+            writer, 200, {"jobs": [r.to_dict() for r in records]}
+        )
 
     def _record(self, job_id: str):
         rec = self.scheduler.records.get(job_id)

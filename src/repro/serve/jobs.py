@@ -19,7 +19,9 @@ timelines from.
 
 from __future__ import annotations
 
+import fcntl
 import json
+import os
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -157,3 +159,62 @@ class JobHistory:
         if not table:
             return 0
         return max(rec.seq for rec in table.values()) + 1
+
+    def compact(self) -> dict:
+        """Rewrite the log keeping only the last event per job.
+
+        The log is append-only by design, so a long-lived gateway's
+        ``jobs.jsonl`` grows by one line per state transition forever;
+        compaction garbage-collects the superseded transitions.  The
+        surviving line per job is exactly what :meth:`replay` would
+        have produced, so the rebuilt job table is unchanged.
+
+        The rewrite happens under the same exclusive flock the
+        appenders take, into a temp file atomically ``os.replace``'d
+        over the log — a reader never sees a half-written file and a
+        crash mid-compaction leaves the original intact.  Callers must
+        still serialize with *future* appenders opening the old inode
+        (the gateway runs this on its event loop, where all appends
+        originate, or before the scheduler starts).
+
+        Returns compaction stats (event and byte counts before/after).
+        """
+        if not self.path.exists():
+            return {"events_before": 0, "events_after": 0,
+                    "bytes_before": 0, "bytes_after": 0}
+        with open(self.path, "a+") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.seek(0)
+                text = fh.read()
+                events_before = 0
+                last: dict[str, str] = {}
+                for line in text.splitlines():
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue  # torn final line: dropped
+                    events_before += 1
+                    job = event.get("job")
+                    if not isinstance(job, dict) or "job_id" not in job:
+                        continue
+                    # dict insertion order keeps survivors chronological
+                    # (by last event) for the timeline readers
+                    last.pop(job["job_id"], None)
+                    last[job["job_id"]] = line
+                tmp = self.path.with_name(self.path.name + ".tmp")
+                with open(tmp, "w") as out:
+                    for line in last.values():
+                        out.write(line + "\n")
+                    out.flush()
+                    os.fsync(out.fileno())
+                os.replace(tmp, self.path)
+                bytes_after = sum(len(l) + 1 for l in last.values())
+                return {
+                    "events_before": events_before,
+                    "events_after": len(last),
+                    "bytes_before": len(text),
+                    "bytes_after": bytes_after,
+                }
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)

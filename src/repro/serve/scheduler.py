@@ -111,6 +111,18 @@ class Scheduler:
     # ------------------------------------------------------------------
     # intake
     # ------------------------------------------------------------------
+    def validate(self, spec, settings=None, seed: int = 0) -> str:
+        """Check one request without enqueuing anything.
+
+        Runs exactly the canonicalization :meth:`submit` would, so a
+        batch can be vetted all-or-nothing before its first job is
+        accepted.  Returns the request fingerprint.
+        """
+        canon = canonical_request(spec, settings, seed)
+        if int(canon["settings"]["steps"]) <= 0:
+            raise ValueError("settings.steps must be a positive integer")
+        return fingerprint(spec, settings, seed)
+
     def submit(
         self,
         spec,

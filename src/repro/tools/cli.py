@@ -731,7 +731,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from ..harness import format_table
 
     if args.list:
-        for name in sorted(SCENARIOS):
+        for name in sorted(SCENARIOS + ("random",)):
             print(name)
         return 0
     if args.scenario is None:
@@ -741,6 +741,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     plan = None
     if args.plan:
         plan = FaultPlan.from_json(Path(args.plan).read_text())
+    elif args.scenario == "random":
+        # a seeded mixed plan off the full fault menu (the nightly
+        # chaos soak runs several of these)
+        plan = FaultPlan.generate(
+            args.seed, args.ranks, args.steps, args.save_every,
+            n_faults=args.faults,
+        )
     elif args.scenario != "none":
         plan = FaultPlan.scenario(
             args.scenario, args.seed, args.ranks, args.steps,
@@ -771,6 +778,241 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if outcome.passed else 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Browse the scenario registry, or run + score one case."""
+    import json
+
+    from .. import scenarios as sc
+    from ..harness import format_table
+
+    if args.action == "list":
+        rows = [
+            [s.name, s.version, " ".join(s.params), s.title]
+            for s in sc.all_scenarios()
+        ]
+        print(format_table(
+            ["scenario", "ver", "params", "title"], rows,
+            title=f"{len(rows)} registered scenarios",
+        ))
+        return 0
+    if not args.name:
+        print(f"scenarios: {args.action} needs a scenario name",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = sc.get(args.name)
+    except KeyError as exc:
+        print(f"scenarios: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.action == "show":
+        print(json.dumps(scenario.describe(), indent=2))
+        return 0
+
+    # run: one case on a local backend, scored
+    try:
+        overrides = {}
+        for name, values in sc.parse_grid(args.set).items():
+            if len(values) != 1:
+                raise ValueError(
+                    f"--set {name} takes one value (use `repro sweep` "
+                    f"for grids)"
+                )
+            overrides[name] = values[0]
+        params = scenario.resolve(**overrides)
+        case = scenario.case(**overrides)
+    except ValueError as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+    print(f"running {scenario.name} {params} "
+          f"({'x'.join(map(str, case.spec.grid_shape))}, "
+          f"{case.settings.get('steps')} steps, {args.backend})")
+    result = sc.run_case(case, backend=args.backend)
+    score = scenario.score(result.fields, result.diagnostics,
+                           **overrides)
+    rows = [
+        [name, f"{value:.4g}",
+         f"<= {score.bounds[name]:g}" if name in score.bounds else "",
+         "" if name not in score.bounds
+         else ("ok" if not any(f.startswith(f"{name}:")
+                               for f in score.failures) else "FAIL")]
+        for name, value in score.residuals.items()
+    ]
+    print(format_table(
+        ["residual", "value", "bound", ""], rows,
+        title=f"{scenario.name}: "
+              f"{'pass' if score.passed else 'FAIL'} "
+              f"({result.elapsed:.1f} s)",
+    ))
+    for failure in score.failures:
+        print(f"  failed: {failure}")
+    if score.details:
+        print(f"details: {json.dumps(score.details, default=str)}")
+    if args.out:
+        np.savez_compressed(args.out, **result.fields)
+        print(f"fields written to {args.out}")
+    return 0 if score.passed else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid over one scenario and score every point."""
+    from .. import scenarios as sc
+    from ..harness import format_table
+
+    try:
+        scenario = sc.get(args.scenario)
+        grid = sc.parse_grid(args.grid)
+    except (KeyError, ValueError) as exc:
+        msg = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"sweep: {msg}", file=sys.stderr)
+        return 2
+    server = args.address
+    if server is None and args.serve_dir:
+        gateway_file = Path(args.serve_dir) / "gateway.json"
+        if gateway_file.exists():
+            import json
+
+            info = json.loads(gateway_file.read_text())
+            server = f"{info['host']}:{info['port']}"
+    out_dir = Path(args.out or Path("sweeps") / scenario.name)
+    try:
+        points = sc.run_sweep(
+            scenario, grid,
+            backend=args.backend,
+            server=server,
+            out_dir=out_dir,
+            resume=not args.no_resume,
+            timeout=args.timeout,
+            log=print,
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    md = sc.write_report(points, out_dir, scenario)
+    rows = [
+        [", ".join(f"{k}={v}" for k, v in p.params.items()) or "-",
+         ("pass" if p.passed else "FAIL") if p.state == "done"
+         else p.state,
+         "cached" if p.cached else f"{p.elapsed:.1f} s",
+         f"{p.nodes_per_sec:.3g}" if p.nodes_per_sec else "-"]
+        for p in points
+    ]
+    n_pass = sum(1 for p in points if p.passed)
+    print(format_table(
+        ["params", "score", "elapsed", "nodes/s"], rows,
+        title=f"sweep {scenario.name}: {n_pass}/{len(points)} passed"
+              f"{' (via ' + server + ')' if server else ''}",
+    ))
+    print(f"report written to {md}")
+    return 0 if n_pass == len(points) else 1
+
+
+#: (scenario, grid) pairs ``repro bench --sweep`` marches.  The quick
+#: set is the CI gate — every sub-minute physics claim, led by the
+#: cavity Re=100 vortex-center check against Hou et al. (1995).
+_SWEEP_QUICK = (
+    ("cavity", {"Re": [100]}),
+    ("poiseuille", {"method": ["lb"]}),
+    ("conservation", {"method": ["lb", "fd"]}),
+    ("duct3d", {"method": ["fd"]}),
+    ("hybrid_channel", {}),
+    ("acoustic_wave", {"method": ["lb"]}),
+)
+_SWEEP_FULL = (
+    ("cavity", {"Re": [100, 400, 1000]}),
+    ("poiseuille", {"method": ["lb", "fd"]}),
+    ("conservation", {"method": ["lb", "fd"]}),
+    ("duct3d", {"method": ["fd", "lb"]}),
+    ("hybrid_channel", {}),
+    ("acoustic_wave", {"method": ["lb", "fd"]}),
+    ("taylor_green", {}),
+    ("flue_pipe_channel", {}),
+    ("flue_pipe", {}),
+    ("cylinder_wake", {}),
+)
+
+
+def _bench_sweep(args: argparse.Namespace) -> int:
+    """The scored-validation acceptance gate (``repro bench --sweep``).
+
+    Marches the scenario library's canonical grids through the sweep
+    driver and requires every point to pass its scenario's score —
+    the cavity Re=100 primary-vortex check against Hou et al. is the
+    headline gate.  ``--quick`` runs the sub-minute subset (the CI
+    job); the full set adds the heavy wake/jet/high-Re scenarios.
+    """
+    import json
+    import tempfile
+
+    from .. import scenarios as sc
+    from ..harness import format_table
+
+    plan = _SWEEP_QUICK if args.quick else _SWEEP_FULL
+    backend = args.backend or "threaded"
+    base = Path(args.sweep_dir or
+                tempfile.mkdtemp(prefix="repro_sweep_"))
+    rows = []
+    scenarios_out: dict = {}
+    all_passed = True
+    gate = None  # the cavity Re=100 point
+    for name, grid in plan:
+        scenario = sc.get(name)
+        points = sc.run_sweep(
+            scenario, grid, backend=backend, out_dir=base / name,
+            log=lambda msg, n=name: print(f"  [{n}] {msg}"),
+        )
+        sc.write_report(points, base / name, scenario)
+        entry = scenarios_out.setdefault(name, {
+            "version": scenario.version, "points": [],
+        })
+        for p in points:
+            entry["points"].append(p.to_dict())
+            all_passed = all_passed and p.passed
+            if name == "cavity" and p.params.get("Re") == 100:
+                gate = p
+            worst = ""
+            if p.score and p.score.get("failures"):
+                worst = p.score["failures"][0]
+            elif p.error:
+                worst = p.error
+            rows.append([
+                name,
+                ", ".join(f"{k}={v}" for k, v in p.params.items())
+                or "-",
+                "pass" if p.passed else "FAIL",
+                f"{p.elapsed:.1f} s",
+                f"{p.nodes_per_sec:.3g}" if p.nodes_per_sec else "-",
+                worst[:48],
+            ])
+    print(format_table(
+        ["scenario", "params", "score", "elapsed", "nodes/s", "failure"],
+        rows,
+        title=f"scored validation sweep "
+              f"({'quick' if args.quick else 'full'}, {backend})",
+    ))
+    results = {
+        "host": _host_metadata(),
+        "backend": backend,
+        "quick": bool(args.quick),
+        "scenarios": scenarios_out,
+        "cavity_re100_passed": bool(gate and gate.passed),
+        "passed": all_passed,
+    }
+    out = Path(args.out or "BENCH_sweep.json")
+    out.write_text(json.dumps(results, indent=1) + "\n")
+    print(f"results written to {out}")
+    if gate is None or not gate.passed:
+        print("bench: sweep gate failed: cavity Re=100 vortex center "
+              "does not match Hou et al.", file=sys.stderr)
+        return 1
+    if not all_passed:
+        bad = [r[0] + "(" + r[1] + ")" for r in rows if r[2] != "pass"]
+        print(f"bench: sweep gate failed: {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    print(f"sweep gate passed: {len(rows)} points, all scored pass")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -797,6 +1039,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _bench_serve(args)
     if args.hybrid:
         return _bench_hybrid(args)
+    if args.sweep:
+        return _bench_sweep(args)
 
     if args.backend:
         if args.backend not in BACKEND_NAMES:
@@ -1065,6 +1309,12 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     from ..serve import ServeClient
 
     client = ServeClient(_serve_address(args))
+    if args.gc:
+        stats = client.gc()
+        print(f"history compacted: {stats['events_before']} -> "
+              f"{stats['events_after']} events, "
+              f"{stats['bytes_before']} -> {stats['bytes_after']} bytes")
+        return 0
     rows = [
         [j["job_id"], j["state"], j["backend"], j["priority"],
          "yes" if j.get("cached") else "",
@@ -1366,6 +1616,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--hybrid-mass-tol", type=float, default=1e-6,
                    help="fail --hybrid above this relative mass drift "
                         "(default: 1e-6)")
+    p.add_argument("--sweep", action="store_true",
+                   help="run the scored scenario-validation sweep "
+                        "instead (writes BENCH_sweep.json; with "
+                        "--quick, the sub-minute CI subset; the "
+                        "cavity Re=100 Hou et al. check is the "
+                        "headline gate)")
+    p.add_argument("--sweep-dir", default=None,
+                   help="sweep working directory holding per-scenario "
+                        "manifests and reports (default: a temp dir)")
     p.add_argument("--serve", action="store_true",
                    help="run the service-layer throughput gate instead: "
                         "a multi-tenant workload through a live gateway "
@@ -1428,9 +1687,13 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("chaos",
                        help="run one seeded fault-injection scenario")
     p.add_argument("scenario", nargs="?", default=None,
-                   help="scenario name (see --list), or 'none' for a "
-                        "fault-free run")
+                   help="scenario name (see --list), 'random' for a "
+                        "seeded mixed plan off the full fault menu, or "
+                        "'none' for a fault-free run")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", type=int, default=2,
+                   help="fault count for the 'random' scenario "
+                        "(default: 2)")
     p.add_argument("--steps", type=int, default=40)
     p.add_argument("--save-every", type=int, default=10)
     p.add_argument("--ranks", type=int, default=2,
@@ -1448,6 +1711,51 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", default=None,
                    help="also write the classified outcome as JSON here")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("scenarios",
+                       help="browse the scenario registry or run one "
+                            "scored case")
+    p.add_argument("action", choices=("list", "show", "run"),
+                   nargs="?", default="list")
+    p.add_argument("name", nargs="?", default=None,
+                   help="scenario name (for show/run)")
+    p.add_argument("--set", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="parameter override, repeatable (run only)")
+    p.add_argument("--backend", default="serial",
+                   help="local executor: serial, threaded, or "
+                        "distributed (default: serial)")
+    p.add_argument("--out", default=None,
+                   help="save the final fields as .npz here (run only)")
+    p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser("sweep",
+                       help="march a scenario over a parameter grid "
+                            "and score every point")
+    p.add_argument("--scenario", required=True,
+                   help="registry name (see `repro scenarios list`)")
+    p.add_argument("--grid", action="append", default=[],
+                   metavar="NAME=V1,V2,...",
+                   help="one grid axis, repeatable; omitted parameters "
+                        "take their defaults")
+    p.add_argument("--backend", default="serial",
+                   help="local executor backend (default: serial)")
+    p.add_argument("--address", default=None,
+                   help="gateway host:port — fan the grid through the "
+                        "cluster service instead of running locally")
+    p.add_argument("--serve-dir", default=None,
+                   help="discover the gateway from this serve "
+                        "directory's gateway.json (overridden by "
+                        "--address)")
+    p.add_argument("--out", default=None,
+                   help="sweep directory: manifest, summary.json, "
+                        "summary.md (default: sweeps/<scenario>)")
+    p.add_argument("--no-resume", action="store_true",
+                   help="recompute points the manifest already settles")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-job wait limit on the service executor "
+                        "(default: 600 s)")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("trace",
                        help="§7 T_comp/T_comm breakdown of a traced run")
@@ -1523,6 +1831,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("jobs", help="list a gateway's jobs")
     _client_args(p)
+    p.add_argument("--gc", action="store_true",
+                   help="compact the gateway's job history instead of "
+                        "listing (keeps the last event per job)")
     p.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser("result",

@@ -274,3 +274,91 @@ class TestInitialFields:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
             initial_fields(_spec(), "vortex-sheet")
+
+
+class TestNewGeometryKinds:
+    def test_cavity_builds_walls_and_lid(self):
+        spec = _spec(
+            grid_shape=(34, 34), periodic=(False, False),
+            geometry={"kind": "cavity", "lid_speed": 0.15},
+        )
+        solid, inlets, outlets = spec.build_geometry()
+        assert solid[0, :].all() and solid[-1, :].all()
+        assert solid[:, 0].all() and solid[:, -1].all()
+        assert len(inlets) == 1 and not outlets
+        lid = inlets[0]
+        # lid row is the topmost fluid row, full cavity width
+        assert lid.box.lo == (1, 32) and lid.box.hi == (33, 33)
+        assert lid.velocity == (0.15, 0.0)
+
+    def test_cavity_is_2d_only(self):
+        spec = _spec(
+            grid_shape=(18, 18, 18), blocks=(1, 1, 1),
+            periodic=(False, False, False),
+            geometry={"kind": "cavity"},
+        )
+        with pytest.raises(ValueError, match="two-dimensional"):
+            spec.build_geometry()
+
+    def test_cylinder_builds_obstacle(self):
+        spec = _spec(
+            grid_shape=(96, 48), blocks=(2, 1),
+            geometry={"kind": "cylinder", "radius_frac": 0.1,
+                      "center_frac": (0.25, 0.5)},
+        )
+        solid, inlets, outlets = spec.build_geometry()
+        assert not inlets and not outlets
+        assert solid[24, 24]          # cylinder center is solid
+        assert not solid[72, 24]      # wake is fluid
+        assert solid[:, 0].all() and solid[:, -1].all()
+
+    def test_cylinder_center_frac_round_trips(self):
+        spec = _spec(
+            grid_shape=(96, 48), blocks=(2, 1),
+            geometry={"kind": "cylinder", "center_frac": [0.25, 0.5]},
+        )
+        again = ProblemSpec.from_json(spec.to_json())
+        assert again == spec
+        assert isinstance(again.geometry["center_frac"], tuple)
+
+
+class TestInitField:
+    def test_default_json_has_no_init_key(self):
+        # pre-init artifacts (and serve content hashes) must not change
+        assert "init" not in json.loads(_spec().to_json())
+
+    def test_init_round_trips(self):
+        spec = _spec(
+            grid_shape=(32, 32), periodic=(True, True),
+            geometry={"kind": "open"},
+            init={"kind": "taylor_green", "u0": 0.04},
+        )
+        raw = json.loads(spec.to_json())
+        assert raw["init"] == {"kind": "taylor_green", "u0": 0.04}
+        assert ProblemSpec.from_json(spec.to_json()) == spec
+
+    def test_init_requires_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            _spec(init={"u0": 0.04})
+
+    def test_unknown_init_kind_rejected(self):
+        with pytest.raises(ValueError, match="vortex-sheet"):
+            _spec(init={"kind": "vortex-sheet"})
+
+    def test_initial_fields_resolves_spec_init(self):
+        spec = _spec(
+            grid_shape=(32, 32), periodic=(True, True),
+            geometry={"kind": "open"},
+            init={"kind": "taylor_green", "u0": 0.04},
+        )
+        f = initial_fields(spec, None)
+        assert np.abs(f["u"]).max() == pytest.approx(0.04, rel=1e-6)
+        # explicit kind still wins
+        r = initial_fields(spec, "rest")
+        assert not r["u"].any()
+
+    def test_taylor_green_needs_square_box(self):
+        spec = _spec(geometry={"kind": "open"}, periodic=(True, True),
+                     init={"kind": "taylor_green"})
+        with pytest.raises(ValueError, match="square"):
+            initial_fields(spec, None)

@@ -7,8 +7,13 @@ from repro.fluids import (
     acoustic_energy,
     divergence,
     kinetic_energy,
+    primary_vortex,
+    spectral_peak,
+    streamfunction_2d,
+    taylor_green,
     total_mass,
     total_momentum,
+    vortex_centers,
     vorticity_2d,
     vorticity_3d,
 )
@@ -96,3 +101,120 @@ class TestIntegrals:
         rho[2, 2] = 1.01
         vels = [np.zeros((6, 6))] * 2
         assert acoustic_energy(rho, vels, 1.0, 0.5) > 0
+
+
+def _taylor_green_offnode(n=256, xoff=63.7, yoff=64.3, u0=0.05):
+    """Taylor-Green sample whose four vortex centers are interior and
+    deliberately off-node: centers at x in {xoff, xoff + n/2} and
+    y in {yoff, yoff + n/2} (node coordinates)."""
+    L = float(n)
+    x = (np.arange(n)[:, None] - xoff)
+    y = (np.arange(n)[None, :] - yoff)
+    u, v = taylor_green(x, y, 0.0, L, u0, 0.01)
+    centers = [
+        (xoff + mi * n / 2.0, yoff + mj * n / 2.0)
+        for mi in range(2)
+        for mj in range(2)
+    ]
+    return u, v, centers
+
+
+class TestVortexCenters:
+    def test_taylor_green_centers_to_1e6(self):
+        """The satellite accuracy bar: known centers to 1e-6 of the
+        domain on a synthetic Taylor-Green field (no simulation)."""
+        n = 256
+        u, v, exact = _taylor_green_offnode(n)
+        found = vortex_centers(u, v, n=4)
+        assert found.shape == (4, 3)
+        for ex, ey in exact:
+            d = np.min(
+                np.hypot(found[:, 0] - ex, found[:, 1] - ey)
+            )
+            assert d / n < 1e-6, f"center ({ex},{ey}) off by {d / n}"
+
+    def test_primary_vortex_matches_strongest(self):
+        u, v, exact = _taylor_green_offnode(128, 31.6, 32.4)
+        x, y = primary_vortex(u, v)
+        d = min(np.hypot(x - ex, y - ey) for ex, ey in exact)
+        assert d < 1e-3
+
+    def test_dx_scales_coordinates(self):
+        u, v, _ = _taylor_green_offnode(64, 15.5, 16.5)
+        a = vortex_centers(u, v, n=1)
+        b = vortex_centers(u, v, dx=0.5, n=1)
+        np.testing.assert_allclose(b[:, :2], a[:, :2] * 0.5)
+
+    def test_no_vortex_in_uniform_flow(self):
+        u = np.ones((32, 32))
+        v = np.zeros((32, 32))
+        assert vortex_centers(u, v).shape[0] == 0
+        with pytest.raises(ValueError, match="no vortex"):
+            primary_vortex(u, v)
+
+    def test_mask_excludes_solid_neighbourhood(self):
+        u, v, exact = _taylor_green_offnode(128, 31.6, 32.4)
+        mask = np.ones_like(u, dtype=bool)
+        # wall out the quadrant holding the (31.6, 32.4) center
+        mask[:64, :64] = False
+        found = vortex_centers(u, v, n=4, mask=mask)
+        assert found.shape[0] > 0
+        for row in found:
+            assert not (row[0] < 64 and row[1] < 64)
+
+    def test_streamfunction_recovers_velocity(self):
+        u, v, _ = _taylor_green_offnode(128, 31.6, 32.4)
+        psi = streamfunction_2d(u, v)
+        du = np.gradient(psi, axis=1)
+        np.testing.assert_allclose(du[:, 2:-2], u[:, 2:-2], atol=2e-4)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2D"):
+            vortex_centers(np.zeros((4, 4, 4)), np.zeros((4, 4, 4)))
+
+
+class TestSpectralPeak:
+    def test_pure_sine(self):
+        """The satellite accuracy bar: synthesized sine, no simulation."""
+        f0 = 0.0437
+        t = np.arange(2048)
+        sig = 0.7 * np.sin(2 * np.pi * f0 * t + 0.3)
+        f, a = spectral_peak(sig)
+        assert f == pytest.approx(f0, rel=1e-3)
+        # Hann scalloping loses up to ~15% of amplitude off-bin
+        assert a == pytest.approx(0.7, rel=0.2)
+
+    def test_dt_scaling(self):
+        f0 = 0.031
+        t = np.arange(1024)
+        sig = np.sin(2 * np.pi * f0 * t)
+        f_steps, _ = spectral_peak(sig)
+        f_time, _ = spectral_peak(sig, dt=2.0)
+        assert f_time == pytest.approx(f_steps / 2.0, rel=1e-9)
+
+    def test_survives_linear_drift(self):
+        f0 = 0.02
+        t = np.arange(1024)
+        sig = np.sin(2 * np.pi * f0 * t) + 0.01 * t + 5.0
+        f, _ = spectral_peak(sig)
+        assert f == pytest.approx(f0, rel=1e-2)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            spectral_peak(np.ones(3))
+
+    def test_band_restricts_search(self):
+        t = np.arange(4096)
+        # strong low line + weak high line
+        sig = np.sin(2 * np.pi * 0.01 * t) + 0.1 * np.sin(
+            2 * np.pi * 0.11 * t
+        )
+        f_all, _ = spectral_peak(sig)
+        assert f_all == pytest.approx(0.01, rel=1e-2)
+        f_band, _ = spectral_peak(sig, band=(0.05, 0.2))
+        assert f_band == pytest.approx(0.11, rel=1e-2)
+
+    def test_empty_band_raises(self):
+        sig = np.sin(np.arange(256) * 0.3)
+        with pytest.raises(ValueError, match="band"):
+            spectral_peak(sig, band=(0.6, 0.7))  # beyond Nyquist

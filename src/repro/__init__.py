@@ -10,16 +10,18 @@ measurements, and the theoretical efficiency model.
 The one-call entry point is :func:`repro.run`, which marches a
 :class:`~repro.distrib.ProblemSpec` on any of the backends and
 returns a :class:`repro.RunResult`; :mod:`repro.trace` is the
-phase-level tracing layer shared by all of them, and
-:mod:`repro.serve` turns the same machinery into a multi-tenant
-simulation service (job queue, result cache, live cluster view).
+phase-level tracing layer shared by all of them,
+:mod:`repro.graph` plans each run as an explicit task DAG and drives
+it dependency-first (no step barrier), and :mod:`repro.serve` turns
+the same machinery into a multi-tenant simulation service (job queue,
+result cache, live cluster view).
 """
 
-from . import balance, chaos, cluster, core, distrib, fluids, harness, \
-    net, serve, trace, viz
+from . import balance, chaos, cluster, core, distrib, fluids, graph, \
+    harness, net, serve, trace, viz
 from .facade import BACKENDS, RunResult, run
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "core",
@@ -29,6 +31,7 @@ __all__ = [
     "cluster",
     "balance",
     "chaos",
+    "graph",
     "harness",
     "serve",
     "trace",

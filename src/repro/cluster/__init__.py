@@ -30,6 +30,7 @@ from .simulator import (
     NetworkParams,
     SimFaultEvent,
     SimResult,
+    phase_fractions,
 )
 
 __all__ = [
@@ -62,4 +63,5 @@ __all__ = [
     "node_speed",
     "bytes_per_boundary_node",
     "paper_ucalc_vcom_ratio",
+    "phase_fractions",
 ]

@@ -298,17 +298,40 @@ class LocalExchanger:
                 for op in plan.ops_for_axis(axis):
                     if op.kind != "recv":
                         continue
-                    conv = self.converters.get((rank, op.neighbor_rank))
-                    if conv is None:
+                    if (rank, op.neighbor_rank) not in self.converters:
                         continue
-                    src = self._by_rank[op.neighbor_rank]
-                    src_op = self._matching_send(op, rank)
-                    assert src_op.send_slices is not None
-                    payload = {
-                        name: src.fields[name][(...,) + src_op.send_slices]
-                        for name in conv.wire_fields
-                    }
-                    conv.convert(sub, op.recv_slices, payload)
+                    self.apply_seam(rank, op)
+
+    def apply_seam(self, rank: int, op: EdgeOp) -> None:
+        """Translate one seam edge's ghost strip (graph executor entry).
+
+        ``op`` must be a ``recv`` operation of ``rank`` whose edge has
+        a converter installed; the neighbour's send strip of *its*
+        representation is handed to the converter exactly as one
+        iteration of :meth:`exchange_seam` would.
+        """
+        sub = self._by_rank[rank]
+        conv = self.converters[(rank, op.neighbor_rank)]
+        src = self._by_rank[op.neighbor_rank]
+        src_op = self._matching_send(op, rank)
+        assert src_op.send_slices is not None
+        payload = {
+            name: src.fields[name][(...,) + src_op.send_slices]
+            for name in conv.wire_fields
+        }
+        conv.convert(sub, op.recv_slices, payload)
+
+    def apply_op(
+        self, rank: int, op: EdgeOp, field_names: Sequence[str]
+    ) -> None:
+        """Apply one edge operation of one subregion's plan.
+
+        The per-node entry point of the dependency-driven executor
+        (:mod:`repro.graph.executor`): the planner's dependency edges
+        guarantee the same read/write ordering the full axis sweep of
+        :meth:`exchange` enforces with its loop structure.
+        """
+        self._apply(self._by_rank[rank], op, field_names)
 
     def _matching_send(self, op: EdgeOp, my_rank: int) -> EdgeOp:
         """The neighbour's send op that feeds my recv op."""

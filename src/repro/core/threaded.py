@@ -39,6 +39,7 @@ parallel.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Mapping
 
 import numpy as np
@@ -79,6 +80,8 @@ class ThreadedSimulation:
         tracer=NULL_TRACER,
         backend: str | None = None,
         converters=None,
+        step_delays=None,
+        delay_fn=None,
     ) -> None:
         methods, single = _normalize_methods(method, decomp, converters)
         for m in dict.fromkeys(methods):
@@ -88,6 +91,14 @@ class ThreadedSimulation:
         self.decomp = decomp
         self.tracer = tracer
         self._converters = dict(converters or {})
+        # Synthetic-load injection (mirrors the distributed runtime's
+        # step_delays knob and the graph executor's delay_fn): each
+        # rank sleeps ``step_delays[rank] + delay_fn(rank, step)``
+        # seconds at the top of every step.  Under this runner's BSP
+        # barriers one slow rank stalls the whole step — exactly the
+        # imbalance the dependency-driven executor is benched against.
+        self._step_delays = list(step_delays or [])
+        self._delay_fn = delay_fn
         nphases = max(len(m.exchange_phases) for m in methods)
         self._nphases = nphases
         self._compute_names = tuple(f"compute:{i}" for i in range(nphases))
@@ -233,6 +244,17 @@ class ThreadedSimulation:
         self.close()
 
     # ------------------------------------------------------------------
+    def _sleep_delay(self, rank: int, step_no: int) -> None:
+        """Burn the rank's synthetic per-step delay (wall time only)."""
+        delay = (
+            self._step_delays[rank]
+            if rank < len(self._step_delays) else 0.0
+        )
+        if self._delay_fn is not None:
+            delay += self._delay_fn(rank, step_no)
+        if delay > 0:
+            time.sleep(delay)
+
     def _run_steps(self, idx: int, n_steps: int) -> None:
         if self.method is None:
             self._run_steps_hybrid(idx, n_steps)
@@ -247,6 +269,7 @@ class ThreadedSimulation:
         central_axes = self._central_axes
         for _ in range(n_steps):
             step_no = sub.step
+            self._sleep_delay(rank, step_no)
             for phase, fields in enumerate(method.exchange_phases):
                 t0 = tracer.begin()
                 method.compute_phase(sub, phase)
@@ -297,6 +320,7 @@ class ThreadedSimulation:
         phases = method.exchange_phases
         for _ in range(n_steps):
             step_no = sub.step
+            self._sleep_delay(rank, step_no)
             if self._converters:
                 t0 = tracer.begin()
                 self._inner.wait()
@@ -345,6 +369,7 @@ class ThreadedSimulation:
             tracer = self.tracer
             for _ in range(n):
                 step_no = sub.step
+                self._sleep_delay(sub.block.rank, step_no)
                 for phase, fields in enumerate(method.exchange_phases):
                     t0 = tracer.begin()
                     method.compute_phase(sub, phase)

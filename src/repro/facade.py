@@ -174,7 +174,43 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
         from .distrib.diagnostics import DiagnosticsLog
 
         diag_log = DiagnosticsLog.for_workdir(workdir)
-    if threaded:
+    # settings.step_delays (or the scalar step_delay) is the same
+    # synthetic-load knob the distributed workers honour.
+    delays = list(settings.step_delays)
+    if not delays and settings.step_delay > 0:
+        delays = [settings.step_delay] * len(decomp.active_blocks())
+    # Dependency-driven execution (repro.graph): plan the task DAG and
+    # solve it on a *serial* Simulation with the graph executor's
+    # thread pool — same concurrency as the threaded runner, no step
+    # barrier, bit-for-bit the same result.
+    graph_mode = threaded and settings.execution == "graph"
+    executor = None
+    if graph_mode:
+        from .graph import GraphExecutor, plan_graph
+
+        sim = Simulation(
+            method, decomp, fields, solid, tracer=tracer,
+            converters=converters,
+        )
+        graph = plan_graph(
+            decomp, sim.methods, n_steps,
+            converter_edges=tuple(sorted(converters))
+            if converters else (),
+            diag_every=settings.diag_every,
+            save_every=settings.save_every,
+        )
+        ckpt_dir = (
+            Path(workdir) / "dumps" if settings.save_every > 0 else None
+        )
+        executor = GraphExecutor(
+            sim, graph,
+            step_delays=delays,
+            stall_factor=settings.stall_factor,
+            stall_floor=settings.stall_floor,
+            diag_algorithm=settings.diag_algorithm,
+            checkpoint_dir=ckpt_dir,
+        )
+    elif threaded:
         sim = ThreadedSimulation(
             method, decomp, fields, solid,
             diag_every=settings.diag_every,
@@ -182,6 +218,7 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
             diag_vmax=settings.diag_vmax,
             tracer=tracer,
             converters=converters,
+            step_delays=delays,
         )
     else:
         sim = Simulation(
@@ -190,7 +227,13 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
         )
     diagnostics: list = []
     t0 = time.perf_counter()
-    if not threaded and settings.diag_every > 0:
+    if graph_mode:
+        executor.run()
+        diagnostics = list(executor.diagnostics)
+        if diag_log is not None:
+            for rec in diagnostics:
+                diag_log.append(rec)
+    elif not threaded and settings.diag_every > 0:
         # sample the same global reductions a distributed run would
         every = settings.diag_every
         done = 0
@@ -210,7 +253,7 @@ def _run_inprocess(spec, fields, settings, workdir, threaded: bool,
             for rec in diagnostics:
                 diag_log.append(rec)
     elapsed = time.perf_counter() - t0
-    if threaded:
+    if threaded and not graph_mode:
         sim.close()
     tracer.close()
     result = RunResult(

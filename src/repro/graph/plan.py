@@ -1,0 +1,507 @@
+"""Planning the explicit task DAG one decomposed run implies.
+
+A compute/communicate run (paper §3) is usually *executed* — phases and
+exchanges interleaved by a runner — but everything the runner will do is
+known the moment the decomposition and the per-rank methods are fixed.
+This module walks a :class:`~repro.core.decomposition.Decomposition`
+plus its methods and emits that schedule as data: a
+:class:`TaskGraph` of per-subregion compute/finalize nodes, per-edge
+ghost-fill (and seam-conversion) nodes, and periodic collective /
+checkpoint nodes, each carrying the dependency edges that make any
+topological execution order produce *bit-for-bit* the serial result.
+
+The dependency rules encode the read/write-hazard analysis of
+:class:`~repro.core.exchange.LocalExchanger` at per-edge granularity:
+
+* a ghost fill into ``dst`` at sweep position ``k`` waits for both
+  endpoint computes of its phase and for every earlier-position
+  operation *touching either endpoint* — the send strip spans the full
+  padded extent of the other axes, so corner data propagates through
+  consecutive axis passes exactly as in the serial sweep, and a later
+  pass must not overwrite a strip a neighbour has yet to read;
+* ``compute(t, p+1)`` waits for every stage-``p`` operation touching
+  its subregion (fills into it *and* reads of its send strips);
+* ``finalize(t)`` waits for every exchange of the step touching the
+  subregion — the filter rewrites interior and ring-1 ghosts that
+  neighbours read — and ``compute(t+1, 0)`` waits for ``finalize(t)``;
+* seam conversions (hybrid runs) run before the step's first compute
+  phase in the same axis-sweep order as
+  :meth:`~repro.core.exchange.LocalExchanger.exchange_seam`;
+* a diagnostics collective is a true barrier (it reduces over every
+  subregion), and a checkpoint must complete before the next step's
+  ghost writes land in the dump's padded arrays.
+
+Nodes that only touch *different* subregions are left unordered: that
+is the compute/communicate overlap a dependency-driven executor
+(:mod:`repro.graph.executor`) harvests, while costs estimated from the
+:mod:`repro.cluster.calibration` constants (or live
+:class:`~repro.balance.LoadEstimator` speeds) give the stall detector
+its per-node expectations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.decomposition import Decomposition
+from ..core.exchange import build_plan, sweep_axes
+
+__all__ = ["TaskNode", "TaskGraph", "plan_graph", "GRAPH_SCHEMA_VERSION"]
+
+GRAPH_SCHEMA_VERSION = 1
+
+#: Node kinds, in the order they appear within one step.
+NODE_KINDS = (
+    "seam", "compute", "exchange", "replicate", "finalize", "diag",
+    "checkpoint",
+)
+
+#: Estimated checkpoint write rate (bytes/s) for costing dump nodes.
+_CHECKPOINT_BYTES_PER_S = 50e6
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One unit of work in a planned run.
+
+    ``rank`` is the owning subregion (the written one for ghost fills;
+    ``-1`` for the global diagnostics collective), ``src`` the rank a
+    fill or seam conversion reads from (``-1`` when not applicable).
+    ``pos`` is the position in the per-phase axis sweep — two fills at
+    the same position commute, fills at different positions touching a
+    common rank do not.  ``cost`` is the planner's estimated seconds,
+    the denominator of the stall detector's "N× estimate" rule.
+    """
+
+    id: int
+    kind: str
+    rank: int
+    step: int
+    phase: int = -1
+    axis: int = -1
+    side: int = 0
+    pos: int = -1
+    src: int = -1
+    cost: float = 0.0
+    deps: tuple[int, ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable name (``compute:r0:t3:p1`` etc.)."""
+        bits = [self.kind, f"r{self.rank}", f"t{self.step}"]
+        if self.phase >= 0:
+            bits.append(f"p{self.phase}")
+        if self.axis >= 0:
+            side = "lo" if self.side < 0 else "hi"
+            bits.append(f"a{self.axis}{side}")
+        if self.src >= 0:
+            bits.append(f"from{self.src}")
+        return ":".join(bits)
+
+
+@dataclass
+class TaskGraph:
+    """A serializable, validated task DAG for one run.
+
+    ``meta`` records what was planned (steps, ranks, sweep, method
+    names, periodic node cadences) so an executor — or a worker handed
+    only its slice — can check it is marching the same problem.
+    """
+
+    nodes: list[TaskNode]
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def validate(self) -> None:
+        """Check ids are dense and every dependency points backwards.
+
+        Construction order is a topological order, so acyclicity
+        reduces to ``dep < id``; a violated check means a hand-edited
+        or corrupted graph.
+        """
+        for i, node in enumerate(self.nodes):
+            if node.id != i:
+                raise ValueError(f"node {i} carries id {node.id}")
+            for dep in node.deps:
+                if not 0 <= dep < node.id:
+                    raise ValueError(
+                        f"node {node.label} depends on {dep} (id {node.id})"
+                    )
+
+    def counts(self) -> dict[str, int]:
+        """Node count per kind (reporting / sanity checks)."""
+        out: dict[str, int] = {}
+        for node in self.nodes:
+            out[node.kind] = out.get(node.kind, 0) + 1
+        return out
+
+    def rank_slice(self, rank: int) -> list[TaskNode]:
+        """The nodes a rank owns or feeds (its worker-visible slice)."""
+        return [
+            n for n in self.nodes if n.rank == rank or n.src == rank
+        ]
+
+    def step_cost(self, rank: int) -> float:
+        """Estimated seconds per step of the nodes ``rank`` owns."""
+        steps = max(1, int(self.meta.get("steps", 1)))
+        total = sum(n.cost for n in self.nodes if n.rank == rank)
+        return total / steps
+
+    def critical_path(self) -> float:
+        """Estimated seconds along the longest dependency chain —
+        the dependency-driven lower bound the overlap bench compares
+        against ``steps × max(per-rank step cost)`` (the BSP bound)."""
+        finish = [0.0] * len(self.nodes)
+        for node in self.nodes:
+            start = max((finish[d] for d in node.deps), default=0.0)
+            finish[node.id] = start + node.cost
+        return max(finish, default=0.0)
+
+    # ------------------------------------------------------------------
+    # serialization (canonical: equal plans produce equal text)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical compact JSON: equal plans produce equal text."""
+        payload = {
+            "version": GRAPH_SCHEMA_VERSION,
+            "meta": self.meta,
+            "nodes": [
+                [
+                    n.id, n.kind, n.rank, n.step, n.phase, n.axis,
+                    n.side, n.pos, n.src, round(n.cost, 12),
+                    list(n.deps),
+                ]
+                for n in self.nodes
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TaskGraph":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != GRAPH_SCHEMA_VERSION:
+            raise ValueError(
+                f"task graph schema {version!r}, expected "
+                f"{GRAPH_SCHEMA_VERSION}"
+            )
+        nodes = [
+            TaskNode(
+                id=row[0], kind=row[1], rank=row[2], step=row[3],
+                phase=row[4], axis=row[5], side=row[6], pos=row[7],
+                src=row[8], cost=row[9], deps=tuple(row[10]),
+            )
+            for row in payload["nodes"]
+        ]
+        graph = cls(nodes=nodes, meta=payload.get("meta", {}))
+        graph.validate()
+        return graph
+
+    def save(self, path) -> None:
+        """Write the canonical JSON form to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "TaskGraph":
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text())
+
+
+def _method_name(method) -> str:
+    return getattr(method, "method_name", "fd")
+
+
+def _default_rates(ranks, methods, ndim) -> dict[int, float]:
+    from ..cluster.calibration import node_speed
+
+    return {
+        r: node_speed(_method_name(m), ndim)
+        for r, m in zip(ranks, methods)
+    }
+
+
+def plan_graph(
+    decomp: Decomposition,
+    methods: Sequence,
+    steps: int,
+    *,
+    converter_edges: Sequence[tuple[int, int]] = (),
+    diag_every: int = 0,
+    save_every: int = 0,
+    rates: Mapping[int, float] | Sequence[float] | None = None,
+    bandwidth: float | None = None,
+    overhead: float | None = None,
+) -> TaskGraph:
+    """Plan the task DAG of ``steps`` steps of one decomposed run.
+
+    Parameters
+    ----------
+    decomp, methods:
+        The decomposition and the per-rank methods, exactly as a
+        :class:`~repro.core.Simulation` would receive them (one method
+        per active rank, shared ``pad``).
+    converter_edges:
+        The ``(dst_rank, src_rank)`` seam edges of a hybrid run (the
+        keys of :func:`repro.fluids.coupling.build_converters`); these
+        edges get per-step seam-conversion nodes and are skipped by the
+        per-phase exchange, mirroring the runners.
+    diag_every, save_every:
+        Cadence of the global diagnostics collective and of per-rank
+        checkpoint nodes (0 disables, matching
+        :class:`~repro.distrib.RunSettings`).
+    rates:
+        Per-rank speeds in fluid nodes/second for cost estimation —
+        pass ``LoadEstimator.speeds()`` when live heartbeat data
+        exists; defaults to the §7 calibration table.
+    bandwidth, overhead:
+        Exchange cost model (bytes/s, seconds/message); defaults to
+        the calibrated shared-Ethernet constants.
+    """
+    from ..cluster.calibration import (
+        ETHERNET_BANDWIDTH,
+        MESSAGE_OVERHEAD,
+        bytes_per_boundary_node,
+    )
+    from ..cluster.simulator import phase_fractions
+
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    blocks = sorted(decomp.active_blocks(), key=lambda b: b.rank)
+    ranks = [b.rank for b in blocks]
+    if len(methods) != len(ranks):
+        raise ValueError(
+            f"{len(methods)} methods for {len(ranks)} active ranks"
+        )
+    meth = dict(zip(ranks, methods))
+    pad = methods[0].pad
+    ndim = decomp.ndim
+    plans = {r: build_plan(decomp, r, pad) for r in ranks}
+    extended = decomp.n_active < decomp.n_blocks
+    sweep = sweep_axes(ndim, extended)
+    nphases = max(len(m.exchange_phases) for m in methods)
+    conv = frozenset((int(a), int(b)) for a, b in converter_edges)
+    bw = ETHERNET_BANDWIDTH if bandwidth is None else bandwidth
+    ovh = MESSAGE_OVERHEAD if overhead is None else overhead
+
+    if rates is None:
+        speed = _default_rates(ranks, methods, ndim)
+    elif isinstance(rates, Mapping):
+        speed = {r: float(rates[r]) for r in ranks}
+    else:
+        speed = {r: float(v) for r, v in zip(ranks, rates)}
+    n_nodes = {r: b.n_nodes for r, b in zip(ranks, blocks)}
+    padded = {
+        r: tuple(s + 2 * pad for s in b.shape)
+        for r, b in zip(ranks, blocks)
+    }
+    fractions = {r: phase_fractions(_method_name(m)) for r, m in meth.items()}
+    wire = {r: bytes_per_boundary_node(_method_name(m), ndim)
+            for r, m in meth.items()}
+    n_fields = {r: len(m.field_names) for r, m in meth.items()}
+
+    def compute_cost(r: int, p: int) -> float:
+        return fractions[r][p] * n_nodes[r] / speed[r]
+
+    def finalize_cost(r: int) -> float:
+        rest = max(0.0, 1.0 - sum(fractions[r]))
+        return rest * n_nodes[r] / speed[r]
+
+    def fill_cost(r: int, op, n_vals: int) -> float:
+        strip = op.strip_nodes(padded[r])
+        if op.kind == "recv":
+            return ovh + strip * n_vals * 8 / bw
+        return strip * n_vals / speed[r]  # local edge replication
+
+    nodes: list[TaskNode] = []
+
+    def add(kind, rank, step, *, phase=-1, axis=-1, side=0, pos=-1,
+            src=-1, cost=0.0, deps=()) -> int:
+        nid = len(nodes)
+        nodes.append(TaskNode(
+            id=nid, kind=kind, rank=rank, step=step, phase=phase,
+            axis=axis, side=side, pos=pos, src=src, cost=float(cost),
+            deps=tuple(sorted(set(int(d) for d in deps))),
+        ))
+        return nid
+
+    prev_finalize: dict[int, int] = {}
+    prev_diag: int | None = None
+    prev_ckpt: dict[int, int] = {}
+
+    for t in range(steps):
+        # --- seam conversions (hybrid): before the first compute phase,
+        #     in axis-sweep order, both sides converting time-t state.
+        seam_all: dict[int, list[int]] = {r: [] for r in ranks}
+        if conv:
+            touch = {r: [[] for _ in sweep] for r in ranks}
+            for pos, axis in enumerate(sweep):
+                for r in ranks:
+                    for op in plans[r].ops_for_axis(axis):
+                        if op.kind != "recv":
+                            continue
+                        nb = op.neighbor_rank
+                        if (r, nb) not in conv:
+                            continue
+                        deps = []
+                        if t > 0:
+                            deps += [prev_finalize[r], prev_finalize[nb]]
+                        if prev_diag is not None:
+                            deps.append(prev_diag)
+                        if r in prev_ckpt:
+                            deps.append(prev_ckpt[r])
+                        for k in range(pos):
+                            deps += touch[r][k] + touch[nb][k]
+                        cost = (
+                            ovh
+                            + op.strip_nodes(padded[r]) * wire[nb] / bw
+                            + op.strip_nodes(padded[r]) / speed[r]
+                        )
+                        nid = add(
+                            "seam", r, t, axis=axis, side=op.side,
+                            pos=pos, src=nb, cost=cost, deps=deps,
+                        )
+                        touch[r][pos].append(nid)
+                        touch[nb][pos].append(nid)
+                        seam_all[r].append(nid)
+                        seam_all[nb].append(nid)
+
+        compute_id: dict[tuple[int, int], int] = {}
+        prev_stage_all: dict[int, list[int]] = {}
+        fin_deps: dict[int, list[int]] = {r: [] for r in ranks}
+
+        for p in range(nphases):
+            # --- compute phase p on every rank whose method has it
+            for r in ranks:
+                if p >= len(meth[r].exchange_phases):
+                    continue
+                deps: list[int] = []
+                if p == 0:
+                    if t > 0:
+                        deps.append(prev_finalize[r])
+                    if prev_diag is not None:
+                        deps.append(prev_diag)
+                    if r in prev_ckpt:
+                        deps.append(prev_ckpt[r])
+                    deps += seam_all[r]
+                else:
+                    if (r, p - 1) in compute_id:
+                        deps.append(compute_id[(r, p - 1)])
+                    deps += prev_stage_all.get(r, [])
+                compute_id[(r, p)] = add(
+                    "compute", r, t, phase=p,
+                    cost=compute_cost(r, p), deps=deps,
+                )
+
+            # --- ghost fills of phase p, axis by axis
+            touch = {r: [[] for _ in sweep] for r in ranks}
+            stage_all: dict[int, list[int]] = {r: [] for r in ranks}
+            for pos, axis in enumerate(sweep):
+                for r in ranks:
+                    m = meth[r]
+                    fields = (
+                        m.exchange_phases[p]
+                        if p < len(m.exchange_phases) else ()
+                    )
+                    if not fields:
+                        continue
+                    for op in plans[r].ops_for_axis(axis):
+                        if op.kind == "hold":
+                            continue
+                        if (
+                            op.kind == "recv"
+                            and (r, op.neighbor_rank) in conv
+                        ):
+                            continue
+                        deps = [compute_id[(r, p)]]
+                        for k in range(pos):
+                            deps += touch[r][k]
+                        if op.kind == "recv":
+                            nb = op.neighbor_rank
+                            if (nb, p) in compute_id:
+                                deps.append(compute_id[(nb, p)])
+                            for k in range(pos):
+                                deps += touch[nb][k]
+                            nid = add(
+                                "exchange", r, t, phase=p, axis=axis,
+                                side=op.side, pos=pos, src=nb,
+                                cost=fill_cost(r, op, len(fields)),
+                                deps=deps,
+                            )
+                            if nb != r:
+                                touch[nb][pos].append(nid)
+                                stage_all[nb].append(nid)
+                        else:
+                            nid = add(
+                                "replicate", r, t, phase=p, axis=axis,
+                                side=op.side, pos=pos,
+                                cost=fill_cost(r, op, len(fields)),
+                                deps=deps,
+                            )
+                        touch[r][pos].append(nid)
+                        stage_all[r].append(nid)
+            prev_stage_all = stage_all
+            for r in ranks:
+                fin_deps[r] += stage_all[r]
+
+        # --- finalize: after the rank's last own phase and after every
+        #     exchange of the step that read or wrote its arrays (the
+        #     filter rewrites interior + ring-1 ghosts neighbours read).
+        finalize_id: dict[int, int] = {}
+        for r in ranks:
+            lastp = len(meth[r].exchange_phases) - 1
+            finalize_id[r] = add(
+                "finalize", r, t,
+                cost=finalize_cost(r),
+                deps=[compute_id[(r, lastp)]] + fin_deps[r],
+            )
+        prev_finalize = finalize_id
+
+        # --- periodic global collective: a true barrier
+        prev_diag = None
+        if diag_every > 0 and (t + 1) % diag_every == 0:
+            prev_diag = add(
+                "diag", -1, t,
+                cost=2 * ovh * max(1, len(ranks) - 1),
+                deps=list(finalize_id.values()),
+            )
+
+        # --- periodic checkpoints: dumps include ghosts, so the next
+        #     step's ghost writes (seam / compute→fills) wait on them.
+        prev_ckpt = {}
+        if save_every > 0 and (t + 1) % save_every == 0:
+            for r in ranks:
+                size = n_nodes[r] * n_fields[r] * 8
+                prev_ckpt[r] = add(
+                    "checkpoint", r, t,
+                    cost=size / _CHECKPOINT_BYTES_PER_S,
+                    deps=[finalize_id[r]] + (
+                        [prev_diag] if prev_diag is not None else []
+                    ),
+                )
+
+    graph = TaskGraph(
+        nodes=nodes,
+        meta={
+            "steps": int(steps),
+            "ranks": ranks,
+            "ndim": ndim,
+            "blocks": list(decomp.blocks),
+            "grid": list(decomp.grid_shape),
+            "pad": pad,
+            "nphases": nphases,
+            "sweep": list(sweep),
+            "methods": {str(r): _method_name(m) for r, m in meth.items()},
+            "converter_edges": sorted(list(e) for e in conv),
+            "diag_every": int(diag_every),
+            "save_every": int(save_every),
+        },
+    )
+    graph.validate()
+    return graph

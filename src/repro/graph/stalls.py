@@ -1,0 +1,148 @@
+"""Graph stalls: slow work made visible by its own cost estimate.
+
+Under a BSP barrier a slow rank is invisible — every other rank just
+waits, and the wait is indistinguishable from load imbalance, network
+loss or a wedged process.  A planned :class:`~repro.graph.TaskGraph`
+changes that: every node carries the planner's cost estimate, so "this
+node's dependencies have been satisfied for more than N× its estimated
+cost and it has not finished" is a *named*, attributable event — a
+**graph stall** — rather than a silent barrier wait.
+
+Two consumers share the rule:
+
+* the in-process :class:`~repro.graph.GraphExecutor` feeds ready/done
+  timestamps per node and emits a ``graph:stall`` trace span per event;
+* the distributed monitor replays worker heartbeats against per-rank
+  graph slices (:class:`HeartbeatStallDetector`): once every dependency
+  rank has reached step *t*, a rank still on *t* after N× its estimated
+  per-step cost is reported by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StallEvent", "StallDetector", "HeartbeatStallDetector"]
+
+#: Default multiple of the estimated cost before a node counts as
+#: stalled, and the floor (seconds) that keeps sub-millisecond nodes
+#: from flagging on scheduler noise.
+STALL_FACTOR = 8.0
+STALL_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One detected stall: which node, whose rank, how late."""
+
+    label: str
+    rank: int
+    step: int
+    waited: float       # seconds since the node's deps were satisfied
+    cost: float         # the planner's estimate for the node
+
+    @property
+    def factor(self) -> float:
+        """How many estimated-cost multiples the node has been ready."""
+        return self.waited / self.cost if self.cost > 0 else float("inf")
+
+
+@dataclass
+class StallDetector:
+    """Node-granular stall rule over ready/done timestamps.
+
+    ``node_ready`` marks the moment a node's last dependency completed;
+    ``check(now)`` reports every ready-but-unfinished node older than
+    ``factor × cost + floor`` (each node at most once); ``node_done``
+    retires it.  Timestamps are whatever monotonic clock the caller
+    uses — the detector only differences them.
+    """
+
+    factor: float = STALL_FACTOR
+    floor: float = STALL_FLOOR
+    events: list[StallEvent] = field(default_factory=list)
+    _ready: dict[int, tuple[float, object]] = field(default_factory=dict)
+    _flagged: set[int] = field(default_factory=set)
+
+    def node_ready(self, node, now: float) -> None:
+        """Mark ``node``'s last dependency as completed at ``now``."""
+        self._ready[node.id] = (now, node)
+
+    def node_done(self, node_id: int) -> None:
+        """Retire a finished node from the watch set."""
+        self._ready.pop(node_id, None)
+
+    def check(self, now: float) -> list[StallEvent]:
+        """All *new* stalls as of ``now``."""
+        fresh: list[StallEvent] = []
+        for nid, (t_ready, node) in self._ready.items():
+            if nid in self._flagged:
+                continue
+            waited = now - t_ready
+            if waited > self.factor * node.cost + self.floor:
+                self._flagged.add(nid)
+                event = StallEvent(
+                    label=node.label, rank=node.rank, step=node.step,
+                    waited=waited, cost=node.cost,
+                )
+                self.events.append(event)
+                fresh.append(event)
+        return fresh
+
+
+class HeartbeatStallDetector:
+    """The monitor-side stall rule over per-rank heartbeat steps.
+
+    A worker consuming its slice of the graph cannot publish per-node
+    timestamps cheaply, but its heartbeat step *is* the frontier of its
+    slice.  Rank ``r`` is stalled at step ``t`` when every rank feeding
+    ``r``'s step-``t`` nodes has reached ``t`` (``r``'s dependencies
+    are ready) yet ``r`` has sat on ``t`` for more than ``factor``
+    times its estimated per-step cost.
+    """
+
+    def __init__(self, graph, factor: float = STALL_FACTOR,
+                 floor: float = STALL_FLOOR) -> None:
+        self.graph = graph
+        self.factor = factor
+        self.floor = floor
+        self.events: list[StallEvent] = []
+        ranks = [int(r) for r in graph.meta.get("ranks", [])]
+        self._step_cost = {r: graph.step_cost(r) for r in ranks}
+        # ranks feeding each rank's nodes (its dependency neighbours)
+        feeds: dict[int, set[int]] = {r: set() for r in ranks}
+        for node in graph.nodes:
+            if node.rank >= 0 and node.src >= 0 and node.src != node.rank:
+                feeds[node.rank].add(node.src)
+        self._feeds = feeds
+        self._since: dict[int, tuple[int, float]] = {}
+        self._flagged: set[tuple[int, int]] = set()
+
+    def observe(self, steps: dict[int, int], now: float) -> list[StallEvent]:
+        """Feed the latest heartbeat steps; return *new* stalls."""
+        fresh: list[StallEvent] = []
+        for rank, step in steps.items():
+            if rank not in self._step_cost:
+                continue
+            seen = self._since.get(rank)
+            if seen is None or seen[0] != step:
+                self._since[rank] = (step, now)
+                continue
+            if (rank, step) in self._flagged:
+                continue
+            deps_ready = all(
+                steps.get(nb, -1) >= step for nb in self._feeds[rank]
+            )
+            if not deps_ready:
+                continue
+            waited = now - seen[1]
+            cost = self._step_cost[rank]
+            if waited > self.factor * cost + self.floor:
+                self._flagged.add((rank, step))
+                event = StallEvent(
+                    label=f"step:r{rank}:t{step}", rank=rank,
+                    step=step, waited=waited, cost=cost,
+                )
+                self.events.append(event)
+                fresh.append(event)
+        return fresh

@@ -78,6 +78,12 @@ _PREFIX_CATEGORY = {
     "balance": CAT_OTHER,
     "heartbeat": CAT_OTHER,
     "wait": CAT_COMM,
+    # seam conversions translate boundary data between methods — the
+    # hybrid run's communication
+    "seam": CAT_COMM,
+    # dependency-driven runs (repro.graph): stall markers for nodes
+    # ready far beyond their estimated cost
+    "graph": CAT_OTHER,
     # the per-rank recovery ledger: injected faults and the recoveries
     # they triggered (repro.chaos)
     "chaos": CAT_OTHER,

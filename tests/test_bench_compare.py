@@ -1,0 +1,133 @@
+"""The bench regression gate (tools/bench_compare.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "bench_compare.py"
+
+spec = importlib.util.spec_from_file_location("bench_compare", TOOL)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+BASE = {
+    "host": {"platform": "baseline-box", "cpu_count": 64, "numba": "0.59"},
+    "steps": 40,
+    "seconds": {"bsp": 0.40, "graph": 0.26},
+    "speedup": 1.55,
+    "speedups": {"lb2d_numba_vs_serial_numpy": 3.0},
+    "graph_bitwise": True,
+    "passed": True,
+}
+
+
+def _write(tmp_path, name, payload, sub=""):
+    d = tmp_path / sub if sub else tmp_path
+    d.mkdir(parents=True, exist_ok=True)
+    p = d / name
+    p.write_text(json.dumps(payload))
+    return p
+
+
+def _run(tmp_path, current) -> int:
+    _write(tmp_path, "BENCH_x.json", BASE, sub="baselines")
+    cur = _write(tmp_path, "BENCH_x.json", current)
+    return bench_compare.main(
+        [str(cur), "--baselines", str(tmp_path / "baselines")]
+    )
+
+
+def test_identical_passes(tmp_path):
+    assert _run(tmp_path, dict(BASE)) == 0
+
+
+def test_25_percent_speedup_drop_fails(tmp_path):
+    bad = json.loads(json.dumps(BASE))
+    bad["speedup"] = BASE["speedup"] * 0.75
+    assert _run(tmp_path, bad) == 1
+
+
+def test_within_tolerance_passes(tmp_path):
+    ok = json.loads(json.dumps(BASE))
+    ok["speedup"] = BASE["speedup"] * 0.85          # -15% < 20% gate
+    ok["speedups"]["lb2d_numba_vs_serial_numpy"] = 2.5
+    assert _run(tmp_path, ok) == 0
+
+
+def test_nested_speedup_table_gated(tmp_path):
+    bad = json.loads(json.dumps(BASE))
+    bad["speedups"]["lb2d_numba_vs_serial_numpy"] = 1.0
+    assert _run(tmp_path, bad) == 1
+
+
+def test_boolean_regression_fails(tmp_path):
+    bad = json.loads(json.dumps(BASE))
+    bad["graph_bitwise"] = False
+    assert _run(tmp_path, bad) == 1
+
+
+def test_timings_are_not_gated(tmp_path):
+    """A 10x slower host changes raw seconds — that must not fail."""
+    slow = json.loads(json.dumps(BASE))
+    slow["seconds"] = {"bsp": 4.0, "graph": 2.6}
+    assert _run(tmp_path, slow) == 0
+
+
+def test_host_metadata_ignored(tmp_path):
+    other = json.loads(json.dumps(BASE))
+    other["host"] = {"platform": "ci-runner", "cpu_count": 2,
+                     "numba": None}
+    assert _run(tmp_path, other) == 0
+
+
+def test_missing_gated_metric_fails(tmp_path):
+    bad = json.loads(json.dumps(BASE))
+    del bad["speedup"]
+    assert _run(tmp_path, bad) == 1
+
+
+def test_missing_baseline_skips(tmp_path, capsys):
+    cur = _write(tmp_path, "BENCH_new.json", BASE)
+    rc = bench_compare.main(
+        [str(cur), "--baselines", str(tmp_path / "baselines")]
+    )
+    assert rc == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_update_baselines(tmp_path):
+    cur = _write(tmp_path, "BENCH_x.json", BASE)
+    rc = bench_compare.main(
+        [str(cur), "--baselines", str(tmp_path / "baselines"),
+         "--update-baselines"]
+    )
+    assert rc == 0
+    saved = json.loads((tmp_path / "baselines" / "BENCH_x.json").read_text())
+    assert saved == BASE
+    # and the freshly updated baseline compares clean
+    assert _run(tmp_path, dict(BASE)) == 0
+
+
+def test_tolerance_flag(tmp_path):
+    bad = json.loads(json.dumps(BASE))
+    bad["speedup"] = BASE["speedup"] * 0.75
+    _write(tmp_path, "BENCH_x.json", BASE, sub="baselines")
+    cur = _write(tmp_path, "BENCH_x.json", bad)
+    args = [str(cur), "--baselines", str(tmp_path / "baselines")]
+    assert bench_compare.main(args + ["--tolerance", "0.30"]) == 0
+    assert bench_compare.main(args + ["--tolerance", "0.10"]) == 1
+
+
+def test_real_bench_files_self_compare(tmp_path):
+    """Every committed baseline compares clean against itself."""
+    base_dir = bench_compare.default_baseline_dir()
+    files = sorted(base_dir.glob("BENCH_*.json"))
+    assert files, "no committed baselines found"
+    for f in files:
+        cur = _write(tmp_path, f.name, json.loads(f.read_text()))
+        assert bench_compare.main(
+            [str(cur), "--baselines", str(base_dir)]
+        ) == 0, f.name

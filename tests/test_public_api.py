@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.distrib",
     "repro.cluster",
     "repro.balance",
+    "repro.graph",
     "repro.harness",
     "repro.serve",
     "repro.trace",

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Compare BENCH_*.json results against committed baselines.
+
+Every bench leg of the CI emits a ``BENCH_<name>.json``; this tool
+diffs each one against ``benchmarks/baselines/BENCH_<name>.json`` and
+exits non-zero when a *gated* metric regressed by more than the
+tolerance (default 20%).
+
+What is gated — and what is not
+-------------------------------
+CI runners differ wildly in absolute speed, so raw timings
+(``*_seconds``, ``seconds_per_step``, ``nodes_per_second`` ...) are
+reported but **never** gated.  The gate covers only metrics that are
+dimensionless on a single host and therefore portable:
+
+* any number under a key containing ``speedup``, ``efficiency``,
+  ``utilization`` or ending in ``_ratio`` — higher is better, and a
+  drop below ``baseline x (1 - tolerance)`` fails;
+* any boolean — ``True`` in the baseline must stay ``True``
+  (``passed``, ``*_bitwise``, ``warm_all_cached`` ...); a boolean that
+  *improved* to ``True`` is fine.
+
+The ``host`` subtree (platform, python, numpy, cpu count) is ignored
+entirely: two hosts never match and should not have to.
+
+A result file without a committed baseline is a warning, not a
+failure — commit one with ``--update-baselines`` once the numbers are
+trusted.
+
+Usage
+-----
+::
+
+    python tools/bench_compare.py BENCH_graph.json
+    python tools/bench_compare.py BENCH_*.json --tolerance 0.25
+    python tools/bench_compare.py BENCH_graph.json --update-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+#: Subtrees that never participate in the comparison.
+IGNORED_KEYS = frozenset({"host"})
+
+#: Key-name fragments marking a gated, higher-is-better number.
+GATED_FRAGMENTS = ("speedup", "efficiency", "utilization")
+
+DEFAULT_TOLERANCE = 0.20
+
+
+def default_baseline_dir() -> Path:
+    """``benchmarks/baselines`` next to this script's repo root."""
+    return Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+
+
+def is_gated_key(key: str) -> bool:
+    """Whether a numeric value under ``key`` participates in the gate."""
+    low = key.lower()
+    return any(f in low for f in GATED_FRAGMENTS) or low.endswith("_ratio")
+
+
+def iter_metrics(tree, prefix="", gated=False):
+    """Yield ``(path, value, gated)`` for every scalar leaf.
+
+    ``gated`` is sticky downward: everything under a gated key (e.g.
+    the ``speedups`` table of BENCH_kernels) is gated too.
+    """
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            if key in IGNORED_KEYS and not prefix:
+                continue
+            yield from iter_metrics(
+                value, f"{prefix}{key}.", gated or is_gated_key(key)
+            )
+    elif isinstance(tree, list):
+        for i, value in enumerate(tree):
+            yield from iter_metrics(value, f"{prefix}{i}.", gated)
+    else:
+        yield prefix.rstrip("."), tree, gated
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """All gate violations of ``current`` against ``baseline``."""
+    cur = {path: (value, gated)
+           for path, value, gated in iter_metrics(current)}
+    failures: list[str] = []
+    for path, base_val, gated in iter_metrics(baseline):
+        if path not in cur:
+            if gated:
+                failures.append(f"{path}: gated metric missing "
+                                f"(baseline {base_val!r})")
+            continue
+        cur_val, _ = cur[path]
+        if isinstance(base_val, bool):
+            if base_val and cur_val is not True:
+                failures.append(f"{path}: was True, now {cur_val!r}")
+        elif gated and isinstance(base_val, (int, float)) \
+                and isinstance(cur_val, (int, float)):
+            floor = base_val * (1.0 - tolerance)
+            if cur_val < floor:
+                drop = (1.0 - cur_val / base_val) * 100 if base_val else 0.0
+                failures.append(
+                    f"{path}: {cur_val:.4g} < {floor:.4g} "
+                    f"(baseline {base_val:.4g}, -{drop:.1f}%)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "results", nargs="+", type=Path,
+        help="BENCH_*.json files to check",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=None,
+        help="baseline directory (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop of gated metrics "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="copy the result files into the baseline directory "
+             "instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    base_dir = args.baselines or default_baseline_dir()
+
+    if args.update_baselines:
+        base_dir.mkdir(parents=True, exist_ok=True)
+        for path in args.results:
+            shutil.copyfile(path, base_dir / path.name)
+            print(f"baseline updated: {base_dir / path.name}")
+        return 0
+
+    rc = 0
+    for path in args.results:
+        base_path = base_dir / path.name
+        if not base_path.exists():
+            print(f"{path.name}: no baseline at {base_path} — skipped "
+                  f"(commit one with --update-baselines)")
+            continue
+        current = json.loads(path.read_text())
+        baseline = json.loads(base_path.read_text())
+        failures = compare(current, baseline, args.tolerance)
+        gated = sum(1 for _, _, g in iter_metrics(baseline) if g)
+        if failures:
+            rc = 1
+            print(f"{path.name}: REGRESSED "
+                  f"({len(failures)}/{gated} gated metrics)")
+            for line in failures:
+                print(f"  {line}")
+        else:
+            print(f"{path.name}: ok ({gated} gated metrics within "
+                  f"{args.tolerance:.0%} of baseline)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
